@@ -1,0 +1,67 @@
+//! Property-based tests for the machine model: conservation laws and
+//! monotonicity that must hold for any matrix.
+
+use archsim::{machines, simulate_spmv_1d_opt, simulate_spmv_2d_opt, SimOptions};
+use proptest::prelude::*;
+use sparsemat::{CooMatrix, CsrMatrix};
+
+fn matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
+    (50usize..400, proptest::collection::vec((0usize..160_000, 0usize..160_000), 50..400))
+        .prop_map(|(n, entries)| {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 1.0);
+            }
+            for (a, b) in entries {
+                coo.push(a % n, b % n, 1.0);
+            }
+            CsrMatrix::from_coo(&coo)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulation_conserves_work(a in matrix_strategy()) {
+        let opts = SimOptions { cache_scale: 1.0 / 16.0 };
+        for m in machines().into_iter().take(3) {
+            let r1 = simulate_spmv_1d_opt(&a, &m, &opts);
+            prop_assert_eq!(r1.thread_nnz.iter().sum::<usize>(), a.nnz());
+            prop_assert!(r1.seconds > 0.0);
+            prop_assert!(r1.gflops.is_finite() && r1.gflops >= 0.0);
+            prop_assert!(r1.imbalance >= 1.0 - 1e-9);
+            // Completion time is the max thread time.
+            let max = r1.thread_seconds.iter().copied().fold(0.0f64, f64::max);
+            prop_assert!((r1.seconds - max.max(1e-12)).abs() < 1e-15);
+
+            let r2 = simulate_spmv_2d_opt(&a, &m, &opts);
+            prop_assert_eq!(r2.thread_nnz.iter().sum::<usize>(), a.nnz());
+            // 2D is nonzero-balanced up to rounding: counts differ by at
+            // most 1, so the factor is bounded by 1 + threads/nnz.
+            let bound = 1.0 + m.threads as f64 / a.nnz() as f64 + 1e-9;
+            prop_assert!(r2.imbalance <= bound, "2D imbalance {} > {}", r2.imbalance, bound);
+        }
+    }
+
+    #[test]
+    fn smaller_caches_never_run_faster(a in matrix_strategy()) {
+        let m = &machines()[5]; // Milan B
+        let big = simulate_spmv_1d_opt(&a, m, &SimOptions { cache_scale: 1.0 });
+        let small = simulate_spmv_1d_opt(&a, m, &SimOptions { cache_scale: 1.0 / 64.0 });
+        prop_assert!(
+            small.gflops <= big.gflops * 1.001,
+            "shrinking caches sped things up: {} -> {}",
+            big.gflops,
+            small.gflops
+        );
+    }
+
+    #[test]
+    fn dram_traffic_at_least_matrix_stream(a in matrix_strategy()) {
+        let m = &machines()[0];
+        let r = simulate_spmv_1d_opt(&a, m, &SimOptions { cache_scale: 0.25 });
+        let stream = a.nnz() as f64 * 12.0;
+        prop_assert!(r.dram_bytes >= stream, "{} < {}", r.dram_bytes, stream);
+    }
+}

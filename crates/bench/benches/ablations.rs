@@ -1,0 +1,93 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! - FM refinement on/off in the multilevel partitioner (quality is
+//!   checked by tests; this measures the time cost);
+//! - GP with row balance vs nonzero-weighted balance (§3.3 discusses
+//!   both; the paper selects row balance);
+//! - Gray ordering parameter sweep (bitmap bits, dense threshold);
+//! - plain CM vs reversed CM (RCM).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partition::{partition_graph, PartitionConfig};
+use reorder::{Gp, Gray, GrayParams, Rcm, ReorderAlgorithm};
+use sparsegraph::Graph;
+use std::hint::black_box;
+
+fn fm_refinement(c: &mut Criterion) {
+    let a = corpus::scramble(&corpus::mesh2d(120, 120), 7);
+    let g = Graph::from_matrix(&a).expect("square");
+    let mut group = c.benchmark_group("ablation/fm_passes");
+    for passes in [0usize, 2, 8] {
+        let cfg = PartitionConfig {
+            num_parts: 64,
+            fm_passes: passes,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(passes), &cfg, |b, cfg| {
+            b.iter(|| black_box(partition_graph(&g, cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn gp_balance_mode(c: &mut Criterion) {
+    let a = corpus::dense_rows_mix(20_000, 0.01, 3);
+    let mut group = c.benchmark_group("ablation/gp_balance");
+    for (name, weighted) in [("rows", false), ("nnz", true)] {
+        let mut gp = Gp::new(64);
+        gp.nnz_weighted = weighted;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &gp, |b, gp| {
+            b.iter(|| black_box(gp.compute(black_box(&a)).expect("square")))
+        });
+    }
+    group.finish();
+}
+
+fn gray_parameters(c: &mut Criterion) {
+    let a = corpus::dense_rows_mix(40_000, 0.01, 9);
+    let mut group = c.benchmark_group("ablation/gray_params");
+    for (bits, thresh) in [(8u32, 20usize), (16, 20), (32, 20), (16, 5), (16, 100)] {
+        let gray = Gray {
+            params: GrayParams {
+                bitmap_bits: bits,
+                dense_threshold: thresh,
+            },
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("bits{bits}_t{thresh}")),
+            &gray,
+            |b, g| b.iter(|| black_box(g.compute(black_box(&a)).expect("square"))),
+        );
+    }
+    group.finish();
+}
+
+fn cm_vs_rcm(c: &mut Criterion) {
+    let a = corpus::scramble(&corpus::banded(40_000, 4), 2);
+    let mut group = c.benchmark_group("ablation/cm_vs_rcm");
+    for (name, plain) in [("rcm", false), ("cm", true)] {
+        let alg = Rcm { plain_cm: plain };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &alg, |b, alg| {
+            b.iter(|| black_box(alg.compute(black_box(&a)).expect("square")))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the benches compare algorithms whose
+/// runtimes differ by orders of magnitude, so tight confidence
+/// intervals are unnecessary and a full `cargo bench` stays fast.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = fm_refinement, gp_balance_mode, gray_parameters, cm_vs_rcm
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Cholesky analysis benchmarks: Gilbert–Ng–Peyton column counting (the
+//! Fig. 6 workhorse) and the reference numeric factorisation, under the
+//! natural and AMD orderings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reorder::{Amd, ReorderAlgorithm};
+use std::hint::black_box;
+
+fn fill_counting(c: &mut Criterion) {
+    let a = corpus::make_spd(&corpus::mesh2d(120, 120));
+    let amd = Amd::default()
+        .compute(&a)
+        .expect("square")
+        .apply(&a)
+        .expect("apply");
+    let mut group = c.benchmark_group("cholesky/column_counts_mesh120");
+    group.bench_function("natural", |b| {
+        b.iter(|| black_box(cholesky::column_counts(black_box(&a))))
+    });
+    group.bench_function("amd", |b| {
+        b.iter(|| black_box(cholesky::column_counts(black_box(&amd))))
+    });
+    group.finish();
+}
+
+fn numeric_factor(c: &mut Criterion) {
+    let a = corpus::make_spd(&corpus::mesh2d(60, 60));
+    let mut group = c.benchmark_group("cholesky/numeric_mesh60");
+    for (name, alg) in [("natural", None), ("amd", Some(Amd::default()))] {
+        let m = match alg {
+            None => a.clone(),
+            Some(alg) => alg.compute(&a).unwrap().apply(&a).unwrap(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
+            b.iter(|| black_box(cholesky::cholesky_factor(black_box(m)).expect("SPD")))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the benches compare algorithms whose
+/// runtimes differ by orders of magnitude, so tight confidence
+/// intervals are unnecessary and a full `cargo bench` stays fast.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = fill_counting, numeric_factor
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Partitioner substrate benchmarks: multilevel graph partitioning at
+//! the k values the paper's GP uses (16..128), and the hypergraph
+//! partitioner at the HP arity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partition::{partition_graph, partition_hypergraph};
+use partition::{HypergraphPartitionConfig, PartitionConfig};
+use sparsegraph::{Graph, Hypergraph};
+use std::hint::black_box;
+
+fn graph_partitioning(c: &mut Criterion) {
+    let a = corpus::mesh2d(160, 160);
+    let g = Graph::from_matrix(&a).expect("square");
+    let mut group = c.benchmark_group("partition/graph_mesh160");
+    for k in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(partition_graph(&g, &PartitionConfig::k(k))))
+        });
+    }
+    group.finish();
+}
+
+fn hypergraph_partitioning(c: &mut Criterion) {
+    let a = corpus::scramble(&corpus::banded(8_000, 4), 5);
+    let h = Hypergraph::column_net(&a);
+    let mut group = c.benchmark_group("partition/hypergraph_band8k");
+    for k in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(partition_hypergraph(&h, &HypergraphPartitionConfig::k(k))))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the benches compare algorithms whose
+/// runtimes differ by orders of magnitude, so tight confidence
+/// intervals are unnecessary and a full `cargo bench` stays fast.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = graph_partitioning, hypergraph_partitioning
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Reordering wall-clock cost per algorithm — the Table 5 measurement.
+//! The paper's ranking (Gray fastest, RCM second, ND/HP slowest) should
+//! be visible directly in the Criterion report.
+
+use bench::bench_matrices;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reorder::all_algorithms;
+use std::hint::black_box;
+
+fn reorder_cost(c: &mut Criterion) {
+    for (mat_name, a) in bench_matrices() {
+        let mut group = c.benchmark_group(format!("reorder/{mat_name}"));
+        for alg in all_algorithms(64, 128) {
+            group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &a, |b, m| {
+                b.iter(|| black_box(alg.compute(black_box(m)).expect("square")))
+            });
+        }
+        group.finish();
+    }
+}
+
+
+/// Short measurement windows: the benches compare algorithms whose
+/// runtimes differ by orders of magnitude, so tight confidence
+/// intervals are unnecessary and a full `cargo bench` stays fast.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = reorder_cost
+}
+criterion_main!(benches);

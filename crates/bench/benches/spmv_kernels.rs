@@ -1,0 +1,75 @@
+//! Real-kernel SpMV throughput per ordering — the host-scale analogue
+//! of Figs. 2 and 3. For each fixture matrix and each ordering, both
+//! kernels run at the host's thread count; Criterion reports
+//! throughput in elements (nonzeros) per second.
+
+use bench::{bench_matrices, host_threads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reorder::all_algorithms;
+use spmv::{spmv_1d, spmv_2d, Plan1d, Plan2d};
+use std::hint::black_box;
+
+fn spmv_by_ordering(c: &mut Criterion) {
+    let threads = host_threads();
+    for (mat_name, a) in bench_matrices() {
+        let mut group = c.benchmark_group(format!("spmv/{mat_name}"));
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+
+        // Original + the six orderings.
+        let mut variants = vec![("Original".to_string(), a.clone())];
+        for alg in all_algorithms(threads.max(8), 32) {
+            let b = alg
+                .compute(&a)
+                .expect("square")
+                .apply(&a)
+                .expect("apply");
+            variants.push((alg.name().to_string(), b));
+        }
+
+        for (ord_name, b) in &variants {
+            let x: Vec<f64> = (0..b.ncols()).map(|i| (i % 31) as f64).collect();
+            let mut y = vec![0.0; b.nrows()];
+            let p1 = Plan1d::new(b, threads);
+            group.bench_with_input(
+                BenchmarkId::new("1D", ord_name),
+                b,
+                |bench, mat| {
+                    bench.iter(|| {
+                        spmv_1d(mat, &p1, black_box(&x), &mut y);
+                        black_box(&y);
+                    })
+                },
+            );
+            let p2 = Plan2d::new(b, threads);
+            group.bench_with_input(
+                BenchmarkId::new("2D", ord_name),
+                b,
+                |bench, mat| {
+                    bench.iter(|| {
+                        spmv_2d(mat, &p2, black_box(&x), &mut y);
+                        black_box(&y);
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+
+/// Short measurement windows: the benches compare algorithms whose
+/// runtimes differ by orders of magnitude, so tight confidence
+/// intervals are unnecessary and a full `cargo bench` stays fast.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = spmv_by_ordering
+}
+criterion_main!(benches);

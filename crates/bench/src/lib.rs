@@ -1,0 +1,42 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benchmarks complement the `experiments` binaries: the binaries
+//! regenerate the paper's tables/figures through the machine model,
+//! while these benches measure the *real* kernels and algorithms on the
+//! host — SpMV throughput per ordering (the Fig. 2/3 mechanism at host
+//! scale), reordering wall-clock (Table 5's ranking) and the ablation
+//! knobs called out in DESIGN.md.
+
+use sparsemat::CsrMatrix;
+
+/// A compact fixture set: one matrix per structural regime, sized for
+/// benchmarking (a few hundred thousand nonzeros).
+pub fn bench_matrices() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("mesh2d_scrambled", corpus::scramble(&corpus::mesh2d(110, 110), 1)),
+        ("rmat_powerlaw", corpus::rmat(12, 8, 2)),
+        ("band_scrambled", corpus::scramble(&corpus::banded(10_000, 4), 3)),
+    ]
+}
+
+/// Threads to use for real-kernel benches on this host.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let ms = bench_matrices();
+        assert_eq!(ms.len(), 3);
+        for (name, a) in &ms {
+            assert!(a.nnz() > 20_000, "{name} too small for benching");
+        }
+        assert!(host_threads() >= 1);
+    }
+}

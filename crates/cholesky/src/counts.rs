@@ -1,0 +1,250 @@
+//! Column counts of the Cholesky factor via the Gilbert–Ng–Peyton
+//! algorithm [13], without forming the factor.
+//!
+//! For each column `j` of `L`, the count is derived from the *skeleton*
+//! of the matrix: an entry `a_ij` (i > j) contributes to column `j`'s
+//! count only if `j` is a leaf of the row subtree of `i`, detected in
+//! near-constant time with `first`-descendant timestamps and a
+//! path-compressed least-common-ancestor structure.
+
+use crate::etree::{elimination_tree, postorder};
+use sparsemat::CsrMatrix;
+
+const NONE: usize = usize::MAX;
+
+/// Leaf classification returned by `leaf_probe`.
+enum LeafKind {
+    /// Not a leaf: no contribution.
+    NotLeaf,
+    /// First leaf of row subtree `i`.
+    First,
+    /// Subsequent leaf; the LCA with the previous leaf absorbs a count.
+    Subsequent(usize),
+}
+
+/// cs_leaf: determine whether `j` is a leaf of the row subtree of `i`,
+/// maintaining the `maxfirst`, `prevleaf` and `ancestor` structures.
+fn leaf_probe(
+    i: usize,
+    j: usize,
+    first: &[usize],
+    maxfirst: &mut [usize],
+    prevleaf: &mut [usize],
+    ancestor: &mut [usize],
+) -> LeafKind {
+    if i <= j || (maxfirst[i] != NONE && first[j] <= maxfirst[i]) {
+        return LeafKind::NotLeaf;
+    }
+    maxfirst[i] = first[j];
+    let jprev = prevleaf[i];
+    prevleaf[i] = j;
+    if jprev == NONE {
+        return LeafKind::First;
+    }
+    // Find the LCA of jprev and j with path compression.
+    let mut q = jprev;
+    while q != ancestor[q] {
+        q = ancestor[q];
+    }
+    let mut s = jprev;
+    while s != q {
+        let sp = ancestor[s];
+        ancestor[s] = q;
+        s = sp;
+    }
+    LeafKind::Subsequent(q)
+}
+
+/// Column counts of the Cholesky factor `L` of a structurally symmetric
+/// matrix (diagonal included), by Gilbert–Ng–Peyton.
+pub fn column_counts(a: &CsrMatrix) -> Vec<usize> {
+    let n = a.nrows();
+    assert!(a.is_square(), "column counts require a square matrix");
+    let parent = elimination_tree(a);
+    let post = postorder(&parent);
+
+    // first[j]: postorder index of the first descendant of j.
+    let mut first = vec![NONE; n];
+    let mut delta = vec![0i64; n];
+    for (k, &j) in post.iter().enumerate() {
+        delta[j] = if first[j] == NONE { 1 } else { 0 };
+        let mut t = j;
+        while t != NONE && first[t] == NONE {
+            first[t] = k;
+            t = parent[t];
+        }
+    }
+
+    let mut maxfirst = vec![NONE; n];
+    let mut prevleaf = vec![NONE; n];
+    let mut ancestor: Vec<usize> = (0..n).collect();
+    for &j in &post {
+        if parent[j] != NONE {
+            delta[parent[j]] -= 1;
+        }
+        // Iterate row j of A (equals column j by symmetry): entries i.
+        let (cols, _) = a.row(j);
+        for &ci in cols {
+            let i = ci as usize;
+            match leaf_probe(i, j, &first, &mut maxfirst, &mut prevleaf, &mut ancestor) {
+                LeafKind::NotLeaf => {}
+                LeafKind::First => delta[j] += 1,
+                LeafKind::Subsequent(q) => {
+                    delta[j] += 1;
+                    delta[q] -= 1;
+                }
+            }
+        }
+        if parent[j] != NONE {
+            ancestor[j] = parent[j];
+        }
+    }
+
+    // Accumulate deltas up the tree in postorder.
+    let mut counts = delta;
+    for &j in &post {
+        if parent[j] != NONE {
+            counts[parent[j]] += counts[j];
+        }
+    }
+    counts.into_iter().map(|c| c.max(1) as usize).collect()
+}
+
+/// Total number of nonzeros in the Cholesky factor `L` (diagonal
+/// included).
+pub fn nnz_of_factor(a: &CsrMatrix) -> usize {
+    column_counts(a).iter().sum()
+}
+
+/// The fill ratio `nnz(L) / nnz(A)` reported in Fig. 6 of the paper,
+/// where `nnz(A)` counts the full symmetric matrix.
+pub fn fill_ratio(a: &CsrMatrix) -> f64 {
+    nnz_of_factor(a) as f64 / a.nnz().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    fn sym(n: usize, lower: &[(usize, usize)]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+        }
+        for &(i, j) in lower {
+            coo.push_symmetric(i, j, -1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Naive symbolic factorisation oracle: column counts of L including
+    /// the diagonal.
+    fn naive_counts(a: &CsrMatrix) -> Vec<usize> {
+        let n = a.nrows();
+        let mut cols: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+        for (i, j, _) in a.iter() {
+            if i > j {
+                cols[j].insert(i);
+            }
+        }
+        for k in 0..n {
+            let below: Vec<usize> = cols[k].iter().copied().collect();
+            if let Some(&pivot) = below.first() {
+                // Column k updates column `pivot` (its etree parent):
+                // the pattern of column k (below pivot) merges in.
+                for &i in &below[1..] {
+                    cols[pivot].insert(i);
+                }
+            }
+        }
+        (0..n).map(|k| cols[k].len() + 1).collect()
+    }
+
+    #[test]
+    fn tridiagonal_has_no_fill() {
+        let a = sym(6, &[(1, 0), (2, 1), (3, 2), (4, 3), (5, 4)]);
+        let counts = column_counts(&a);
+        assert_eq!(counts, vec![2, 2, 2, 2, 2, 1]);
+        assert_eq!(nnz_of_factor(&a), 11);
+        // nnz(A) = 6 diag + 10 off = 16.
+        assert!((fill_ratio(&a) - 11.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_counts_are_one() {
+        let a = CsrMatrix::identity(5);
+        assert_eq!(column_counts(&a), vec![1; 5]);
+        assert_eq!(fill_ratio(&a), 1.0);
+    }
+
+    #[test]
+    fn known_fill_example() {
+        // Columns 0 and 1 both connected to 2 and 3 only through fill:
+        // A has entries (2,0), (3,0), (2,1): eliminating 0 creates fill
+        // (3,2)... check against the oracle.
+        let a = sym(4, &[(2, 0), (3, 0), (2, 1)]);
+        assert_eq!(column_counts(&a), naive_counts(&a));
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_grid() {
+        // 5-point Laplacian 6x6 grid.
+        let n = 6;
+        let idx = |r: usize, c: usize| r * n + c;
+        let mut lower = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if r + 1 < n {
+                    lower.push((idx(r + 1, c), idx(r, c)));
+                }
+                if c + 1 < n {
+                    lower.push((idx(r, c + 1), idx(r, c)));
+                }
+            }
+        }
+        let a = sym(n * n, &lower);
+        assert_eq!(column_counts(&a), naive_counts(&a));
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_random_symmetric() {
+        let n = 40;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+        }
+        let mut state = 12345u64;
+        for _ in 0..100 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (state >> 33) as usize % n;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % n;
+            if i != j {
+                coo.push_symmetric(i.max(j), i.min(j), -1.0);
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        assert_eq!(column_counts(&a), naive_counts(&a));
+    }
+
+    #[test]
+    fn dense_matrix_counts() {
+        let n = 8;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let counts = column_counts(&a);
+        // Dense L: column j has n - j entries.
+        let expect: Vec<usize> = (0..n).map(|j| n - j).collect();
+        assert_eq!(counts, expect);
+    }
+}

@@ -1,0 +1,160 @@
+use sparsemat::CsrMatrix;
+
+/// Compute the elimination tree of a structurally symmetric matrix
+/// (Liu's algorithm with path-compressed virtual ancestors).
+///
+/// `parent[j]` is the parent of column `j`, or `usize::MAX` for roots.
+/// Only the lower-triangular pattern is consulted, so a full symmetric
+/// CSR matrix works directly.
+pub fn elimination_tree(a: &CsrMatrix) -> Vec<usize> {
+    let n = a.nrows();
+    assert!(a.is_square(), "elimination tree requires a square matrix");
+    const NONE: usize = usize::MAX;
+    let mut parent = vec![NONE; n];
+    let mut ancestor = vec![NONE; n];
+    for k in 0..n {
+        let (cols, _) = a.row(k);
+        for &cj in cols {
+            let mut j = cj as usize;
+            if j >= k {
+                break; // row is sorted; rest is upper triangle
+            }
+            // Walk from j up to the root of its current virtual tree,
+            // compressing the path to k.
+            while j != NONE && j < k {
+                let next = ancestor[j];
+                ancestor[j] = k;
+                if next == NONE {
+                    parent[j] = k;
+                }
+                j = next;
+            }
+        }
+    }
+    parent
+}
+
+/// Compute a postorder of a forest given as a parent array.
+///
+/// Children are visited in ascending index order, making the result
+/// deterministic. Roots (`parent[j] == usize::MAX`) are processed in
+/// ascending order too.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    const NONE: usize = usize::MAX;
+    let n = parent.len();
+    // Build child lists (reverse order, then visit via stack to restore
+    // ascending order).
+    let mut first_child = vec![NONE; n];
+    let mut next_sibling = vec![NONE; n];
+    for j in (0..n).rev() {
+        let p = parent[j];
+        if p != NONE {
+            next_sibling[j] = first_child[p];
+            first_child[p] = j;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    for root in 0..n {
+        if parent[root] != NONE {
+            continue;
+        }
+        stack.push((root, false));
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                post.push(v);
+                continue;
+            }
+            stack.push((v, true));
+            // Push children (they come out in ascending order because
+            // first_child lists are built ascending and the stack holds
+            // them reversed).
+            let mut kids = Vec::new();
+            let mut c = first_child[v];
+            while c != NONE {
+                kids.push(c);
+                c = next_sibling[c];
+            }
+            for &c in kids.iter().rev() {
+                stack.push((c, false));
+            }
+        }
+    }
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    const NONE: usize = usize::MAX;
+
+    fn sym(n: usize, lower: &[(usize, usize)]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+        }
+        for &(i, j) in lower {
+            coo.push_symmetric(i, j, -1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn etree_of_tridiagonal_is_a_path() {
+        let a = sym(5, &[(1, 0), (2, 1), (3, 2), (4, 3)]);
+        let parent = elimination_tree(&a);
+        assert_eq!(parent, vec![1, 2, 3, 4, NONE]);
+    }
+
+    #[test]
+    fn etree_of_diagonal_is_forest_of_roots() {
+        let a = CsrMatrix::identity(4);
+        let parent = elimination_tree(&a);
+        assert!(parent.iter().all(|&p| p == NONE));
+    }
+
+    #[test]
+    fn etree_of_arrow_matrix() {
+        // Arrow pointing at the last column: every column's first
+        // off-diagonal connection is column n-1.
+        let a = sym(5, &[(4, 0), (4, 1), (4, 2), (4, 3)]);
+        let parent = elimination_tree(&a);
+        assert_eq!(parent, vec![4, 4, 4, 4, NONE]);
+    }
+
+    #[test]
+    fn etree_known_example() {
+        // From Davis's book style examples: entries (2,0), (3,1), (3,2):
+        // parent[0]=2, parent[2]=3, parent[1]=3.
+        let a = sym(4, &[(2, 0), (3, 1), (3, 2)]);
+        let parent = elimination_tree(&a);
+        assert_eq!(parent, vec![2, 3, 3, NONE]);
+    }
+
+    #[test]
+    fn postorder_visits_children_before_parents() {
+        let a = sym(5, &[(4, 0), (4, 1), (4, 2), (4, 3)]);
+        let parent = elimination_tree(&a);
+        let post = postorder(&parent);
+        assert_eq!(post.len(), 5);
+        let pos = |v: usize| post.iter().position(|&x| x == v).unwrap();
+        for j in 0..5 {
+            if parent[j] != NONE {
+                assert!(pos(j) < pos(parent[j]), "child {j} after its parent");
+            }
+        }
+        // Root last.
+        assert_eq!(*post.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn postorder_of_forest_covers_everything() {
+        let parent = vec![NONE, 0, 0, NONE, 3];
+        let post = postorder(&parent);
+        let mut sorted = post.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+}

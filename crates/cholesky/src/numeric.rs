@@ -1,0 +1,317 @@
+//! Reference numeric sparse Cholesky factorisation (up-looking,
+//! CSparse style).
+//!
+//! Used to cross-validate the Gilbert–Ng–Peyton counts (the factor's
+//! actual nonzero structure must match the predicted counts exactly)
+//! and to back the direct-solver example. Not performance-tuned — the
+//! study's measurements concern SpMV, not factorisation speed.
+
+use crate::counts::column_counts;
+use crate::etree::elimination_tree;
+use sparsemat::CsrMatrix;
+
+const NONE: usize = usize::MAX;
+
+/// Errors from numeric factorisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A non-positive pivot was encountered: the matrix is not positive
+    /// definite.
+    NotPositiveDefinite {
+        /// The column at which factorisation broke down.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "matrix is not square"),
+            CholeskyError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite (pivot {column})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// The lower-triangular Cholesky factor `L` in CSC form (`A = LLᵀ`).
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    /// Dimension.
+    pub n: usize,
+    /// Column pointers (`n + 1` entries).
+    pub colptr: Vec<usize>,
+    /// Row indices, ascending within each column, diagonal first.
+    pub rowidx: Vec<u32>,
+    /// Values.
+    pub values: Vec<f64>,
+}
+
+impl CholeskyFactor {
+    /// Number of stored nonzeros in `L`.
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// Solve `A x = b` via `L (Lᵀ x) = b`; returns `x`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let mut x = b.to_vec();
+        // Forward: L y = b.
+        for j in 0..self.n {
+            let lo = self.colptr[j];
+            let hi = self.colptr[j + 1];
+            x[j] /= self.values[lo]; // diagonal is first in the column
+            let xj = x[j];
+            for p in lo + 1..hi {
+                x[self.rowidx[p] as usize] -= self.values[p] * xj;
+            }
+        }
+        // Backward: Lᵀ x = y.
+        for j in (0..self.n).rev() {
+            let lo = self.colptr[j];
+            let hi = self.colptr[j + 1];
+            let mut sum = x[j];
+            for p in lo + 1..hi {
+                sum -= self.values[p] * x[self.rowidx[p] as usize];
+            }
+            x[j] = sum / self.values[lo];
+        }
+        x
+    }
+}
+
+/// Reach of row `k` in the elimination tree: the pattern of row `k` of
+/// `L` (excluding the diagonal), in topological order.
+fn ereach(a: &CsrMatrix, k: usize, parent: &[usize], mark: &mut [usize], out: &mut Vec<usize>) {
+    out.clear();
+    mark[k] = k;
+    let (cols, _) = a.row(k);
+    let mut path = Vec::new();
+    for &cj in cols {
+        let mut j = cj as usize;
+        if j >= k {
+            break;
+        }
+        path.clear();
+        while mark[j] != k {
+            path.push(j);
+            mark[j] = k;
+            j = parent[j];
+            debug_assert_ne!(j, NONE, "walk must terminate at k's subtree");
+        }
+        // Prepend the path reversed so ancestors appear later.
+        for &p in path.iter().rev() {
+            out.push(p);
+        }
+    }
+    // `out` currently holds per-path segments; a global topological
+    // order needs ancestors after descendants. Sorting by etree depth is
+    // equivalent to sorting by column index here because parent[j] > j.
+    out.sort_unstable();
+}
+
+/// Up-looking sparse Cholesky factorisation of a symmetric positive
+/// definite matrix given as a full symmetric CSR matrix.
+pub fn cholesky_factor(a: &CsrMatrix) -> Result<CholeskyFactor, CholeskyError> {
+    if !a.is_square() {
+        return Err(CholeskyError::NotSquare);
+    }
+    let n = a.nrows();
+    let parent = elimination_tree(a);
+    let counts = column_counts(a);
+    let mut colptr = Vec::with_capacity(n + 1);
+    colptr.push(0usize);
+    for j in 0..n {
+        colptr.push(colptr[j] + counts[j]);
+    }
+    let nnz = colptr[n];
+    let mut rowidx = vec![0u32; nnz];
+    let mut values = vec![0.0f64; nnz];
+    // Next free slot per column; the diagonal is written when column j
+    // is finalised, so entries start at colptr[j] + 1.
+    let mut next = vec![0usize; n];
+    let mut diag = vec![0.0f64; n];
+    for j in 0..n {
+        next[j] = colptr[j] + 1;
+        rowidx[colptr[j]] = j as u32;
+    }
+
+    let mut x = vec![0.0f64; n]; // dense scratch row
+    let mut mark = vec![NONE; n];
+    let mut pattern: Vec<usize> = Vec::new();
+    for k in 0..n {
+        ereach(a, k, &parent, &mut mark, &mut pattern);
+        // Scatter row k of A (lower triangle + diagonal).
+        let (cols, vals) = a.row(k);
+        let mut d = 0.0;
+        for (&cj, &v) in cols.iter().zip(vals.iter()) {
+            let j = cj as usize;
+            if j < k {
+                x[j] = v;
+            } else if j == k {
+                d = v;
+            }
+        }
+        // Solve the triangular system for row k of L.
+        for &j in pattern.iter() {
+            let lkj = x[j] / diag[j];
+            x[j] = 0.0;
+            // Apply column j's subdiagonal entries.
+            for p in colptr[j] + 1..next[j] {
+                x[rowidx[p] as usize] -= values[p] * lkj;
+            }
+            d -= lkj * lkj;
+            // Store L[k][j].
+            let slot = next[j];
+            debug_assert!(slot < colptr[j + 1], "column count overflow at ({k}, {j})");
+            rowidx[slot] = k as u32;
+            values[slot] = lkj;
+            next[j] += 1;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(CholeskyError::NotPositiveDefinite { column: k });
+        }
+        diag[k] = d.sqrt();
+        values[colptr[k]] = diag[k];
+    }
+    Ok(CholeskyFactor {
+        n,
+        colptr,
+        rowidx,
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::nnz_of_factor;
+    use sparsemat::CooMatrix;
+
+    /// Diagonally dominant symmetric matrix (hence SPD) from a lower
+    /// pattern.
+    fn spd(n: usize, lower: &[(usize, usize)]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        let mut degree = vec![0.0f64; n];
+        for &(i, j) in lower {
+            degree[i] += 1.0;
+            degree[j] += 1.0;
+            coo.push_symmetric(i, j, -1.0);
+        }
+        for i in 0..n {
+            coo.push(i, i, degree[i] + 1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    fn check_llt(a: &CsrMatrix, l: &CholeskyFactor) {
+        let n = a.nrows();
+        // Dense reconstruction: B = L Lᵀ.
+        let mut b = vec![vec![0.0f64; n]; n];
+        for j in 0..n {
+            for p in l.colptr[j]..l.colptr[j + 1] {
+                for q in l.colptr[j]..l.colptr[j + 1] {
+                    b[l.rowidx[p] as usize][l.rowidx[q] as usize] +=
+                        l.values[p] * l.values[q];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let want = a.get(i, j).unwrap_or(0.0);
+                assert!(
+                    (b[i][j] - want).abs() < 1e-9 * (1.0 + want.abs()),
+                    "LLᵀ mismatch at ({i},{j}): {} vs {want}",
+                    b[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factor_tridiagonal_and_reconstruct() {
+        let a = spd(6, &[(1, 0), (2, 1), (3, 2), (4, 3), (5, 4)]);
+        let l = cholesky_factor(&a).unwrap();
+        assert_eq!(l.nnz(), nnz_of_factor(&a), "counts must match the factor");
+        check_llt(&a, &l);
+    }
+
+    #[test]
+    fn factor_grid_and_reconstruct() {
+        let n = 5;
+        let idx = |r: usize, c: usize| r * n + c;
+        let mut lower = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if r + 1 < n {
+                    lower.push((idx(r + 1, c), idx(r, c)));
+                }
+                if c + 1 < n {
+                    lower.push((idx(r, c + 1), idx(r, c)));
+                }
+            }
+        }
+        let a = spd(n * n, &lower);
+        let l = cholesky_factor(&a).unwrap();
+        assert_eq!(l.nnz(), nnz_of_factor(&a));
+        check_llt(&a, &l);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(8, &[(1, 0), (2, 1), (3, 2), (4, 3), (5, 4), (6, 5), (7, 6), (7, 0)]);
+        let l = cholesky_factor(&a).unwrap();
+        let x_true: Vec<f64> = (0..8).map(|i| (i as f64 + 1.0) * 0.5).collect();
+        let b = a.spmv_dense(&x_true);
+        let x = l.solve(&b);
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push_symmetric(1, 0, 5.0); // off-diagonal dominates
+        coo.push(1, 1, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let err = cholesky_factor(&a).unwrap_err();
+        assert!(matches!(err, CholeskyError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = CsrMatrix::from_coo(&CooMatrix::new(2, 3));
+        assert_eq!(cholesky_factor(&a).unwrap_err(), CholeskyError::NotSquare);
+    }
+
+    #[test]
+    fn factor_matches_counts_on_denser_pattern() {
+        let a = spd(
+            10,
+            &[
+                (3, 0),
+                (4, 1),
+                (5, 2),
+                (6, 3),
+                (7, 4),
+                (8, 5),
+                (9, 6),
+                (9, 0),
+                (8, 1),
+                (7, 2),
+                (6, 1),
+                (5, 0),
+            ],
+        );
+        let l = cholesky_factor(&a).unwrap();
+        assert_eq!(l.nnz(), nnz_of_factor(&a));
+        check_llt(&a, &l);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based validation of the Cholesky analysis machinery.
+//!
+//! The Gilbert–Ng–Peyton counts are checked against a naive symbolic
+//! factorisation oracle, and the numeric factor's structure must match
+//! the predicted counts exactly.
+
+use cholesky::{cholesky_factor, column_counts, elimination_tree, nnz_of_factor, postorder};
+use proptest::prelude::*;
+use sparsemat::{CooMatrix, CsrMatrix};
+
+/// Random symmetric matrix with full diagonal.
+fn sym_strategy() -> impl Strategy<Value = CsrMatrix> {
+    (3usize..40, proptest::collection::vec((0usize..1600, 0usize..1600), 0..120)).prop_map(
+        |(n, pairs)| {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 8.0);
+            }
+            for (a, b) in pairs {
+                let (i, j) = (a % n, b % n);
+                if i != j {
+                    coo.push_symmetric(i.max(j), i.min(j), -1.0);
+                }
+            }
+            CsrMatrix::from_coo(&coo)
+        },
+    )
+}
+
+/// Naive symbolic factorisation: column counts of L incl. diagonal.
+fn naive_counts(a: &CsrMatrix) -> Vec<usize> {
+    let n = a.nrows();
+    let mut cols: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+    for (i, j, _) in a.iter() {
+        if i > j {
+            cols[j].insert(i);
+        }
+    }
+    for k in 0..n {
+        let below: Vec<usize> = cols[k].iter().copied().collect();
+        if let Some(&pivot) = below.first() {
+            for &i in &below[1..] {
+                cols[pivot].insert(i);
+            }
+        }
+    }
+    (0..n).map(|k| cols[k].len() + 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gnp_counts_match_oracle(a in sym_strategy()) {
+        prop_assert_eq!(column_counts(&a), naive_counts(&a));
+    }
+
+    #[test]
+    fn etree_parents_are_larger(a in sym_strategy()) {
+        let parent = elimination_tree(&a);
+        for (j, &p) in parent.iter().enumerate() {
+            if p != usize::MAX {
+                prop_assert!(p > j, "etree parent {p} <= child {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_is_topological(a in sym_strategy()) {
+        let parent = elimination_tree(&a);
+        let post = postorder(&parent);
+        prop_assert_eq!(post.len(), a.nrows());
+        let mut pos = vec![0usize; post.len()];
+        for (k, &v) in post.iter().enumerate() {
+            pos[v] = k;
+        }
+        for (j, &p) in parent.iter().enumerate() {
+            if p != usize::MAX {
+                prop_assert!(pos[j] < pos[p], "child {j} after parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_factor_structure_matches_counts(a in sym_strategy()) {
+        // The strategy's matrices are strictly diagonally dominant
+        // only if degree < 8; enforce by boosting the diagonal.
+        let mut spd = a.clone();
+        let n = spd.nrows();
+        let mut row_off = vec![0.0f64; n];
+        for (i, j, v) in a.iter() {
+            if i != j {
+                row_off[i] += v.abs();
+            }
+        }
+        // Rebuild with a dominant diagonal.
+        let mut coo = CooMatrix::new(n, n);
+        for (i, j, v) in a.iter() {
+            if i != j {
+                coo.push(i, j, v);
+            }
+        }
+        for i in 0..n {
+            coo.push(i, i, row_off[i] + 1.0);
+        }
+        spd = CsrMatrix::from_coo(&coo);
+        let l = cholesky_factor(&spd).expect("diagonally dominant is SPD");
+        prop_assert_eq!(l.nnz(), nnz_of_factor(&spd));
+        // Solve a random system and verify the residual.
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b = spd.spmv_dense(&x_true);
+        let x = l.solve(&b);
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-7, "solve mismatch at {i}");
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Structural matrix generators, one per application family of the
+//! SuiteSparse collection as characterised in the paper.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sparsemat::{CooMatrix, CsrMatrix, Permutation};
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// 5-point Laplacian on an `nx × ny` grid — the classic 2D FEM/stencil
+/// matrix (solid mechanics, heat equations). Naturally well-ordered:
+/// bandwidth `nx`.
+pub fn mesh2d(nx: usize, ny: usize) -> CsrMatrix {
+    let idx = |x: usize, y: usize| y * nx + x;
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, 4.0);
+            if x + 1 < nx {
+                coo.push_symmetric(i, idx(x + 1, y), -1.0);
+            }
+            if y + 1 < ny {
+                coo.push_symmetric(i, idx(x, y + 1), -1.0);
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// 7-point Laplacian on an `nx × ny × nz` grid — 3D mechanics/CFD
+/// (`Flan_1565`-like structure).
+pub fn mesh3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let n = nx * ny * nz;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                coo.push(i, i, 6.0);
+                if x + 1 < nx {
+                    coo.push_symmetric(i, idx(x + 1, y, z), -1.0);
+                }
+                if y + 1 < ny {
+                    coo.push_symmetric(i, idx(x, y + 1, z), -1.0);
+                }
+                if z + 1 < nz {
+                    coo.push_symmetric(i, idx(x, y, z + 1), -1.0);
+                }
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Symmetric banded matrix of half-bandwidth `half_bw` — 1D mechanics
+/// chains and higher-order stencils.
+pub fn banded(n: usize, half_bw: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::with_capacity(n, n, n * (2 * half_bw + 1));
+    for i in 0..n {
+        coo.push(i, i, 2.0 * (half_bw as f64 + 1.0));
+        for d in 1..=half_bw {
+            if i + d < n {
+                coo.push_symmetric(i, i + d, -1.0);
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Symmetric Erdős–Rényi random matrix with ~`avg_deg` off-diagonals
+/// per row — optimisation / KKT-like unstructured coupling. No
+/// exploitable locality in any order.
+pub fn random_er(n: usize, avg_deg: usize, seed: u64) -> CsrMatrix {
+    let mut r = rng(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * (avg_deg + 1));
+    for i in 0..n {
+        coo.push(i, i, avg_deg as f64 + 1.0);
+    }
+    let edges = n * avg_deg / 2;
+    for _ in 0..edges {
+        let i = r.gen_range(0..n);
+        let j = r.gen_range(0..n);
+        if i != j {
+            coo.push_symmetric(i.max(j), i.min(j), -1.0);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// R-MAT power-law graph (a=0.57, b=0.19, c=0.19, d=0.05, the Graph500
+/// parameters) — social networks and web graphs (`com-Amazon`,
+/// `kron_g500`-like). Heavy-tailed degrees: a few extremely dense rows.
+pub fn rmat(scale: u32, avg_deg: usize, seed: u64) -> CsrMatrix {
+    let n = 1usize << scale;
+    let mut r = rng(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * (avg_deg + 1));
+    for i in 0..n {
+        coo.push(i, i, 1.0);
+    }
+    let edges = n * avg_deg / 2;
+    for _ in 0..edges {
+        let (mut lo_i, mut hi_i) = (0usize, n);
+        let (mut lo_j, mut hi_j) = (0usize, n);
+        while hi_i - lo_i > 1 {
+            let p: f64 = r.gen();
+            let (down, right) = if p < 0.57 {
+                (false, false)
+            } else if p < 0.76 {
+                (false, true)
+            } else if p < 0.95 {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let mid_i = (lo_i + hi_i) / 2;
+            let mid_j = (lo_j + hi_j) / 2;
+            if down {
+                lo_i = mid_i;
+            } else {
+                hi_i = mid_i;
+            }
+            if right {
+                lo_j = mid_j;
+            } else {
+                hi_j = mid_j;
+            }
+        }
+        if lo_i != lo_j {
+            coo.push_symmetric(lo_i, lo_j, 1.0);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// de Bruijn-style genome assembly graph stand-in (`kmer_V1r`-like):
+/// every vertex has at most 4 pseudo-random successors (the 4 possible
+/// nucleotide extensions), giving a sparse, enormous-diameter,
+/// locality-free pattern.
+pub fn genome(n: usize, seed: u64) -> CsrMatrix {
+    let mut r = rng(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for i in 0..n {
+        coo.push(i, i, 1.0);
+        let succ = r.gen_range(1..=2usize);
+        for _ in 0..succ {
+            // Multiplicative hashing scatters successors uniformly —
+            // exactly the "random" adjacency a k-mer numbering induces.
+            let j = (i
+                .wrapping_mul(0x9E3779B97F4A7C15usize % n.max(2))
+                .wrapping_add(r.gen_range(0..n)))
+                % n;
+            if i != j {
+                coo.push_symmetric(i.max(j), i.min(j), 1.0);
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Road-network stand-in (`europe_osm`-like): a sparse near-planar grid
+/// with many deleted edges and degree ≈ 2–3, long diameter.
+pub fn road(nx: usize, ny: usize, seed: u64) -> CsrMatrix {
+    let mut r = rng(seed);
+    let idx = |x: usize, y: usize| y * nx + x;
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 4 * n);
+    for i in 0..n {
+        coo.push(i, i, 1.0);
+    }
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            if x + 1 < nx && r.gen_bool(0.75) {
+                coo.push_symmetric(i, idx(x + 1, y), 1.0);
+            }
+            if y + 1 < ny && r.gen_bool(0.75) {
+                coo.push_symmetric(i, idx(x, y + 1), 1.0);
+            }
+            // Occasional highway shortcut.
+            if r.gen_bool(0.002) {
+                let j = r.gen_range(0..n);
+                if i != j {
+                    coo.push_symmetric(i.max(j), i.min(j), 1.0);
+                }
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Circuit-simulation stand-in (`Freescale2`-like): strong diagonal,
+/// short-range couplings, plus a few dense rows/columns (power and
+/// ground nets touching a large fraction of the circuit).
+pub fn circuit(n: usize, seed: u64) -> CsrMatrix {
+    let mut r = rng(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, 6 * n);
+    for i in 0..n {
+        coo.push(i, i, 8.0);
+        // Local couplings within a neighbourhood window.
+        for _ in 0..2 {
+            let off = r.gen_range(1..30usize);
+            if i + off < n {
+                coo.push_symmetric(i, i + off, -1.0);
+            }
+        }
+        // Sparse long-range couplings.
+        if r.gen_bool(0.1) {
+            let j = r.gen_range(0..n);
+            if i != j {
+                coo.push_symmetric(i.max(j), i.min(j), -0.5);
+            }
+        }
+    }
+    // Dense nets: a handful of rows touching ~2 % of the circuit each.
+    let nets = (n / 2000).clamp(2, 8);
+    for k in 0..nets {
+        let hub = r.gen_range(0..n);
+        let fanout = n / 50;
+        for _ in 0..fanout {
+            let j = r.gen_range(0..n);
+            if hub != j {
+                coo.push_symmetric(hub.max(j), hub.min(j), -0.25);
+            }
+        }
+        let _ = k;
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Block-diagonal multiphysics stand-in: `nblocks` dense-ish diagonal
+/// blocks of size `bs` with sparse inter-block coupling.
+pub fn block_diag(nblocks: usize, bs: usize, seed: u64) -> CsrMatrix {
+    let mut r = rng(seed);
+    let n = nblocks * bs;
+    let mut coo = CooMatrix::with_capacity(n, n, n * bs / 2);
+    for b in 0..nblocks {
+        let base = b * bs;
+        for i in 0..bs {
+            coo.push(base + i, base + i, bs as f64);
+            for j in (i + 1)..bs {
+                if r.gen_bool(0.4) {
+                    coo.push_symmetric(base + i, base + j, -1.0);
+                }
+            }
+        }
+        // Couple to the next block sparsely.
+        if b + 1 < nblocks {
+            for _ in 0..bs / 4 {
+                let i = base + r.gen_range(0..bs);
+                let j = base + bs + r.gen_range(0..bs);
+                coo.push_symmetric(j, i, -0.5);
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Mixed-density matrix: mostly 2–4 nnz rows with a small fraction of
+/// very heavy rows — the pattern that provokes 1D load imbalance
+/// (Fig. 4's Class 5) and exercises Gray's dense/sparse split.
+pub fn dense_rows_mix(n: usize, heavy_fraction: f64, seed: u64) -> CsrMatrix {
+    let mut r = rng(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, 4 * n);
+    for i in 0..n {
+        coo.push(i, i, 4.0);
+        if r.gen_bool(heavy_fraction) {
+            // Heavy row: ~n/100 entries scattered everywhere.
+            for _ in 0..(n / 100).max(30) {
+                let j = r.gen_range(0..n);
+                if i != j {
+                    coo.push(i, j, -0.1);
+                }
+            }
+        } else {
+            for _ in 0..2 {
+                let j = r.gen_range(0..n);
+                if i != j {
+                    coo.push(i, j, -1.0);
+                }
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Dense tall-and-skinny matrix stored as CSR — the §4.2 bandwidth
+/// reference (the paper uses 96 000 × 4 000; callers scale as needed).
+pub fn tall_dense(rows: usize, cols: usize) -> CsrMatrix {
+    let mut rowptr = Vec::with_capacity(rows + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::with_capacity(rows * cols);
+    let mut values = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            colidx.push(j as u32);
+            values.push(((i + j) % 7) as f64 + 1.0);
+        }
+        rowptr.push(colidx.len());
+    }
+    CsrMatrix::from_parts_unchecked(rows, cols, rowptr, colidx, values)
+}
+
+/// Apply a random symmetric permutation, destroying whatever locality
+/// the natural order had. This models SuiteSparse matrices whose stored
+/// order reflects application construction order rather than locality.
+pub fn scramble(a: &CsrMatrix, seed: u64) -> CsrMatrix {
+    let n = a.nrows();
+    let mut r = rng(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = r.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let p = Permutation::from_new_to_old(order).expect("shuffle is a permutation");
+    a.permute_symmetric(&p).expect("corpus matrices are square")
+}
+
+/// Add `fraction * nnz` random symmetric off-diagonal entries.
+///
+/// Real application matrices are rarely pure stencils: FEM constraint
+/// couplings, circuit supply nets and contact conditions add stray
+/// long-range entries. These matter for reordering studies because a
+/// handful of long edges inflate *max*-type features (bandwidth) that
+/// RCM optimises while leaving *sum*-type features (edge-cut, profile)
+/// that GP/HP optimise nearly unchanged.
+pub fn with_random_edges(a: &CsrMatrix, fraction: f64, seed: u64) -> CsrMatrix {
+    let n = a.nrows();
+    let extra = ((a.nnz() as f64 * fraction) / 2.0).ceil() as usize;
+    let mut r = rng(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, a.nnz() + 2 * extra);
+    for (i, j, v) in a.iter() {
+        coo.push(i, j, v);
+    }
+    for _ in 0..extra {
+        let i = r.gen_range(0..n);
+        let j = r.gen_range(0..n);
+        if i != j {
+            coo.push_symmetric(i.max(j), i.min(j), -0.01);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Apply a *partial* symmetric permutation: `fraction` of the rows are
+/// involved in random swaps, the rest keep their natural positions.
+/// This models the common SuiteSparse situation of an application order
+/// that is decent but not optimal — the regime where the paper's
+/// typical speedups (0.5–1.5×) live.
+pub fn partial_scramble(a: &CsrMatrix, fraction: f64, seed: u64) -> CsrMatrix {
+    let n = a.nrows();
+    let mut r = rng(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let swaps = ((n as f64 * fraction) / 2.0) as usize;
+    for _ in 0..swaps {
+        let i = r.gen_range(0..n);
+        let j = r.gen_range(0..n);
+        order.swap(i, j);
+    }
+    let p = Permutation::from_new_to_old(order).expect("swaps preserve permutation");
+    a.permute_symmetric(&p).expect("corpus matrices are square")
+}
+
+/// Make a symmetric matrix symmetric positive definite by resetting the
+/// diagonal to (weighted degree + 1) — strict diagonal dominance.
+pub fn make_spd(a: &CsrMatrix) -> CsrMatrix {
+    let n = a.nrows();
+    let mut coo = CooMatrix::with_capacity(n, n, a.nnz() + n);
+    let mut offdiag_abs = vec![0.0f64; n];
+    for (i, j, v) in a.iter() {
+        if i != j {
+            coo.push(i, j, v);
+            offdiag_abs[i] += v.abs();
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, offdiag_abs[i] + 1.0);
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::is_structurally_symmetric;
+
+    #[test]
+    fn mesh2d_structure() {
+        let a = mesh2d(10, 8);
+        assert_eq!(a.nrows(), 80);
+        assert!(is_structurally_symmetric(&a));
+        // Interior vertex has 5 entries (diag + 4 neighbours).
+        assert_eq!(a.row_nnz(10 + 5), 5);
+        // Corner has 3.
+        assert_eq!(a.row_nnz(0), 3);
+    }
+
+    #[test]
+    fn mesh3d_structure() {
+        let a = mesh3d(5, 5, 5);
+        assert_eq!(a.nrows(), 125);
+        assert!(is_structurally_symmetric(&a));
+        let center = (2 * 5 + 2) * 5 + 2;
+        assert_eq!(a.row_nnz(center), 7);
+    }
+
+    #[test]
+    fn banded_has_expected_bandwidth() {
+        let a = banded(50, 3);
+        assert!(is_structurally_symmetric(&a));
+        for (i, j, _) in a.iter() {
+            assert!(i.abs_diff(j) <= 3);
+        }
+    }
+
+    #[test]
+    fn rmat_has_heavy_tail() {
+        let a = rmat(10, 8, 1); // 1024 vertices
+        assert!(is_structurally_symmetric(&a));
+        let max_deg = (0..a.nrows()).map(|i| a.row_nnz(i)).max().unwrap();
+        let avg_deg = a.nnz() / a.nrows();
+        assert!(
+            max_deg > 6 * avg_deg,
+            "R-MAT should be heavy-tailed: max {max_deg}, avg {avg_deg}"
+        );
+    }
+
+    #[test]
+    fn genome_is_sparse_with_low_degree() {
+        let a = genome(2000, 3);
+        assert!(is_structurally_symmetric(&a));
+        let avg = a.nnz() as f64 / a.nrows() as f64;
+        assert!(avg < 8.0, "genome graphs are very sparse: {avg}");
+    }
+
+    #[test]
+    fn circuit_has_dense_nets() {
+        let a = circuit(4000, 5);
+        assert!(is_structurally_symmetric(&a));
+        let max_deg = (0..a.nrows()).map(|i| a.row_nnz(i)).max().unwrap();
+        assert!(max_deg > 50, "circuit should have dense nets: {max_deg}");
+    }
+
+    #[test]
+    fn road_is_sparse_long_diameter() {
+        let a = road(40, 40, 7);
+        assert!(is_structurally_symmetric(&a));
+        let avg = a.nnz() as f64 / a.nrows() as f64;
+        assert!(avg < 5.0);
+    }
+
+    #[test]
+    fn dense_rows_mix_is_imbalanced() {
+        let a = dense_rows_mix(3000, 0.01, 11);
+        let max_deg = (0..a.nrows()).map(|i| a.row_nnz(i)).max().unwrap();
+        assert!(max_deg >= 30);
+    }
+
+    #[test]
+    fn scramble_preserves_nnz_and_symmetry() {
+        let a = mesh2d(12, 12);
+        let s = scramble(&a, 42);
+        assert_eq!(s.nnz(), a.nnz());
+        assert!(is_structurally_symmetric(&s));
+        assert_ne!(s, a);
+        // Deterministic.
+        assert_eq!(scramble(&a, 42), s);
+    }
+
+    #[test]
+    fn make_spd_is_diagonally_dominant() {
+        let a = scramble(&mesh2d(8, 8), 1);
+        let spd = make_spd(&a);
+        for i in 0..spd.nrows() {
+            let (cols, vals) = spd.row(i);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                if c as usize == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "row {i} not dominant: {diag} vs {off}");
+        }
+        // Actually factorisable.
+        assert!(cholesky_smoke(&spd));
+    }
+
+    fn cholesky_smoke(a: &CsrMatrix) -> bool {
+        // Dense LLᵀ check on small matrices only.
+        let n = a.nrows();
+        let mut m = vec![vec![0.0f64; n]; n];
+        for (i, j, v) in a.iter() {
+            m[i][j] = v;
+        }
+        for k in 0..n {
+            if m[k][k] <= 0.0 {
+                return false;
+            }
+            m[k][k] = m[k][k].sqrt();
+            for i in k + 1..n {
+                m[i][k] /= m[k][k];
+            }
+            for j in k + 1..n {
+                for i in j..n {
+                    m[i][j] -= m[i][k] * m[j][k];
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn tall_dense_shape() {
+        let a = tall_dense(100, 40);
+        assert_eq!(a.nrows(), 100);
+        assert_eq!(a.ncols(), 40);
+        assert_eq!(a.nnz(), 4000);
+    }
+
+    #[test]
+    fn block_diag_structure() {
+        let a = block_diag(5, 20, 9);
+        assert_eq!(a.nrows(), 100);
+        assert!(is_structurally_symmetric(&a));
+        // Most nonzeros should be inside diagonal blocks.
+        let inside = a.iter().filter(|&(i, j, _)| i / 20 == j / 20).count();
+        assert!(inside as f64 > 0.7 * a.nnz() as f64);
+    }
+}

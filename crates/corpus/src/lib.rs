@@ -1,0 +1,31 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Synthetic matrix corpus — the stand-in for the 490 SuiteSparse
+//! matrices of the study.
+//!
+//! The paper's dataset spans meshes from solid/fluid mechanics,
+//! semiconductor and circuit problems, road networks, genome assembly
+//! graphs, social/web graphs and optimisation problems. Each generator
+//! here reproduces the *structural* signature of one of those families
+//! — degree distribution, diameter, bandwidth/locality of the natural
+//! order, presence of dense rows — because those are what determine how
+//! a matrix responds to reordering.
+//!
+//! Matrices are generated from deterministic seeds, so the whole corpus
+//! is bit-reproducible. Most families are emitted in a *scrambled*
+//! order (a random symmetric permutation of the natural ordering): the
+//! SuiteSparse collection stores matrices in whatever order the
+//! application produced, which is usually neither optimal nor random;
+//! scrambling gives the reorderings the same kind of recoverable
+//! structure the paper's speedups (up to 40×) demonstrate, while the
+//! non-scrambled variants reproduce the "already well ordered" cases
+//! where reordering is useless or harmful (§1's challenges).
+
+mod families;
+mod spec;
+
+pub use families::*;
+pub use spec::{
+    class_representatives, fig1_matrices, overhead_matrices, spd_corpus, standard_corpus,
+    CorpusSize, MatrixSpec,
+};

@@ -1,0 +1,770 @@
+use crate::families;
+use sparsemat::CsrMatrix;
+
+/// Corpus scale. `Small` keeps the full pipeline in seconds (tests,
+/// smoke runs); `Medium` is the default experiment scale; `Large`
+/// approaches the paper's smallest matrices and is used for the
+/// overhead table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusSize {
+    /// ~1–4 k rows per matrix.
+    Small,
+    /// ~10–40 k rows per matrix.
+    Medium,
+    /// ~60–250 k rows per matrix.
+    Large,
+}
+
+/// How much the stored ordering deviates from the generator's natural
+/// order. Real SuiteSparse matrices span this whole range: some arrive
+/// in near-optimal application order, some in essentially arbitrary
+/// construction order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OrderNoise {
+    /// Natural generator order (already well ordered).
+    Natural,
+    /// Partially degraded: the given fraction of rows swapped randomly.
+    Partial(f64),
+    /// Fully random symmetric permutation.
+    Scrambled,
+}
+
+/// A generator recipe for one corpus matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Generator {
+    /// 2D 5-point mesh.
+    Mesh2d { nx: usize, ny: usize },
+    /// 3D 7-point mesh.
+    Mesh3d { nx: usize, ny: usize, nz: usize },
+    /// Symmetric band.
+    Banded { n: usize, half_bw: usize },
+    /// Erdős–Rényi random.
+    RandomEr { n: usize, avg_deg: usize },
+    /// R-MAT power-law graph.
+    Rmat { scale: u32, avg_deg: usize },
+    /// Genome / de Bruijn-like.
+    Genome { n: usize },
+    /// Road network.
+    Road { nx: usize, ny: usize },
+    /// Circuit with dense nets.
+    Circuit { n: usize },
+    /// Block-diagonal multiphysics.
+    BlockDiag { nblocks: usize, bs: usize },
+    /// Mixed sparse/dense rows.
+    DenseRowsMix { n: usize, heavy: f64 },
+    /// Dense tall-skinny reference.
+    TallDense { rows: usize, cols: usize },
+}
+
+/// A named, reproducible corpus matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSpec {
+    /// Display name (mimicking SuiteSparse `group/name` style).
+    pub name: String,
+    /// Structural family group.
+    pub group: String,
+    /// The generator recipe.
+    pub generator: Generator,
+    /// Ordering degradation applied to the natural order.
+    pub noise: OrderNoise,
+    /// Whether to post-process into a symmetric positive definite
+    /// matrix (for the Cholesky study).
+    pub spd: bool,
+    /// Fraction of random stray entries added (models constraint
+    /// couplings and supply nets in real application matrices).
+    pub extra_edges: f64,
+    /// Seed for generator and scramble randomness.
+    pub seed: u64,
+}
+
+impl MatrixSpec {
+    /// Generate the matrix.
+    pub fn build(&self) -> CsrMatrix {
+        let base = match self.generator {
+            Generator::Mesh2d { nx, ny } => families::mesh2d(nx, ny),
+            Generator::Mesh3d { nx, ny, nz } => families::mesh3d(nx, ny, nz),
+            Generator::Banded { n, half_bw } => families::banded(n, half_bw),
+            Generator::RandomEr { n, avg_deg } => families::random_er(n, avg_deg, self.seed),
+            Generator::Rmat { scale, avg_deg } => families::rmat(scale, avg_deg, self.seed),
+            Generator::Genome { n } => families::genome(n, self.seed),
+            Generator::Road { nx, ny } => families::road(nx, ny, self.seed),
+            Generator::Circuit { n } => families::circuit(n, self.seed),
+            Generator::BlockDiag { nblocks, bs } => {
+                families::block_diag(nblocks, bs, self.seed)
+            }
+            Generator::DenseRowsMix { n, heavy } => {
+                families::dense_rows_mix(n, heavy, self.seed)
+            }
+            Generator::TallDense { rows, cols } => families::tall_dense(rows, cols),
+        };
+        let base = if self.extra_edges > 0.0 {
+            families::with_random_edges(&base, self.extra_edges, self.seed ^ 0x077E_D6E5)
+        } else {
+            base
+        };
+        let base = if self.spd { families::make_spd(&base) } else { base };
+        match self.noise {
+            OrderNoise::Natural => base,
+            OrderNoise::Partial(f) => {
+                families::partial_scramble(&base, f, self.seed ^ 0x9A27_11D3)
+            }
+            OrderNoise::Scrambled => families::scramble(&base, self.seed ^ 0x5C7A_9B1E),
+        }
+    }
+}
+
+/// Size multiplier per corpus scale.
+fn dim(size: CorpusSize, small: usize, medium: usize, large: usize) -> usize {
+    match size {
+        CorpusSize::Small => small,
+        CorpusSize::Medium => medium,
+        CorpusSize::Large => large,
+    }
+}
+
+fn spec(
+    name: &str,
+    group: &str,
+    generator: Generator,
+    noise: OrderNoise,
+    seed: u64,
+) -> MatrixSpec {
+    MatrixSpec {
+        name: name.to_string(),
+        group: group.to_string(),
+        generator,
+        noise,
+        spd: false,
+        extra_edges: 0.0,
+        seed,
+    }
+}
+
+/// Like [`spec`], with stray random entries added (see
+/// [`families::with_random_edges`]).
+fn spec_perturbed(
+    name: &str,
+    group: &str,
+    generator: Generator,
+    noise: OrderNoise,
+    extra_edges: f64,
+    seed: u64,
+) -> MatrixSpec {
+    MatrixSpec {
+        extra_edges,
+        ..spec(name, group, generator, noise, seed)
+    }
+}
+
+/// The standard mixed corpus: the stand-in for the 490-matrix
+/// SuiteSparse selection.
+///
+/// The mixture mirrors the collection's composition: most matrices are
+/// in decent (natural or mildly degraded) application order, a minority
+/// arrive essentially unordered, and the structural families range from
+/// meshes (reordering-friendly) to power-law graphs (reordering-hostile).
+pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
+    use Generator as G;
+    use OrderNoise::*;
+    let s = size;
+    let mesh = dim(s, 45, 220, 500);
+    let mesh3 = dim(s, 13, 36, 62);
+    let nn = dim(s, 2000, 50_000, 200_000);
+    let rmat_scale = match s {
+        CorpusSize::Small => 11,
+        CorpusSize::Medium => 15,
+        CorpusSize::Large => 17,
+    };
+    vec![
+        // Meshes: mostly well ordered, one construction-order mess.
+        spec("mesh2d_a", "FEM", G::Mesh2d { nx: mesh, ny: mesh }, Natural, 100),
+        spec_perturbed(
+            "mesh2d_b",
+            "FEM",
+            G::Mesh2d { nx: 2 * mesh, ny: mesh / 2 },
+            Natural,
+            0.01,
+            101,
+        ),
+        spec_perturbed(
+            "mesh2d_partial",
+            "FEM",
+            G::Mesh2d { nx: mesh, ny: mesh },
+            Partial(0.3),
+            0.02,
+            102,
+        ),
+        spec_perturbed(
+            "mesh2d_scrambled",
+            "FEM",
+            G::Mesh2d { nx: mesh, ny: mesh },
+            Scrambled,
+            0.02,
+            103,
+        ),
+        spec(
+            "mesh3d_a",
+            "FEM",
+            G::Mesh3d { nx: mesh3, ny: mesh3, nz: mesh3 },
+            Natural,
+            104,
+        ),
+        spec_perturbed(
+            "mesh3d_partial",
+            "FEM",
+            G::Mesh3d { nx: mesh3, ny: mesh3, nz: mesh3 },
+            Partial(0.4),
+            0.02,
+            105,
+        ),
+        // Bands.
+        spec(
+            "band_narrow",
+            "Mechanics",
+            G::Banded { n: nn, half_bw: 2 },
+            Natural,
+            106,
+        ),
+        spec_perturbed(
+            "band_wide_partial",
+            "Mechanics",
+            G::Banded { n: nn * 3 / 4, half_bw: 8 },
+            Partial(0.3),
+            0.02,
+            107,
+        ),
+        spec_perturbed(
+            "band_scrambled",
+            "Mechanics",
+            G::Banded { n: nn, half_bw: 4 },
+            Scrambled,
+            0.02,
+            108,
+        ),
+        // Random / optimisation (no exploitable order in any case).
+        spec(
+            "random_er_d4",
+            "Optimization",
+            G::RandomEr { n: nn * 3 / 4, avg_deg: 4 },
+            Natural,
+            110,
+        ),
+        spec(
+            "random_er_d8",
+            "Optimization",
+            G::RandomEr { n: nn * 3 / 4, avg_deg: 8 },
+            Natural,
+            111,
+        ),
+        spec(
+            "random_er_d16",
+            "Optimization",
+            G::RandomEr { n: nn / 2, avg_deg: 16 },
+            Natural,
+            112,
+        ),
+        // Power-law graphs.
+        spec(
+            "rmat_d8",
+            "SNAP",
+            G::Rmat { scale: rmat_scale, avg_deg: 8 },
+            Natural,
+            120,
+        ),
+        spec(
+            "rmat_d16",
+            "SNAP",
+            G::Rmat { scale: rmat_scale, avg_deg: 16 },
+            Natural,
+            121,
+        ),
+        spec(
+            "rmat_big",
+            "SNAP",
+            G::Rmat { scale: rmat_scale + 1, avg_deg: 8 },
+            Natural,
+            122,
+        ),
+        // Genome graphs.
+        spec("genome_a", "GenBank", G::Genome { n: nn * 3 / 2 }, Natural, 130),
+        spec("genome_b", "GenBank", G::Genome { n: nn }, Natural, 131),
+        // Road networks.
+        spec(
+            "road_a",
+            "DIMACS10",
+            G::Road { nx: mesh, ny: mesh },
+            Natural,
+            140,
+        ),
+        spec(
+            "road_partial",
+            "DIMACS10",
+            G::Road { nx: mesh, ny: mesh },
+            Partial(0.5),
+            141,
+        ),
+        // Circuits.
+        spec("circuit_a", "Freescale", G::Circuit { n: nn * 3 / 2 }, Natural, 150),
+        spec(
+            "circuit_partial",
+            "Freescale",
+            G::Circuit { n: nn },
+            Partial(0.4),
+            151,
+        ),
+        // Block-structured multiphysics.
+        spec(
+            "blocks_a",
+            "Multiphysics",
+            G::BlockDiag { nblocks: nn / 50, bs: 24 },
+            Natural,
+            160,
+        ),
+        spec_perturbed(
+            "blocks_scrambled",
+            "Multiphysics",
+            G::BlockDiag { nblocks: nn / 50, bs: 24 },
+            Scrambled,
+            0.01,
+            161,
+        ),
+        // Ordering-insensitive matrices: small enough that every order
+        // fits in (scaled) last-level cache, or so irregular that no
+        // order helps. The real collection is full of both kinds — they
+        // are what pins the paper's medians near 1.0.
+        spec(
+            "mesh2d_small(HV15R-regime)",
+            "Fluid",
+            G::Mesh2d { nx: mesh / 3, ny: mesh / 3 },
+            Natural,
+            180,
+        ),
+        spec(
+            "mesh3d_small",
+            "Fluid",
+            G::Mesh3d { nx: mesh3 / 2, ny: mesh3 / 2, nz: mesh3 / 2 },
+            Natural,
+            181,
+        ),
+        spec(
+            "circuit_small",
+            "Freescale",
+            G::Circuit { n: nn / 6 },
+            Natural,
+            182,
+        ),
+        spec(
+            "rmat_d6",
+            "SNAP",
+            G::Rmat { scale: rmat_scale, avg_deg: 6 },
+            Natural,
+            183,
+        ),
+        spec("genome_c", "GenBank", G::Genome { n: nn / 2 }, Natural, 184),
+        spec(
+            "random_er_d12",
+            "Optimization",
+            G::RandomEr { n: nn / 2, avg_deg: 12 },
+            Natural,
+            185,
+        ),
+        // Imbalance-provoking mixes.
+        spec(
+            "mixed_density",
+            "PowerSystem",
+            G::DenseRowsMix { n: nn, heavy: 0.01 },
+            Natural,
+            170,
+        ),
+        spec(
+            "mixed_density_heavy",
+            "PowerSystem",
+            G::DenseRowsMix { n: nn * 3 / 4, heavy: 0.03 },
+            Natural,
+            171,
+        ),
+    ]
+}
+
+/// The SPD subset used for the Cholesky fill study (Fig. 6): symmetric
+/// positive definite versions of the structurally symmetric families.
+pub fn spd_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
+    standard_corpus(size)
+        .into_iter()
+        .filter(|m| {
+            matches!(
+                m.generator,
+                Generator::Mesh2d { .. }
+                    | Generator::Mesh3d { .. }
+                    | Generator::Banded { .. }
+                    | Generator::RandomEr { .. }
+                    | Generator::Road { .. }
+                    | Generator::BlockDiag { .. }
+            )
+        })
+        .map(|mut m| {
+            m.spd = true;
+            m.name = format!("{}_spd", m.name);
+            m
+        })
+        .collect()
+}
+
+/// The three Fig. 1 matrices: circuit-sim, social network and genome
+/// stand-ins for Freescale/Freescale2, SNAP/com-Amazon and
+/// GenBank/kmer_V1r.
+pub fn fig1_matrices(size: CorpusSize) -> Vec<MatrixSpec> {
+    vec![
+        spec(
+            "Freescale2-like",
+            "Freescale",
+            Generator::Circuit {
+                n: dim(size, 4000, 40_000, 160_000),
+            },
+            OrderNoise::Partial(0.3),
+            201,
+        ),
+        spec(
+            "com-Amazon-like",
+            "SNAP",
+            Generator::Rmat {
+                scale: match size {
+                    CorpusSize::Small => 11,
+                    CorpusSize::Medium => 14,
+                    CorpusSize::Large => 17,
+                },
+                avg_deg: 6,
+            },
+            OrderNoise::Natural,
+            202,
+        ),
+        spec(
+            "kmer_V1r-like",
+            "GenBank",
+            Generator::Genome {
+                n: dim(size, 4000, 40_000, 200_000),
+            },
+            OrderNoise::Natural,
+            203,
+        ),
+    ]
+}
+
+/// Six class representatives for the Fig. 4 in-depth analysis, chosen
+/// to reproduce the six behaviour classes:
+///
+/// 1. balanced before and after, locality gains (333SP-like mesh);
+/// 2. reordering also fixes balance (nv2-like);
+/// 3. only balance improves (audikw_1-like);
+/// 4. nothing changes (HV15R-like, already good order);
+/// 5. reordering provokes 1D imbalance;
+/// 6. mixed behaviour across schemes.
+pub fn class_representatives(size: CorpusSize) -> Vec<(u8, MatrixSpec)> {
+    vec![
+        (
+            1,
+            spec(
+                "class1_mesh(333SP-like)",
+                "DIMACS10",
+                Generator::Mesh2d {
+                    nx: dim(size, 60, 200, 500),
+                    ny: dim(size, 60, 200, 500),
+                },
+                OrderNoise::Scrambled,
+                301,
+            ),
+        ),
+        (
+            2,
+            spec(
+                "class2_semiconductor(nv2-like)",
+                "Semiconductor",
+                Generator::DenseRowsMix {
+                    n: dim(size, 3000, 25_000, 100_000),
+                    heavy: 0.005,
+                },
+                OrderNoise::Scrambled,
+                302,
+            ),
+        ),
+        (
+            3,
+            spec(
+                "class3_fem(audikw-like)",
+                "FEM",
+                Generator::BlockDiag {
+                    nblocks: dim(size, 30, 250, 1000),
+                    bs: 30,
+                },
+                OrderNoise::Partial(0.3),
+                303,
+            ),
+        ),
+        (
+            4,
+            spec(
+                "class4_cfd(HV15R-like)",
+                "Fluid",
+                Generator::Mesh3d {
+                    nx: dim(size, 13, 28, 55),
+                    ny: dim(size, 13, 28, 55),
+                    nz: dim(size, 13, 28, 55),
+                },
+                OrderNoise::Natural,
+                304,
+            ),
+        ),
+        (
+            5,
+            spec(
+                "class5_powerlaw",
+                "SNAP",
+                Generator::Rmat {
+                    scale: match size {
+                        CorpusSize::Small => 11,
+                        CorpusSize::Medium => 14,
+                        CorpusSize::Large => 16,
+                    },
+                    avg_deg: 12,
+                },
+                OrderNoise::Natural,
+                305,
+            ),
+        ),
+        (
+            6,
+            spec(
+                "class6_genome",
+                "GenBank",
+                Generator::Genome {
+                    n: dim(size, 3500, 30_000, 120_000),
+                },
+                OrderNoise::Natural,
+                306,
+            ),
+        ),
+    ]
+}
+
+/// The reordering-overhead subset (Table 5): the largest corpus
+/// matrices across application domains.
+pub fn overhead_matrices(size: CorpusSize) -> Vec<MatrixSpec> {
+    use Generator as G;
+    use OrderNoise::*;
+    let mut v = vec![
+        spec(
+            "road_large(europe_osm-like)",
+            "DIMACS10",
+            G::Road {
+                nx: dim(size, 60, 180, 450),
+                ny: dim(size, 60, 180, 450),
+            },
+            Natural,
+            401,
+        ),
+        spec(
+            "mesh3d_large(Flan-like)",
+            "FEM",
+            G::Mesh3d {
+                nx: dim(size, 14, 30, 60),
+                ny: dim(size, 14, 30, 60),
+                nz: dim(size, 14, 30, 60),
+            },
+            Partial(0.3),
+            402,
+        ),
+        spec(
+            "cfd_large(HV15R-like)",
+            "Fluid",
+            G::Mesh3d {
+                nx: dim(size, 16, 34, 64),
+                ny: dim(size, 13, 28, 55),
+                nz: dim(size, 13, 28, 55),
+            },
+            Natural,
+            403,
+        ),
+        spec(
+            "web_large(indochina-like)",
+            "LAW",
+            G::Rmat {
+                scale: match size {
+                    CorpusSize::Small => 11,
+                    CorpusSize::Medium => 14,
+                    CorpusSize::Large => 17,
+                },
+                avg_deg: 12,
+            },
+            Natural,
+            404,
+        ),
+        spec(
+            "genome_large(kmer-like)",
+            "GenBank",
+            G::Genome {
+                n: dim(size, 4000, 40_000, 250_000),
+            },
+            Natural,
+            405,
+        ),
+        spec(
+            "kron_large(kron_g500-like)",
+            "DIMACS10",
+            G::Rmat {
+                scale: match size {
+                    CorpusSize::Small => 11,
+                    CorpusSize::Medium => 15,
+                    CorpusSize::Large => 17,
+                },
+                avg_deg: 16,
+            },
+            Natural,
+            406,
+        ),
+        spec(
+            "delaunay_like",
+            "DIMACS10",
+            G::Mesh2d {
+                nx: dim(size, 70, 220, 550),
+                ny: dim(size, 70, 220, 550),
+            },
+            Scrambled,
+            407,
+        ),
+        spec(
+            "opt_large(nlpkkt-like)",
+            "Schenk",
+            G::RandomEr {
+                n: dim(size, 2500, 25_000, 120_000),
+                avg_deg: 12,
+            },
+            Natural,
+            408,
+        ),
+        spec(
+            "stokes_like(vas_stokes-like)",
+            "VLSI",
+            G::Circuit {
+                n: dim(size, 3500, 35_000, 150_000),
+            },
+            Natural,
+            409,
+        ),
+        spec(
+            "mycielskian_like",
+            "Mycielski",
+            G::RandomEr {
+                n: dim(size, 1200, 8_000, 30_000),
+                avg_deg: 40,
+            },
+            Natural,
+            410,
+        ),
+    ];
+    v.truncate(10);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_builds_and_is_diverse() {
+        let specs = standard_corpus(CorpusSize::Small);
+        assert!(specs.len() >= 20, "corpus has {} matrices", specs.len());
+        let mut names = std::collections::HashSet::new();
+        for s in &specs {
+            assert!(names.insert(s.name.clone()), "duplicate name {}", s.name);
+            let a = s.build();
+            assert!(a.nrows() > 100, "{} too small", s.name);
+            assert!(a.nnz() > 500, "{} too sparse", s.name);
+            a.validate().unwrap();
+        }
+        // At least 7 distinct groups.
+        let groups: std::collections::HashSet<_> =
+            specs.iter().map(|s| s.group.clone()).collect();
+        assert!(groups.len() >= 7, "only {} groups", groups.len());
+        // The noise mixture includes all three levels.
+        assert!(specs.iter().any(|s| s.noise == OrderNoise::Natural));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.noise, OrderNoise::Partial(_))));
+        assert!(specs.iter().any(|s| s.noise == OrderNoise::Scrambled));
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a1 = standard_corpus(CorpusSize::Small)[0].build();
+        let a2 = standard_corpus(CorpusSize::Small)[0].build();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn partial_scramble_is_between_natural_and_scrambled() {
+        let natural = spec(
+            "m",
+            "g",
+            Generator::Mesh2d { nx: 40, ny: 40 },
+            OrderNoise::Natural,
+            7,
+        )
+        .build();
+        let partial = spec(
+            "m",
+            "g",
+            Generator::Mesh2d { nx: 40, ny: 40 },
+            OrderNoise::Partial(0.3),
+            7,
+        )
+        .build();
+        let scrambled = spec(
+            "m",
+            "g",
+            Generator::Mesh2d { nx: 40, ny: 40 },
+            OrderNoise::Scrambled,
+            7,
+        )
+        .build();
+        let bw = |a: &CsrMatrix| {
+            a.iter()
+                .map(|(i, j, _)| i.abs_diff(j))
+                .max()
+                .unwrap_or(0)
+        };
+        // Partial degrades bandwidth but all three share nnz.
+        assert_eq!(natural.nnz(), partial.nnz());
+        assert_eq!(natural.nnz(), scrambled.nnz());
+        assert!(bw(&natural) < bw(&partial));
+    }
+
+    #[test]
+    fn medium_is_larger_than_small() {
+        let s = standard_corpus(CorpusSize::Small);
+        let m = standard_corpus(CorpusSize::Medium);
+        assert_eq!(s.len(), m.len());
+        let total_s: usize = s.iter().take(3).map(|x| x.build().nnz()).sum();
+        let total_m: usize = m.iter().take(3).map(|x| x.build().nnz()).sum();
+        assert!(total_m > 3 * total_s);
+    }
+
+    #[test]
+    fn spd_corpus_is_factorisable_pattern() {
+        let specs = spd_corpus(CorpusSize::Small);
+        assert!(specs.len() >= 8);
+        for s in specs.iter().take(3) {
+            let a = s.build();
+            assert!(sparsemat::is_structurally_symmetric(&a), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn fig1_and_class_and_overhead_sets_have_expected_counts() {
+        assert_eq!(fig1_matrices(CorpusSize::Small).len(), 3);
+        let classes = class_representatives(CorpusSize::Small);
+        assert_eq!(classes.len(), 6);
+        let ids: Vec<u8> = classes.iter().map(|(c, _)| *c).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(overhead_matrices(CorpusSize::Small).len(), 10);
+    }
+}

@@ -1,0 +1,110 @@
+//! Emit measurement files in the layout of the paper's artifact dataset
+//! (Zenodo 10.5281/zenodo.7821491): one plain-text table per machine
+//! and kernel, 490→N rows (one per matrix), with five matrix-identity
+//! columns, the thread count, and seven columns per ordering in the
+//! artifact's ordering sequence (Original, RCM, ND, AMD, GP, HP, Gray):
+//!
+//! 1. minimum nonzeros processed by any thread
+//! 2. maximum nonzeros processed by any thread
+//! 3. mean nonzeros per thread
+//! 4. imbalance factor (max / mean)
+//! 5. time (s) for one SpMV iteration (minimum over repetitions)
+//! 6. maximum performance (Gflop/s)
+//! 7. mean performance (Gflop/s)
+//!
+//! The cost model is deterministic, so the "minimum over repetitions"
+//! equals every repetition and columns 6 and 7 coincide; the real
+//! artifact's max/mean differ only by measurement noise.
+//!
+//! Files land in `results/artifact/`.
+
+use archsim::{simulate_spmv_1d_opt, simulate_spmv_2d_opt, SimOptions, SimResult};
+use experiments::cli::parse_args;
+use experiments::sweep::{apply_all_orderings, SweepConfig};
+use std::io::Write;
+
+/// Artifact column order for the orderings (differs from the paper's
+/// table order: ND precedes AMD here).
+const ARTIFACT_ORDER: [&str; 7] = ["Original", "RCM", "ND", "AMD", "GP", "HP", "Gray"];
+
+fn push_stats(line: &mut String, r: &SimResult) {
+    let nnz_min = r.thread_nnz.iter().copied().min().unwrap_or(0);
+    let nnz_max = r.thread_nnz.iter().copied().max().unwrap_or(0);
+    let mean = r.thread_nnz.iter().sum::<usize>() as f64 / r.thread_nnz.len().max(1) as f64;
+    line.push_str(&format!(
+        " {} {} {:.1} {:.4} {:.6e} {:.4} {:.4}",
+        nnz_min, nnz_max, mean, r.imbalance, r.seconds, r.gflops, r.gflops
+    ));
+}
+
+fn main() {
+    let opts = parse_args();
+    let cfg = SweepConfig::for_size(opts.size);
+    let specs = corpus::standard_corpus(opts.size);
+    let machines = opts.machines();
+    std::fs::create_dir_all("results/artifact").expect("create results/artifact");
+
+    // Reorder once per matrix; simulate per machine/kernel.
+    eprintln!("reordering {} matrices ...", specs.len());
+    let per_matrix: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let a = spec.build();
+            let ordered = apply_all_orderings(&a, &cfg);
+            eprintln!("  {} done", spec.name);
+            (spec, a.nrows(), a.ncols(), a.nnz(), ordered)
+        })
+        .collect();
+
+    for m in &machines {
+        let slug = m.name.to_lowercase().replace(' ', "");
+        for kernel in ["1d", "2d"] {
+            let path = format!(
+                "results/artifact/csr_{kernel}_{slug}_{:03}_threads_synth{}.txt",
+                m.threads,
+                specs.len()
+            );
+            let mut out = std::io::BufWriter::new(
+                std::fs::File::create(&path).expect("create artifact file"),
+            );
+            writeln!(
+                out,
+                "# group name rows cols nnz threads then per ordering ({:?}):",
+                ARTIFACT_ORDER
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "# nnz_min nnz_max nnz_mean imbalance time_s max_gflops mean_gflops"
+            )
+            .unwrap();
+            for (spec, rows, cols, nnz, ordered) in &per_matrix {
+                let mut line = format!(
+                    "{} {} {} {} {} {}",
+                    spec.group, spec.name, rows, cols, nnz, m.threads
+                );
+                for want in ARTIFACT_ORDER {
+                    let (_, _, b) = ordered
+                        .iter()
+                        .find(|(name, _, _)| name == want)
+                        .expect("ordering present");
+                    let sim_opts = SimOptions {
+                        cache_scale: cfg.cache_scale,
+                    };
+                    let r = if kernel == "1d" {
+                        simulate_spmv_1d_opt(b, m, &sim_opts)
+                    } else {
+                        simulate_spmv_2d_opt(b, m, &sim_opts)
+                    };
+                    push_stats(&mut line, &r);
+                }
+                writeln!(out, "{line}").unwrap();
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+    println!(
+        "artifact files for {} machines x 2 kernels written to results/artifact/",
+        machines.len()
+    );
+}

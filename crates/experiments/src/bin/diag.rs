@@ -1,0 +1,25 @@
+//! Diagnostic: per-matrix 1D speedups per ordering on one machine
+//! (not part of the paper's artefacts; used to tune corpus balance).
+
+use experiments::cli::parse_args;
+use experiments::fmt::render_table;
+use experiments::sweep::{sweep_corpus, SweepConfig, ORDERINGS};
+
+fn main() {
+    let opts = parse_args();
+    let machines = vec![archsim::machine_by_name("Milan B").unwrap()];
+    let specs = corpus::standard_corpus(opts.size);
+    let cfg = SweepConfig::for_size(opts.size);
+    let sweeps = sweep_corpus(&specs, &machines, &cfg, false);
+    let mut header = vec!["matrix".to_string(), "nnz".to_string()];
+    header.extend(ORDERINGS[1..].iter().map(|s| s.to_string()));
+    let mut rows = Vec::new();
+    for s in &sweeps {
+        let mut row = vec![s.name.clone(), s.nnz.to_string()];
+        for o in 1..ORDERINGS.len() {
+            row.push(format!("{:.2}", s.speedup_1d(o, 0)));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&header, &rows));
+}

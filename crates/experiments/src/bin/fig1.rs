@@ -1,0 +1,61 @@
+//! Regenerates Fig. 1: sparsity patterns of three matrices under RCM,
+//! ND and GP reordering, with SpMV speedups on Milan B and Ice Lake.
+//!
+//! The paper uses Freescale/Freescale2, SNAP/com-Amazon and
+//! GenBank/kmer_V1r; the corpus provides structural stand-ins for each
+//! (see DESIGN.md).
+
+use archsim::{machine_by_name, simulate_spmv_1d};
+use corpus::fig1_matrices;
+use experiments::cli::parse_args;
+use experiments::sweep::SweepConfig;
+use reorder::{Gp, Nd, Rcm, ReorderAlgorithm};
+use sparsemat::{spy_string, SpyOptions};
+
+fn main() {
+    let opts = parse_args();
+    let cfg = SweepConfig::for_size(opts.size);
+    let milan = machine_by_name("Milan B").expect("registry");
+    let icelake = machine_by_name("Ice Lake").expect("registry");
+    let spy = SpyOptions {
+        width: 36,
+        height: 18,
+        border: true,
+    };
+
+    println!("Fig. 1: matrices reordered with RCM, ND and GP.");
+    println!("Numbers below each plot: SpMV speedup (1D kernel) on Milan B / Ice Lake.\n");
+
+    for spec in fig1_matrices(opts.size) {
+        let a = spec.build();
+        println!(
+            "=== {} ({} rows, {} nnz) ===",
+            spec.name,
+            a.nrows(),
+            a.nnz()
+        );
+        let base_milan = simulate_spmv_1d(&a, &milan).gflops;
+        let base_ice = simulate_spmv_1d(&a, &icelake).gflops;
+        println!("--- Original ---");
+        print!("{}", spy_string(&a, &spy));
+        println!("speedup: 1.00 / 1.00\n");
+
+        let algs: Vec<(&str, Box<dyn ReorderAlgorithm>)> = vec![
+            ("RCM", Box::new(Rcm::default())),
+            ("ND", Box::new(Nd::default())),
+            ("GP", Box::new(Gp::new(cfg.gp_parts))),
+        ];
+        for (name, alg) in algs {
+            let b = alg
+                .compute(&a)
+                .expect("fig1 matrices are square")
+                .apply(&a)
+                .expect("apply");
+            let s_milan = simulate_spmv_1d(&b, &milan).gflops / base_milan;
+            let s_ice = simulate_spmv_1d(&b, &icelake).gflops / base_ice;
+            println!("--- {name} ---");
+            print!("{}", spy_string(&b, &spy));
+            println!("speedup: {s_milan:.2} / {s_ice:.2}\n");
+        }
+    }
+}

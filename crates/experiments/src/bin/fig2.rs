@@ -1,0 +1,32 @@
+//! Regenerates Fig. 2: box plots of 1D SpMV speedup after reordering,
+//! for all six orderings on all eight machines.
+
+use experiments::cli::parse_args;
+use experiments::fmt::render_boxplot;
+use experiments::sweep::{speedup_box, sweep_corpus, SweepConfig, ORDERINGS};
+
+fn main() {
+    let opts = parse_args();
+    let machines = opts.machines();
+    let specs = corpus::standard_corpus(opts.size);
+    let cfg = SweepConfig::for_size(opts.size);
+    eprintln!(
+        "sweeping {} matrices x 7 orderings x {} machines ...",
+        specs.len(),
+        machines.len()
+    );
+    let sweeps = sweep_corpus(&specs, &machines, &cfg, true);
+
+    println!("Fig. 2: speedup of SpMV (1D algorithm) after reordering.");
+    println!("({} matrices; boxes show min |--[q1 =median= q3]--| max on a log scale)\n", specs.len());
+    for (mi, m) in machines.iter().enumerate() {
+        println!("== {} ({} threads) ==", m.name, m.threads);
+        let entries: Vec<(String, spfeatures::BoxStats)> = (1..ORDERINGS.len())
+            .filter_map(|o| {
+                speedup_box(&sweeps, o, mi, false).map(|b| (ORDERINGS[o].to_string(), b))
+            })
+            .collect();
+        print!("{}", render_boxplot(&entries, 0.125, 8.0, 57));
+        println!();
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates Fig. 4: in-depth analysis of six matrix classes on
+//! three platforms (AMD, Intel, ARM), for both kernels and all six
+//! reordering schemes, reporting speedups and 1D imbalance factors.
+
+use archsim::machine_by_name;
+use experiments::cli::parse_args;
+use experiments::fmt::render_table;
+use experiments::sweep::{sweep_matrix, SweepConfig, ORDERINGS};
+
+fn main() {
+    let opts = parse_args();
+    // One platform per vendor, as in the paper's Fig. 4 analysis.
+    let machines = vec![
+        machine_by_name("Milan B").unwrap(),  // AMD
+        machine_by_name("Ice Lake").unwrap(), // Intel
+        machine_by_name("Hi1620").unwrap(),   // ARM
+    ];
+    let cfg = SweepConfig::for_size(opts.size);
+
+    println!("Fig. 4: performance analysis of matrix classes.");
+    println!("Classes: 1-3 improve (locality / locality+balance / balance only),");
+    println!("4 unchanged, 5 reordering provokes 1D imbalance, 6 mixed.\n");
+
+    for (class, spec) in corpus::class_representatives(opts.size) {
+        let s = sweep_matrix(&spec, &machines, &cfg);
+        println!(
+            "== Class {class}: {} ({} rows, {} nnz) ==",
+            s.name, s.nrows, s.nnz
+        );
+        let mut header = vec!["ordering".to_string()];
+        for m in &machines {
+            header.push(format!("{} 1D", m.name));
+            header.push(format!("{} 2D", m.name));
+        }
+        header.push("imb.factor(1D)".to_string());
+        let mut rows = Vec::new();
+        for o in 0..ORDERINGS.len() {
+            let mut row = vec![s.runs[o].ordering.clone()];
+            for mi in 0..machines.len() {
+                row.push(format!("{:.2}x", s.speedup_1d(o, mi)));
+                row.push(format!("{:.2}x", s.speedup_2d(o, mi)));
+            }
+            row.push(format!("{:.2}", s.runs[o].per_machine[0].imbalance_1d));
+            rows.push(row);
+        }
+        println!("{}", render_table(&header, &rows));
+    }
+}

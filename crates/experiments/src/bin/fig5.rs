@@ -1,0 +1,97 @@
+//! Regenerates Fig. 5: Dolan–Moré performance profiles comparing the
+//! orderings on bandwidth, profile, off-diagonal nonzero count and SpMV
+//! runtime (Milan B, as in the paper).
+
+use archsim::machine_by_name;
+use experiments::cli::parse_args;
+use experiments::sweep::{sweep_corpus, SweepConfig, ORDERINGS};
+use spfeatures::{performance_profile, ProfileCurve};
+
+fn print_profiles(title: &str, curves: &[ProfileCurve]) {
+    println!("-- {title} --");
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "method", "t=1.0", "t=1.1", "t=1.5", "t=2.0", "t=5.0"
+    );
+    for c in curves {
+        println!(
+            "{:<10} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+            c.name,
+            c.at(1.0),
+            c.at(1.1),
+            c.at(1.5),
+            c.at(2.0),
+            c.at(5.0)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let opts = parse_args();
+    let machines = vec![machine_by_name("Milan B").unwrap()];
+    let specs = corpus::standard_corpus(opts.size);
+    let cfg = SweepConfig::for_size(opts.size);
+    eprintln!("sweeping {} matrices ...", specs.len());
+    let sweeps = sweep_corpus(&specs, &machines, &cfg, true);
+
+    let taus: Vec<f64> = {
+        let mut t = vec![1.0];
+        while *t.last().unwrap() < 32.0 {
+            t.push(t.last().unwrap() * 1.05);
+        }
+        t
+    };
+    let names: Vec<&str> = ORDERINGS.to_vec();
+
+    println!("Fig. 5: performance profiles (fraction of matrices within factor t of the best method).\n");
+
+    // Bandwidth.
+    let cost: Vec<Vec<f64>> = sweeps
+        .iter()
+        .map(|s| {
+            s.runs
+                .iter()
+                .map(|r| r.features.bandwidth.max(1) as f64)
+                .collect()
+        })
+        .collect();
+    print_profiles("bandwidth", &performance_profile(&names, &cost, &taus));
+
+    // Profile.
+    let cost: Vec<Vec<f64>> = sweeps
+        .iter()
+        .map(|s| {
+            s.runs
+                .iter()
+                .map(|r| r.features.profile.max(1) as f64)
+                .collect()
+        })
+        .collect();
+    print_profiles("profile", &performance_profile(&names, &cost, &taus));
+
+    // Off-diagonal nonzero count.
+    let cost: Vec<Vec<f64>> = sweeps
+        .iter()
+        .map(|s| {
+            s.runs
+                .iter()
+                .map(|r| r.features.off_diagonal_nnz.max(1) as f64)
+                .collect()
+        })
+        .collect();
+    print_profiles(
+        "off-diagonal nnz",
+        &performance_profile(&names, &cost, &taus),
+    );
+
+    // SpMV runtime (1D, Milan B).
+    let cost: Vec<Vec<f64>> = sweeps
+        .iter()
+        .map(|s| s.runs.iter().map(|r| r.per_machine[0].seconds_1d).collect())
+        .collect();
+    print_profiles(
+        "SpMV runtime (Milan B, 1D)",
+        &performance_profile(&names, &cost, &taus),
+    );
+}

@@ -1,0 +1,62 @@
+//! Regenerates Fig. 6: ratio of nonzeros in the Cholesky factor L to
+//! nonzeros in A, for the symmetric orderings on the SPD corpus subset.
+//! Gray is excluded (it is unsymmetric and cannot precondition a
+//! Cholesky factorisation, §4.6).
+
+use cholesky::fill_ratio;
+use experiments::cli::parse_args;
+use experiments::fmt::render_boxplot;
+use experiments::sweep::SweepConfig;
+use reorder::{all_algorithms, ReorderAlgorithm};
+use spfeatures::quartiles;
+
+fn main() {
+    let opts = parse_args();
+    let cfg = SweepConfig::for_size(opts.size);
+    let specs = corpus::spd_corpus(opts.size);
+    eprintln!("computing fill for {} SPD matrices ...", specs.len());
+
+    let mut names: Vec<String> = vec!["Original".to_string()];
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new()];
+    let algs: Vec<Box<dyn ReorderAlgorithm + Send + Sync>> =
+        all_algorithms(cfg.gp_parts, cfg.hp_parts)
+            .into_iter()
+            .filter(|a| a.name() != "Gray")
+            .collect();
+    for a in &algs {
+        names.push(a.name().to_string());
+        ratios.push(Vec::new());
+    }
+
+    for spec in &specs {
+        let a = spec.build();
+        ratios[0].push(fill_ratio(&a));
+        for (k, alg) in algs.iter().enumerate() {
+            let b = alg
+                .compute(&a)
+                .expect("SPD corpus is square")
+                .apply(&a)
+                .expect("apply");
+            ratios[k + 1].push(fill_ratio(&b));
+        }
+        eprintln!("  {} done", spec.name);
+    }
+
+    println!(
+        "Fig. 6: nonzero ratio nnz(L)/nnz(A) for Cholesky with different orderings ({} SPD matrices).\n",
+        specs.len()
+    );
+    let entries: Vec<(String, spfeatures::BoxStats)> = names
+        .iter()
+        .zip(ratios.iter())
+        .filter_map(|(n, r)| quartiles(r).map(|b| (n.clone(), b)))
+        .collect();
+    let hi = entries
+        .iter()
+        .map(|(_, b)| b.max)
+        .fold(2.0f64, f64::max)
+        * 1.1;
+    print!("{}", render_boxplot(&entries, 0.9, hi, 57));
+    println!();
+    println!("(lower is better; AMD and ND are expected to produce the least fill)");
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table 2: the hardware used in the experiments (here: the
+//! machine models encoded in `archsim`).
+
+use experiments::fmt::render_table;
+
+fn main() {
+    let machines = archsim::machines();
+    let header: Vec<String> = [
+        "", "CPUs", "Instr. set", "Microarch.", "Sockets", "Cores", "Freq [GHz]",
+        "L1D/core [KiB]", "L2/core [KiB]", "L3/socket [MiB]", "BW [GB/s]", "Threads",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = machines
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                m.cpu.clone(),
+                m.isa.clone(),
+                m.microarch.clone(),
+                m.sockets.to_string(),
+                format!("{}x{}", m.sockets, m.cores_per_socket),
+                format!("{:.1}", m.freq_ghz),
+                m.l1d_kib.to_string(),
+                m.l2_kib.to_string(),
+                m.l3_mib_per_socket.to_string(),
+                format!("{:.1}", m.mem_bw_gbs),
+                m.threads.to_string(),
+            ]
+        })
+        .collect();
+    println!("Table 2: Hardware models used in the simulated experiments.\n");
+    println!("{}", render_table(&header, &rows));
+}

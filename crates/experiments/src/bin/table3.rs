@@ -1,0 +1,51 @@
+//! Regenerates Table 3: geometric mean of 1D SpMV speedups per
+//! reordering and machine.
+
+use experiments::cli::parse_args;
+use experiments::fmt::render_table;
+use experiments::sweep::{speedup_geomean, sweep_corpus, SweepConfig, ORDERINGS};
+use spfeatures::geometric_mean;
+
+fn main() {
+    let opts = parse_args();
+    let machines = opts.machines();
+    let specs = corpus::standard_corpus(opts.size);
+    let cfg = SweepConfig::for_size(opts.size);
+    eprintln!("sweeping {} matrices ...", specs.len());
+    let sweeps = sweep_corpus(&specs, &machines, &cfg, true);
+
+    let mut header: Vec<String> = vec!["1D".to_string()];
+    header.extend(ORDERINGS[1..].iter().map(|s| s.to_string()));
+    header.push("Mean".to_string());
+    let mut rows = Vec::new();
+    let mut col_values: Vec<Vec<f64>> = vec![Vec::new(); ORDERINGS.len() - 1];
+    for (mi, m) in machines.iter().enumerate() {
+        let mut row = vec![m.name.clone()];
+        let mut vals = Vec::new();
+        for o in 1..ORDERINGS.len() {
+            let g = speedup_geomean(&sweeps, o, mi, false).unwrap_or(f64::NAN);
+            col_values[o - 1].push(g);
+            vals.push(g);
+            row.push(format!("{g:.3}"));
+        }
+        let mean = geometric_mean(&vals).unwrap_or(f64::NAN);
+        row.push(format!("{mean:.3}"));
+        rows.push(row);
+    }
+    // Column means.
+    let mut mean_row = vec!["Mean".to_string()];
+    let mut all = Vec::new();
+    for col in &col_values {
+        let g = geometric_mean(col).unwrap_or(f64::NAN);
+        all.push(g);
+        mean_row.push(format!("{g:.3}"));
+    }
+    mean_row.push(format!("{:.3}", geometric_mean(&all).unwrap_or(f64::NAN)));
+    rows.push(mean_row);
+
+    println!(
+        "Table 3: geometric mean of 1D SpMV speedups over the original order ({} matrices).\n",
+        specs.len()
+    );
+    println!("{}", render_table(&header, &rows));
+}

@@ -1,0 +1,50 @@
+//! Regenerates Table 5: wall-clock time to reorder the ten largest
+//! corpus matrices, next to the (simulated) time of one SpMV iteration
+//! on Ice Lake with 72 threads.
+//!
+//! Unlike the SpMV numbers elsewhere (which come from the machine
+//! model), the reordering times here are real, measured on the host:
+//! the reordering implementations are the actual algorithms, so their
+//! relative cost — Gray fastest, RCM second, ND/HP slowest — is
+//! directly observable.
+
+use archsim::{machine_by_name, simulate_spmv_1d};
+use experiments::cli::parse_args;
+use experiments::fmt::{fmt_seconds, render_table};
+use experiments::sweep::SweepConfig;
+use reorder::all_algorithms;
+
+fn main() {
+    let opts = parse_args();
+    let cfg = SweepConfig::for_size(opts.size);
+    let icelake = machine_by_name("Ice Lake").unwrap();
+    let specs = corpus::overhead_matrices(opts.size);
+
+    let header: Vec<String> = ["Matrix Name", "RCM", "AMD", "ND", "GP", "HP", "Gray", "SpMV"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let a = spec.build();
+        eprintln!("reordering {} ({} nnz) ...", spec.name, a.nnz());
+        let mut row = vec![spec.name.clone()];
+        for alg in all_algorithms(cfg.gp_parts, cfg.hp_parts) {
+            let t = alg
+                .compute_timed(&a)
+                .expect("overhead matrices are square");
+            row.push(fmt_seconds(t.elapsed.as_secs_f64()));
+        }
+        let spmv = simulate_spmv_1d(&a, &icelake).seconds;
+        row.push(fmt_seconds(spmv));
+        rows.push(row);
+    }
+
+    println!("Table 5: time (s) to reorder a matrix, measured on this host.");
+    println!("For comparison, the (simulated) time of one CSR SpMV iteration on Ice Lake");
+    println!("with 72 threads is also shown.\n");
+    println!("{}", render_table(&header, &rows));
+    println!("Amortisation example (paper §4.7): if reordering takes R seconds, one SpMV");
+    println!("takes s seconds, and reordering speeds SpMV up by factor f, then");
+    println!("R / (s * (1 - 1/f)) SpMV iterations are needed to break even.");
+}

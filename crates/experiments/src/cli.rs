@@ -1,0 +1,107 @@
+//! Minimal command-line handling shared by the experiment binaries.
+
+use corpus::CorpusSize;
+
+/// Options common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Corpus scale.
+    pub size: CorpusSize,
+    /// Restrict to machines whose name contains one of these strings
+    /// (empty = all eight).
+    pub machines: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            size: CorpusSize::Small,
+            machines: Vec::new(),
+        }
+    }
+}
+
+/// Parse `--size small|medium|large` and `--machine <name>` (repeatable)
+/// from the process arguments. Unknown arguments abort with usage help.
+pub fn parse_args() -> Options {
+    parse_from(std::env::args().skip(1))
+}
+
+/// Parse from an explicit iterator (testable).
+pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Options {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size" => {
+                let v = it.next().unwrap_or_default();
+                opts.size = match v.as_str() {
+                    "small" => CorpusSize::Small,
+                    "medium" => CorpusSize::Medium,
+                    "large" => CorpusSize::Large,
+                    other => {
+                        eprintln!("unknown --size '{other}' (small|medium|large)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--machine" => {
+                let v = it.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--machine requires a name");
+                    std::process::exit(2);
+                }
+                opts.machines.push(v);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: <bin> [--size small|medium|large] [--machine NAME]..."
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+impl Options {
+    /// The machines selected by the options.
+    pub fn machines(&self) -> Vec<archsim::Machine> {
+        let all = archsim::machines();
+        if self.machines.is_empty() {
+            return all;
+        }
+        all.into_iter()
+            .filter(|m| self.machines.iter().any(|f| m.name.contains(f.as_str())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_small_all_machines() {
+        let o = parse_from(Vec::<String>::new());
+        assert_eq!(o.size, CorpusSize::Small);
+        assert_eq!(o.machines().len(), 8);
+    }
+
+    #[test]
+    fn parses_size_and_machines() {
+        let o = parse_from(
+            ["--size", "medium", "--machine", "Milan", "--machine", "TX2"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.size, CorpusSize::Medium);
+        let ms = o.machines();
+        let names: Vec<_> = ms.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["Milan A", "Milan B", "TX2"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain-text table and box-plot rendering for the experiment output.
+
+use spfeatures::BoxStats;
+
+/// Render a table with a header row; columns are right-aligned to the
+/// widest cell.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(ncols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            if c == 0 {
+                line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+            } else {
+                line.push_str(&format!("{:>width$}", cell, width = widths[c]));
+            }
+        }
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a horizontal ASCII box plot for a set of named samples on a
+/// log scale (the paper's speedup figures are log-scaled).
+///
+/// Each line shows `min [q1 |median| q3] max` positions over the given
+/// range.
+pub fn render_boxplot(entries: &[(String, BoxStats)], lo: f64, hi: f64, width: usize) -> String {
+    let lo = lo.max(1e-6);
+    let to_col = |v: f64| -> usize {
+        let v = v.clamp(lo, hi);
+        let frac = (v.ln() - lo.ln()) / (hi.ln() - lo.ln());
+        ((frac * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+    let name_w = entries.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+    let mut out = String::new();
+    for (name, b) in entries {
+        let mut line: Vec<char> = vec![' '; width];
+        let (cmin, cq1, cmed, cq3, cmax) = (
+            to_col(b.min),
+            to_col(b.q1),
+            to_col(b.median),
+            to_col(b.q3),
+            to_col(b.max),
+        );
+        for c in cmin..=cmax {
+            line[c] = '-';
+        }
+        for c in cq1..=cq3 {
+            line[c] = '=';
+        }
+        line[cmin] = '|';
+        line[cmax] = '|';
+        line[cmed] = '#';
+        out.push_str(&format!(
+            "{:<name_w$} {}  med={:.2} q=[{:.2},{:.2}]\n",
+            name,
+            line.iter().collect::<String>(),
+            b.median,
+            b.q1,
+            b.q3,
+        ));
+    }
+    // Axis: marks at lo, 1.0 and hi.
+    let mut axis: Vec<char> = vec![' '; width];
+    axis[to_col(lo)] = '+';
+    if lo < 1.0 && 1.0 < hi {
+        axis[to_col(1.0)] = '1';
+    }
+    axis[to_col(hi)] = '+';
+    out.push_str(&format!(
+        "{:<name_w$} {}  (log scale {:.2} .. {:.2})\n",
+        "",
+        axis.iter().collect::<String>(),
+        lo,
+        hi
+    ));
+    out
+}
+
+/// Format seconds in the mixed style of Table 5 (3 significant-ish
+/// digits, switching to integer display for large values).
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{:.0}", s)
+    } else if s >= 1.0 {
+        format!("{:.1}", s)
+    } else if s >= 0.001 {
+        format!("{:.3}", s)
+    } else {
+        format!("{:.2e}", s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["Name".into(), "X".into()],
+            &[
+                vec!["a".into(), "1.5".into()],
+                vec!["longer".into(), "10.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("longer"));
+        assert!(lines[3].ends_with("10.25"));
+    }
+
+    #[test]
+    fn boxplot_renders_markers() {
+        let b = BoxStats {
+            min: 0.5,
+            q1: 0.8,
+            median: 1.0,
+            q3: 1.3,
+            max: 2.0,
+        };
+        let s = render_boxplot(&[("GP".into(), b)], 0.25, 4.0, 40);
+        assert!(s.contains('#'));
+        assert!(s.contains('='));
+        assert!(s.contains("med=1.00"));
+        assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(210.0), "210");
+        assert_eq!(fmt_seconds(15.4), "15.4");
+        assert_eq!(fmt_seconds(0.013), "0.013");
+        assert_eq!(fmt_seconds(0.00001), "1.00e-5");
+    }
+}

@@ -1,0 +1,258 @@
+//! Graph coarsening via heavy-edge matching (HEM).
+//!
+//! Vertices are visited in a shuffled order; each unmatched vertex is
+//! matched with the unmatched neighbour connected by the heaviest edge
+//! (ties broken by lower vertex weight, favouring balanced coarse
+//! vertices). Matched pairs are contracted into coarse vertices whose
+//! weights are summed and whose parallel edges are merged with summed
+//! weights — exactly the coarsening step of METIS's multilevel scheme.
+
+use crate::rng::SplitMix;
+use sparsegraph::Graph;
+
+/// One coarsening level: the coarse graph and the fine→coarse vertex map.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The contracted graph.
+    pub graph: Graph,
+    /// `coarse_of[v]` is the coarse vertex containing fine vertex `v`.
+    pub coarse_of: Vec<u32>,
+}
+
+/// Compute a heavy-edge matching. Returns `match_of` where
+/// `match_of[v] == v` for unmatched vertices.
+pub fn heavy_edge_matching(g: &Graph, rng: &mut SplitMix) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut match_of: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    let mut visit: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut visit);
+    for &v in &visit {
+        let v = v as usize;
+        if matched[v] {
+            continue;
+        }
+        let mut best: Option<(u32, i64)> = None;
+        for (u, w) in g.neighbors_weighted(v) {
+            if matched[u as usize] {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bu, bw)) => {
+                    w > bw
+                        || (w == bw
+                            && g.vertex_weight(u as usize) < g.vertex_weight(bu as usize))
+                }
+            };
+            if better {
+                best = Some((u, w));
+            }
+        }
+        if let Some((u, _)) = best {
+            matched[v] = true;
+            matched[u as usize] = true;
+            match_of[v] = u;
+            match_of[u as usize] = v as u32;
+        }
+    }
+    match_of
+}
+
+/// Contract a graph along a matching, producing the next coarser level.
+pub fn contract(g: &Graph, match_of: &[u32]) -> CoarseLevel {
+    let n = g.num_vertices();
+    // Assign coarse ids: each matched pair (v, u) with v < u gets one id.
+    let mut coarse_of = vec![u32::MAX; n];
+    let mut ncoarse = 0u32;
+    for v in 0..n {
+        if coarse_of[v] != u32::MAX {
+            continue;
+        }
+        let u = match_of[v] as usize;
+        coarse_of[v] = ncoarse;
+        coarse_of[u] = ncoarse; // u == v for unmatched vertices
+        ncoarse += 1;
+    }
+    let nc = ncoarse as usize;
+
+    // Accumulate coarse vertex weights.
+    let mut vwgt = vec![0i64; nc];
+    for v in 0..n {
+        vwgt[coarse_of[v] as usize] += g.vertex_weight(v);
+    }
+
+    // Build coarse adjacency by merging the two fine adjacency lists of
+    // each coarse vertex with a dense scatter buffer.
+    let mut xadj = Vec::with_capacity(nc + 1);
+    xadj.push(0usize);
+    let mut adjncy: Vec<u32> = Vec::with_capacity(g.adjncy().len() / 2);
+    let mut ewgt: Vec<i64> = Vec::with_capacity(g.adjncy().len() / 2);
+    let mut slot_of = vec![u32::MAX; nc]; // coarse neighbour -> slot in current row
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); nc];
+    for v in 0..n {
+        members[coarse_of[v] as usize].push(v as u32);
+    }
+    for (c, mem) in members.iter().enumerate() {
+        let row_start = adjncy.len();
+        for &v in mem {
+            for (u, w) in g.neighbors_weighted(v as usize) {
+                let cu = coarse_of[u as usize];
+                if cu as usize == c {
+                    continue; // internal edge disappears
+                }
+                let slot = slot_of[cu as usize];
+                if slot != u32::MAX && (slot as usize) >= row_start {
+                    ewgt[slot as usize] += w;
+                } else {
+                    slot_of[cu as usize] = adjncy.len() as u32;
+                    adjncy.push(cu);
+                    ewgt.push(w);
+                }
+            }
+        }
+        xadj.push(adjncy.len());
+        // Reset scatter buffer for the next row.
+        for &a in &adjncy[row_start..] {
+            slot_of[a as usize] = u32::MAX;
+        }
+    }
+
+    CoarseLevel {
+        graph: Graph::from_parts_unchecked(xadj, adjncy, vwgt, ewgt),
+        coarse_of,
+    }
+}
+
+/// Coarsen until the graph has at most `target_size` vertices or
+/// progress stalls. Returns the sequence of levels, finest first.
+pub fn coarsen_to(g: &Graph, target_size: usize, rng: &mut SplitMix) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current = g.clone();
+    while current.num_vertices() > target_size {
+        let matching = heavy_edge_matching(&current, rng);
+        let level = contract(&current, &matching);
+        let shrink =
+            level.graph.num_vertices() as f64 / current.num_vertices() as f64;
+        if shrink > 0.95 {
+            break; // nearly no matching possible; stop
+        }
+        current = level.graph.clone();
+        levels.push(level);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Graph {
+        let idx = |r: usize, c: usize| (r * n + c) as u32;
+        let mut xadj = vec![0usize];
+        let mut adjncy = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if r > 0 {
+                    adjncy.push(idx(r - 1, c));
+                }
+                if r + 1 < n {
+                    adjncy.push(idx(r + 1, c));
+                }
+                if c > 0 {
+                    adjncy.push(idx(r, c - 1));
+                }
+                if c + 1 < n {
+                    adjncy.push(idx(r, c + 1));
+                }
+                xadj.push(adjncy.len());
+            }
+        }
+        Graph::from_adjacency(xadj, adjncy).unwrap()
+    }
+
+    #[test]
+    fn matching_is_symmetric_and_adjacent() {
+        let g = grid(6);
+        let mut rng = SplitMix::new(1);
+        let m = heavy_edge_matching(&g, &mut rng);
+        for v in 0..g.num_vertices() {
+            let u = m[v] as usize;
+            assert_eq!(m[u] as usize, v, "matching must be symmetric");
+            if u != v {
+                assert!(
+                    g.neighbors(v).contains(&(u as u32)),
+                    "matched vertices must be adjacent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_preserves_total_vertex_weight() {
+        let g = grid(8);
+        let mut rng = SplitMix::new(2);
+        let m = heavy_edge_matching(&g, &mut rng);
+        let level = contract(&g, &m);
+        assert_eq!(
+            level.graph.total_vertex_weight(),
+            g.total_vertex_weight()
+        );
+        assert!(level.graph.num_vertices() < g.num_vertices());
+        // Every fine vertex maps to a valid coarse vertex.
+        for v in 0..g.num_vertices() {
+            assert!((level.coarse_of[v] as usize) < level.graph.num_vertices());
+        }
+    }
+
+    #[test]
+    fn contraction_preserves_cut_weight_across_fixed_split() {
+        // Contract a graph and verify: edge weight between coarse
+        // vertices equals the number of fine edges between their
+        // members.
+        let g = grid(4);
+        let mut rng = SplitMix::new(3);
+        let m = heavy_edge_matching(&g, &mut rng);
+        let level = contract(&g, &m);
+        let cg = &level.graph;
+        // Total edge weight is conserved minus internal (contracted) edges.
+        let internal: i64 = (0..g.num_vertices())
+            .map(|v| {
+                g.neighbors_weighted(v)
+                    .filter(|&(u, _)| level.coarse_of[u as usize] == level.coarse_of[v])
+                    .map(|(_, w)| w)
+                    .sum::<i64>()
+            })
+            .sum::<i64>()
+            / 2;
+        assert_eq!(cg.total_edge_weight(), g.total_edge_weight() - internal);
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = grid(12); // 144 vertices
+        let mut rng = SplitMix::new(4);
+        let levels = coarsen_to(&g, 20, &mut rng);
+        assert!(!levels.is_empty());
+        let last = &levels.last().unwrap().graph;
+        assert!(
+            last.num_vertices() <= 40,
+            "coarsest graph still has {} vertices",
+            last.num_vertices()
+        );
+        // Monotone shrinkage.
+        let mut prev = g.num_vertices();
+        for l in &levels {
+            assert!(l.graph.num_vertices() < prev);
+            prev = l.graph.num_vertices();
+        }
+    }
+
+    #[test]
+    fn coarsen_stalls_gracefully_on_edgeless_graph() {
+        let g = Graph::from_adjacency(vec![0, 0, 0, 0, 0], vec![]).unwrap();
+        let mut rng = SplitMix::new(5);
+        let levels = coarsen_to(&g, 2, &mut rng);
+        assert!(levels.is_empty(), "no matching possible on edgeless graph");
+    }
+}

@@ -1,0 +1,208 @@
+//! Reverse Cuthill–McKee ordering [4, 19].
+//!
+//! The Cuthill–McKee ordering numbers the vertices of the matrix graph
+//! in breadth-first order starting from a pseudo-peripheral vertex,
+//! visiting the children of each vertex in ascending degree order.
+//! Reversing the resulting sequence yields RCM, which is known to
+//! produce the same bandwidth but a smaller profile and less fill in
+//! practice (§2.1.1). Disconnected components are processed one after
+//! another, each from its own pseudo-peripheral start.
+
+use crate::traits::{ReorderAlgorithm, ReorderResult};
+use sparsegraph::{connected_components, pseudo_peripheral_vertex, Graph};
+use sparsemat::{CsrMatrix, Permutation, SparseError};
+
+/// Reverse Cuthill–McKee reordering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rcm {
+    /// If true, skip the final reversal and produce the plain
+    /// Cuthill–McKee order (exposed for the ablation benchmarks).
+    pub plain_cm: bool,
+}
+
+impl Rcm {
+    /// Compute the Cuthill–McKee order of a graph (before reversal).
+    pub fn cuthill_mckee_order(g: &Graph) -> Vec<u32> {
+        let n = g.num_vertices();
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let comps = connected_components(g);
+        // Process components in order of their first (lowest) vertex so
+        // the ordering is deterministic.
+        for comp in &comps.members {
+            let start = pseudo_peripheral_vertex(g, comp[0] as usize);
+            // BFS with degree-sorted children.
+            let mut queue = std::collections::VecDeque::new();
+            visited[start] = true;
+            queue.push_back(start as u32);
+            let mut children: Vec<u32> = Vec::new();
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                children.clear();
+                for &u in g.neighbors(v as usize) {
+                    if !visited[u as usize] {
+                        visited[u as usize] = true;
+                        children.push(u);
+                    }
+                }
+                children.sort_unstable_by_key(|&u| (g.degree(u as usize), u));
+                for &u in &children {
+                    queue.push_back(u);
+                }
+            }
+        }
+        order
+    }
+}
+
+impl ReorderAlgorithm for Rcm {
+    fn name(&self) -> &'static str {
+        "RCM"
+    }
+
+    fn compute(&self, a: &CsrMatrix) -> Result<ReorderResult, SparseError> {
+        let g = Graph::from_matrix(a)?;
+        let mut order = Rcm::cuthill_mckee_order(&g);
+        if !self.plain_cm {
+            order.reverse();
+        }
+        Ok(ReorderResult {
+            perm: Permutation::from_new_to_old(order)?,
+            symmetric: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    /// Bandwidth of a square matrix: max |i - j| over stored entries.
+    fn bandwidth(a: &CsrMatrix) -> usize {
+        let mut bw = 0usize;
+        for (i, j, _) in a.iter() {
+            bw = bw.max(i.abs_diff(j));
+        }
+        bw
+    }
+
+    /// An "arrow" matrix: dense first row/column plus diagonal. The
+    /// natural ordering has bandwidth n-1; RCM reduces it drastically...
+    /// actually for an arrow matrix the star graph keeps the hub
+    /// adjacent to everything, so instead use a shuffled banded matrix,
+    /// where RCM recovers a narrow band.
+    fn shuffled_band(n: usize, half_bw: usize, seed: u64) -> CsrMatrix {
+        // Build banded matrix, then symmetrically permute by a
+        // pseudo-random shuffle, destroying the band.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in i.saturating_sub(half_bw)..(i + half_bw + 1).min(n) {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let p = Permutation::from_new_to_old(order).unwrap();
+        a.permute_symmetric(&p).unwrap()
+    }
+
+    #[test]
+    fn rcm_recovers_band_structure() {
+        let n = 200;
+        let a = shuffled_band(n, 2, 7);
+        assert!(bandwidth(&a) > n / 4, "shuffle failed to destroy the band");
+        let r = Rcm::default().compute(&a).unwrap();
+        let b = r.apply(&a).unwrap();
+        assert!(
+            bandwidth(&b) <= 8,
+            "RCM bandwidth {} should be near the original 2",
+            bandwidth(&b)
+        );
+        assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn rcm_is_reverse_of_cm() {
+        let a = shuffled_band(50, 2, 3);
+        let rcm = Rcm::default().compute(&a).unwrap();
+        let cm = Rcm { plain_cm: true }.compute(&a).unwrap();
+        let n = a.nrows();
+        for k in 0..n {
+            assert_eq!(rcm.perm.new_to_old(k), cm.perm.new_to_old(n - 1 - k));
+        }
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components() {
+        // Two separate paths.
+        let mut coo = CooMatrix::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 1.0);
+        }
+        coo.push_symmetric(0, 1, 1.0);
+        coo.push_symmetric(1, 2, 1.0);
+        coo.push_symmetric(3, 4, 1.0);
+        coo.push_symmetric(4, 5, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let r = Rcm::default().compute(&a).unwrap();
+        assert_eq!(r.perm.len(), 6);
+        // Valid permutation covering all vertices (checked by constructor);
+        // bandwidth must remain small.
+        let b = r.apply(&a).unwrap();
+        assert!(bandwidth(&b) <= 2);
+    }
+
+    #[test]
+    fn rcm_on_unsymmetric_pattern_uses_symmetrisation() {
+        let mut coo = CooMatrix::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 1.0);
+        }
+        coo.push(0, 3, 1.0); // one-directional entry
+        let a = CsrMatrix::from_coo(&coo);
+        let r = Rcm::default().compute(&a).unwrap();
+        assert_eq!(r.perm.len(), 4);
+        assert!(r.symmetric);
+        r.apply(&a).unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn rcm_identity_sized_one() {
+        let a = CsrMatrix::identity(1);
+        let r = Rcm::default().compute(&a).unwrap();
+        assert_eq!(r.perm.len(), 1);
+    }
+
+    #[test]
+    fn cm_order_visits_low_degree_first_within_level() {
+        // Star with one extra pendant chain: from the hub, children are
+        // visited in ascending degree order.
+        let mut coo = CooMatrix::new(5, 5);
+        for i in 0..5 {
+            coo.push(i, i, 1.0);
+        }
+        coo.push_symmetric(0, 1, 1.0);
+        coo.push_symmetric(0, 2, 1.0);
+        coo.push_symmetric(2, 3, 1.0); // vertex 2 has degree 2
+        coo.push_symmetric(3, 4, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let g = Graph::from_matrix(&a).unwrap();
+        let order = Rcm::cuthill_mckee_order(&g);
+        assert_eq!(order.len(), 5);
+        // Wherever 0 appears, 1 (degree 1) must come before 2 (degree 2)
+        // if both are children of 0.
+        let pos = |v: u32| order.iter().position(|&x| x == v).unwrap();
+        if pos(0) < pos(1) && pos(0) < pos(2) {
+            assert!(pos(1) < pos(2));
+        }
+    }
+}

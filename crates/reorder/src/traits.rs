@@ -1,0 +1,143 @@
+use sparsemat::{CsrMatrix, Permutation, SparseError};
+use std::time::{Duration, Instant};
+
+/// The outcome of computing a reordering: a permutation and whether it
+/// must be applied symmetrically (rows *and* columns) or to rows only.
+#[derive(Debug, Clone)]
+pub struct ReorderResult {
+    /// The computed permutation (`order[new] = old`).
+    pub perm: Permutation,
+    /// True for symmetric orderings (RCM, AMD, ND, GP, HP); false for
+    /// Gray, which permutes rows only (§3.3).
+    pub symmetric: bool,
+}
+
+impl ReorderResult {
+    /// Apply the reordering to a matrix, producing the permuted matrix.
+    pub fn apply(&self, a: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+        if self.symmetric {
+            a.permute_symmetric(&self.perm)
+        } else {
+            Ok(a.permute_rows(&self.perm))
+        }
+    }
+}
+
+/// A sparse matrix reordering algorithm.
+///
+/// Implementations must be deterministic: the same matrix always
+/// produces the same permutation (seeded RNGs only), so experiments are
+/// reproducible.
+pub trait ReorderAlgorithm {
+    /// Short display name matching the paper's Table 1 ("RCM", "GP", ...).
+    fn name(&self) -> &'static str;
+
+    /// Compute the reordering for a square matrix.
+    fn compute(&self, a: &CsrMatrix) -> Result<ReorderResult, SparseError>;
+
+    /// Compute the reordering and measure the wall-clock time taken
+    /// (the quantity reported in Table 5 of the paper).
+    fn compute_timed(&self, a: &CsrMatrix) -> Result<TimedReordering, SparseError> {
+        let start = Instant::now();
+        let result = self.compute(a)?;
+        Ok(TimedReordering {
+            result,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// A reordering together with the time it took to compute.
+#[derive(Debug, Clone)]
+pub struct TimedReordering {
+    /// The reordering itself.
+    pub result: ReorderResult,
+    /// Wall-clock computation time.
+    pub elapsed: Duration,
+}
+
+/// The identity "ordering" — the baseline every speedup in the paper is
+/// measured against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Original;
+
+impl ReorderAlgorithm for Original {
+    fn name(&self) -> &'static str {
+        "Original"
+    }
+
+    fn compute(&self, a: &CsrMatrix) -> Result<ReorderResult, SparseError> {
+        if !a.is_square() {
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        Ok(ReorderResult {
+            perm: Permutation::identity(a.nrows()),
+            symmetric: true,
+        })
+    }
+}
+
+/// The full algorithm suite of the study, in the paper's column order:
+/// RCM, AMD, ND, GP, HP, Gray. `num_parts` configures GP (the paper uses
+/// the core count of the target machine) and HP (the paper fixes 128).
+pub fn all_algorithms(
+    gp_parts: usize,
+    hp_parts: usize,
+) -> Vec<Box<dyn ReorderAlgorithm + Send + Sync>> {
+    vec![
+        Box::new(crate::Rcm::default()),
+        Box::new(crate::Amd::default()),
+        Box::new(crate::Nd::default()),
+        Box::new(crate::Gp::new(gp_parts)),
+        Box::new(crate::Hp::new(hp_parts)),
+        Box::new(crate::Gray::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    fn small() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push_symmetric(0, 2, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 2, 4.0);
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn original_is_identity() {
+        let a = small();
+        let r = Original.compute(&a).unwrap();
+        assert!(r.perm.is_identity());
+        assert!(r.symmetric);
+        assert_eq!(r.apply(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn original_rejects_rectangular() {
+        let a = CsrMatrix::from_coo(&CooMatrix::new(2, 3));
+        assert!(Original.compute(&a).is_err());
+    }
+
+    #[test]
+    fn compute_timed_reports_duration() {
+        let a = small();
+        let t = Original.compute_timed(&a).unwrap();
+        assert!(t.result.perm.is_identity());
+        assert!(t.elapsed.as_nanos() > 0 || t.elapsed.is_zero());
+    }
+
+    #[test]
+    fn all_algorithms_has_six_entries_in_paper_order() {
+        let algs = all_algorithms(16, 128);
+        let names: Vec<&str> = algs.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["RCM", "AMD", "ND", "GP", "HP", "Gray"]);
+    }
+}

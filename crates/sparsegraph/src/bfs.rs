@@ -1,0 +1,121 @@
+use crate::Graph;
+
+/// The result of a level-structured breadth-first search.
+///
+/// `levels[k]` holds the vertices at distance `k` from the root;
+/// `level_of[v]` is the distance of `v`, or `usize::MAX` if `v` is
+/// unreachable from the root.
+#[derive(Debug, Clone)]
+pub struct BfsLevels {
+    /// Vertices grouped by distance from the root.
+    pub levels: Vec<Vec<u32>>,
+    /// Distance of every vertex (`usize::MAX` if unreachable).
+    pub level_of: Vec<usize>,
+}
+
+impl BfsLevels {
+    /// Number of levels (the *depth* or eccentricity + 1 of the root
+    /// within its component).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Width of the widest level.
+    pub fn width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of vertices reached (size of the root's component).
+    pub fn num_reached(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+}
+
+/// Breadth-first search from `root`, producing the rooted level
+/// structure used by Cuthill–McKee and the pseudo-peripheral finder.
+///
+/// Only the connected component containing `root` is traversed.
+pub fn bfs_levels(g: &Graph, root: usize) -> BfsLevels {
+    let n = g.num_vertices();
+    assert!(root < n, "BFS root {root} out of range for {n} vertices");
+    let mut level_of = vec![usize::MAX; n];
+    let mut levels: Vec<Vec<u32>> = Vec::new();
+    let mut frontier = vec![root as u32];
+    level_of[root] = 0;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        let depth = levels.len() + 1;
+        for &v in &frontier {
+            for &u in g.neighbors(v as usize) {
+                if level_of[u as usize] == usize::MAX {
+                    level_of[u as usize] = depth;
+                    next.push(u);
+                }
+            }
+        }
+        levels.push(frontier);
+        frontier = next;
+    }
+    BfsLevels { levels, level_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut xadj = vec![0usize];
+        let mut adjncy = Vec::new();
+        for v in 0..n {
+            if v > 0 {
+                adjncy.push((v - 1) as u32);
+            }
+            if v + 1 < n {
+                adjncy.push((v + 1) as u32);
+            }
+            xadj.push(adjncy.len());
+        }
+        Graph::from_adjacency(xadj, adjncy).unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path_has_linear_levels() {
+        let g = path(5);
+        let b = bfs_levels(&g, 0);
+        assert_eq!(b.depth(), 5);
+        assert_eq!(b.width(), 1);
+        assert_eq!(b.num_reached(), 5);
+        for v in 0..5 {
+            assert_eq!(b.level_of[v], v);
+        }
+    }
+
+    #[test]
+    fn bfs_from_middle() {
+        let g = path(5);
+        let b = bfs_levels(&g, 2);
+        assert_eq!(b.depth(), 3);
+        assert_eq!(b.levels[0], vec![2]);
+        let mut l1 = b.levels[1].clone();
+        l1.sort();
+        assert_eq!(l1, vec![1, 3]);
+    }
+
+    #[test]
+    fn bfs_ignores_other_components() {
+        // Two disconnected edges: 0-1, 2-3.
+        let g = Graph::from_adjacency(vec![0, 1, 2, 3, 4], vec![1, 0, 3, 2]).unwrap();
+        let b = bfs_levels(&g, 0);
+        assert_eq!(b.num_reached(), 2);
+        assert_eq!(b.level_of[2], usize::MAX);
+        assert_eq!(b.level_of[3], usize::MAX);
+    }
+
+    #[test]
+    fn bfs_single_vertex() {
+        let g = Graph::from_adjacency(vec![0, 0], vec![]).unwrap();
+        let b = bfs_levels(&g, 0);
+        assert_eq!(b.depth(), 1);
+        assert_eq!(b.levels[0], vec![0]);
+    }
+}

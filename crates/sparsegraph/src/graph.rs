@@ -1,0 +1,340 @@
+use sparsemat::{is_structurally_symmetric, symmetrize_pattern, CsrMatrix, SparseError};
+
+/// An undirected graph in adjacency-array (CSR-like) form, with integer
+/// vertex and edge weights.
+///
+/// The adjacency of vertex `v` is `adjncy[xadj[v]..xadj[v+1]]`; each
+/// undirected edge `{u, v}` is stored twice (once per endpoint) with the
+/// same weight. Self-loops are never stored. Weights default to 1 and
+/// accumulate during multilevel coarsening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    xadj: Vec<usize>,
+    adjncy: Vec<u32>,
+    vwgt: Vec<i64>,
+    ewgt: Vec<i64>,
+}
+
+impl Graph {
+    /// Build a graph from raw adjacency arrays with unit weights.
+    ///
+    /// The caller must supply a symmetric adjacency structure (each edge
+    /// listed from both endpoints) with no self-loops; this is verified.
+    pub fn from_adjacency(xadj: Vec<usize>, adjncy: Vec<u32>) -> Result<Self, SparseError> {
+        let n = xadj.len().saturating_sub(1);
+        if xadj.is_empty() || xadj[0] != 0 || *xadj.last().unwrap() != adjncy.len() {
+            return Err(SparseError::InvalidStructure(
+                "xadj must start at 0 and end at adjncy.len()".into(),
+            ));
+        }
+        for v in 0..n {
+            if xadj[v] > xadj[v + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "xadj not monotone at vertex {v}"
+                )));
+            }
+            for &u in &adjncy[xadj[v]..xadj[v + 1]] {
+                if u as usize >= n {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "neighbour {u} out of range for {n} vertices"
+                    )));
+                }
+                if u as usize == v {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "self-loop at vertex {v}"
+                    )));
+                }
+            }
+        }
+        // Verify symmetry with a degree-count matching argument:
+        // build reverse counts and compare.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..n {
+            for &u in &adjncy[xadj[v]..xadj[v + 1]] {
+                seen.insert((v as u32, u));
+            }
+        }
+        for &(v, u) in seen.iter() {
+            if !seen.contains(&(u, v)) {
+                return Err(SparseError::InvalidStructure(format!(
+                    "edge ({v}, {u}) has no reverse"
+                )));
+            }
+        }
+        let nedges = adjncy.len();
+        Ok(Graph {
+            xadj,
+            adjncy,
+            vwgt: vec![1; n],
+            ewgt: vec![1; nedges],
+        })
+    }
+
+    /// Build from raw parts including weights, without symmetry
+    /// verification (used by the coarsener where structure is correct by
+    /// construction).
+    pub fn from_parts_unchecked(
+        xadj: Vec<usize>,
+        adjncy: Vec<u32>,
+        vwgt: Vec<i64>,
+        ewgt: Vec<i64>,
+    ) -> Self {
+        debug_assert_eq!(xadj.len(), vwgt.len() + 1);
+        debug_assert_eq!(adjncy.len(), ewgt.len());
+        debug_assert_eq!(*xadj.last().unwrap(), adjncy.len());
+        Graph {
+            xadj,
+            adjncy,
+            vwgt,
+            ewgt,
+        }
+    }
+
+    /// The undirected graph of a structurally symmetric square matrix:
+    /// vertices are rows/columns, edges are off-diagonal nonzeros.
+    ///
+    /// If the pattern is unsymmetric, it is symmetrised as `A + Aᵀ`
+    /// first, matching the paper's §3.3 policy for RCM/AMD/ND/GP.
+    pub fn from_matrix(a: &CsrMatrix) -> Result<Self, SparseError> {
+        if !a.is_square() {
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        let sym;
+        let m = if is_structurally_symmetric(a) {
+            a
+        } else {
+            sym = symmetrize_pattern(a)?;
+            &sym
+        };
+        let n = m.nrows();
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0usize);
+        let mut adjncy = Vec::with_capacity(m.nnz());
+        for v in 0..n {
+            let (cols, _) = m.row(v);
+            for &c in cols {
+                if c as usize != v {
+                    adjncy.push(c);
+                }
+            }
+            xadj.push(adjncy.len());
+        }
+        let nedges = adjncy.len();
+        Ok(Graph {
+            xadj,
+            adjncy,
+            vwgt: vec![1; n],
+            ewgt: vec![1; nedges],
+        })
+    }
+
+    /// Like [`Graph::from_matrix`], but weighting each vertex by the
+    /// number of nonzeros in the corresponding matrix row (the
+    /// nnz-balanced partitioning variant discussed in §3.3).
+    pub fn from_matrix_nnz_weighted(a: &CsrMatrix) -> Result<Self, SparseError> {
+        let mut g = Graph::from_matrix(a)?;
+        for v in 0..g.num_vertices() {
+            g.vwgt[v] = a.row_nnz(v).max(1) as i64;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges (each stored twice internally).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// The adjacency list of vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Neighbour/edge-weight pairs of vertex `v`.
+    #[inline]
+    pub fn neighbors_weighted(&self, v: usize) -> impl Iterator<Item = (u32, i64)> + '_ {
+        let lo = self.xadj[v];
+        let hi = self.xadj[v + 1];
+        self.adjncy[lo..hi]
+            .iter()
+            .zip(self.ewgt[lo..hi].iter())
+            .map(|(&u, &w)| (u, w))
+    }
+
+    /// Degree (number of adjacent vertices) of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Vertex weight of `v`.
+    #[inline]
+    pub fn vertex_weight(&self, v: usize) -> i64 {
+        self.vwgt[v]
+    }
+
+    /// All vertex weights.
+    #[inline]
+    pub fn vertex_weights(&self) -> &[i64] {
+        &self.vwgt
+    }
+
+    /// Total vertex weight.
+    pub fn total_vertex_weight(&self) -> i64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_edge_weight(&self) -> i64 {
+        self.ewgt.iter().sum::<i64>() / 2
+    }
+
+    /// The adjacency offsets array.
+    #[inline]
+    pub fn xadj(&self) -> &[usize] {
+        &self.xadj
+    }
+
+    /// The adjacency array.
+    #[inline]
+    pub fn adjncy(&self) -> &[u32] {
+        &self.adjncy
+    }
+
+    /// Edge weights, parallel to [`Graph::adjncy`].
+    #[inline]
+    pub fn edge_weights(&self) -> &[i64] {
+        &self.ewgt
+    }
+
+    /// Extract the vertex-induced subgraph on `vertices`, returning the
+    /// subgraph and the mapping `local -> global`.
+    pub fn subgraph(&self, vertices: &[u32]) -> (Graph, Vec<u32>) {
+        let mut global_to_local = std::collections::HashMap::with_capacity(vertices.len());
+        for (local, &v) in vertices.iter().enumerate() {
+            global_to_local.insert(v, local as u32);
+        }
+        let mut xadj = Vec::with_capacity(vertices.len() + 1);
+        xadj.push(0usize);
+        let mut adjncy = Vec::new();
+        let mut ewgt = Vec::new();
+        let mut vwgt = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            for (u, w) in self.neighbors_weighted(v as usize) {
+                if let Some(&lu) = global_to_local.get(&u) {
+                    adjncy.push(lu);
+                    ewgt.push(w);
+                }
+            }
+            xadj.push(adjncy.len());
+            vwgt.push(self.vwgt[v as usize]);
+        }
+        (
+            Graph {
+                xadj,
+                adjncy,
+                vwgt,
+                ewgt,
+            },
+            vertices.to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    /// A path graph 0-1-2-3 as a symmetric matrix with diagonal.
+    fn path4() -> CsrMatrix {
+        let mut coo = CooMatrix::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 2.0);
+        }
+        for i in 0..3 {
+            coo.push_symmetric(i, i + 1, -1.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_matrix_drops_diagonal() {
+        let g = Graph::from_matrix(&path4()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn from_unsymmetric_matrix_symmetrises() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0); // only one direction
+        coo.push(2, 0, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let g = Graph::from_matrix(&a).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn nnz_weighted_vertices() {
+        let a = path4();
+        let g = Graph::from_matrix_nnz_weighted(&a).unwrap();
+        assert_eq!(g.vertex_weight(0), 2); // row 0 has 2 nnz
+        assert_eq!(g.vertex_weight(1), 3);
+        assert_eq!(g.total_vertex_weight(), 2 + 3 + 3 + 2);
+    }
+
+    #[test]
+    fn from_adjacency_validates() {
+        // Valid triangle.
+        let g = Graph::from_adjacency(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1]).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        // Self-loop rejected.
+        assert!(Graph::from_adjacency(vec![0, 1], vec![0]).is_err());
+        // Asymmetric rejected.
+        assert!(Graph::from_adjacency(vec![0, 1, 1], vec![1]).is_err());
+        // Out-of-range neighbour rejected.
+        assert!(Graph::from_adjacency(vec![0, 1, 2], vec![5, 0]).is_err());
+    }
+
+    #[test]
+    fn rectangular_matrix_rejected() {
+        let coo = CooMatrix::new(2, 3);
+        let a = CsrMatrix::from_coo(&coo);
+        assert!(Graph::from_matrix(&a).is_err());
+    }
+
+    #[test]
+    fn subgraph_extraction() {
+        let g = Graph::from_matrix(&path4()).unwrap();
+        let (sg, map) = g.subgraph(&[1, 2, 3]);
+        assert_eq!(sg.num_vertices(), 3);
+        // Edges 1-2 and 2-3 survive; edge 0-1 is cut.
+        assert_eq!(sg.num_edges(), 2);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(sg.neighbors(0), &[1]); // local 0 = global 1, neighbour local 1 = global 2
+    }
+
+    #[test]
+    fn weighted_iteration() {
+        let g = Graph::from_matrix(&path4()).unwrap();
+        let pairs: Vec<_> = g.neighbors_weighted(1).collect();
+        assert_eq!(pairs, vec![(0, 1), (2, 1)]);
+        assert_eq!(g.total_edge_weight(), 3);
+    }
+}

@@ -1,0 +1,26 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Graph and hypergraph substrate for sparse matrix reordering.
+//!
+//! Reordering algorithms operate on the *undirected graph* of a
+//! structurally symmetric sparse matrix: one vertex per row/column, one
+//! edge per symmetric off-diagonal nonzero pair. Hypergraph-based
+//! reordering uses the *column-net model* instead: one vertex per row,
+//! one net (hyperedge) per column, with the net containing every row
+//! that has a nonzero in that column.
+//!
+//! This crate provides both models plus the graph traversal machinery
+//! the reorderings need: breadth-first search with level sets, the
+//! George–Liu pseudo-peripheral vertex finder, and connected components.
+
+mod bfs;
+mod components;
+mod graph;
+mod hypergraph;
+mod peripheral;
+
+pub use bfs::{bfs_levels, BfsLevels};
+pub use components::{connected_components, Components};
+pub use graph::Graph;
+pub use hypergraph::Hypergraph;
+pub use peripheral::pseudo_peripheral_vertex;

@@ -1,0 +1,109 @@
+//! Property-based tests for the graph/hypergraph substrate.
+
+use proptest::prelude::*;
+use sparsegraph::{bfs_levels, connected_components, pseudo_peripheral_vertex, Graph, Hypergraph};
+use sparsemat::{CooMatrix, CsrMatrix};
+
+fn sym_matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
+    (2usize..60, proptest::collection::vec((0usize..3600, 0usize..3600), 0..150)).prop_map(
+        |(n, pairs)| {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 1.0);
+            }
+            for (a, b) in pairs {
+                let (i, j) = (a % n, b % n);
+                if i != j {
+                    coo.push_symmetric(i.max(j), i.min(j), 1.0);
+                }
+            }
+            CsrMatrix::from_coo(&coo)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_adjacency_is_symmetric(a in sym_matrix_strategy()) {
+        let g = Graph::from_matrix(&a).unwrap();
+        for v in 0..g.num_vertices() {
+            for &u in g.neighbors(v) {
+                prop_assert!(
+                    g.neighbors(u as usize).contains(&(v as u32)),
+                    "edge ({v}, {u}) missing its reverse"
+                );
+                prop_assert_ne!(u as usize, v, "self-loop at {}", v);
+            }
+        }
+        // Handshake lemma.
+        let degree_sum: usize = (0..g.num_vertices()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn bfs_levels_partition_the_component(a in sym_matrix_strategy()) {
+        let g = Graph::from_matrix(&a).unwrap();
+        let b = bfs_levels(&g, 0);
+        // Levels are disjoint and adjacent levels differ by exactly 1.
+        let mut seen = std::collections::HashSet::new();
+        for (k, level) in b.levels.iter().enumerate() {
+            for &v in level {
+                prop_assert!(seen.insert(v), "vertex {} in two levels", v);
+                prop_assert_eq!(b.level_of[v as usize], k);
+            }
+        }
+        // Edge level gap is at most 1 within the component.
+        for v in 0..g.num_vertices() {
+            if b.level_of[v] == usize::MAX { continue; }
+            for &u in g.neighbors(v) {
+                let d = b.level_of[v].abs_diff(b.level_of[u as usize]);
+                prop_assert!(d <= 1, "edge ({v}, {u}) spans {d} levels");
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_vertices(a in sym_matrix_strategy()) {
+        let g = Graph::from_matrix(&a).unwrap();
+        let c = connected_components(&g);
+        let total: usize = c.members.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.num_vertices());
+        // Edges never cross components.
+        for v in 0..g.num_vertices() {
+            for &u in g.neighbors(v) {
+                prop_assert_eq!(c.component_of[v], c.component_of[u as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_peripheral_has_maximal_or_near_depth(a in sym_matrix_strategy()) {
+        let g = Graph::from_matrix(&a).unwrap();
+        let p = pseudo_peripheral_vertex(&g, 0);
+        let depth_p = bfs_levels(&g, p).depth();
+        let depth_0 = bfs_levels(&g, 0).depth();
+        prop_assert!(depth_p >= depth_0, "peripheral depth {depth_p} < start depth {depth_0}");
+    }
+
+    #[test]
+    fn hypergraph_duality(a in sym_matrix_strategy()) {
+        let h = Hypergraph::column_net(&a);
+        prop_assert_eq!(h.num_pins(), a.nnz());
+        // v in pins(j) <=> j in nets(v).
+        for j in 0..h.num_nets() {
+            for &v in h.net_pins(j) {
+                prop_assert!(h.vertex_nets(v as usize).contains(&(j as u32)));
+            }
+        }
+        for v in 0..h.num_vertices() {
+            for &j in h.vertex_nets(v) {
+                prop_assert!(h.net_pins(j as usize).contains(&(v as u32)));
+            }
+        }
+        // Single-part assignment cuts nothing.
+        let parts = vec![0u32; h.num_vertices()];
+        prop_assert_eq!(h.cut_net(&parts), 0);
+    }
+}

@@ -1,0 +1,183 @@
+use crate::{ColIdx, CsrMatrix, SparseError};
+
+/// A sparse matrix in compressed sparse column (CSC) format.
+///
+/// CSC is the column-major dual of CSR: `colptr[j]..colptr[j+1]`
+/// delimits the nonzeros of column `j`, whose row indices are stored in
+/// `rowidx`. The Cholesky substrate works column-wise and therefore
+/// consumes this form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<ColIdx>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Construct from raw parts, validating structural invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<ColIdx>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        // Validate by viewing the arrays as a CSR matrix of the transpose.
+        CsrMatrix::from_parts(ncols, nrows, colptr.clone(), rowidx.clone(), values.clone())?;
+        Ok(CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        })
+    }
+
+    /// Reinterpret a CSR matrix holding `Aᵀ` as a CSC view of `A`.
+    ///
+    /// The CSR rows of `Aᵀ` are exactly the columns of `A`, so the
+    /// arrays transfer without copying.
+    pub fn from_transposed_csr(t: CsrMatrix) -> CscMatrix {
+        let (nrows, ncols) = (t.ncols(), t.nrows());
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr: t.rowptr().to_vec(),
+            rowidx: t.colidx().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Convert a CSR matrix to CSC.
+    pub fn from_csr(a: &CsrMatrix) -> CscMatrix {
+        a.to_csc()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// The column pointer array (`ncols + 1` entries).
+    #[inline]
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// The row index array (`nnz` entries).
+    #[inline]
+    pub fn rowidx(&self) -> &[ColIdx] {
+        &self.rowidx
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row indices and values of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[ColIdx], &[f64]) {
+        let lo = self.colptr[j];
+        let hi = self.colptr[j + 1];
+        (&self.rowidx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of nonzeros in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.colptr[j + 1] - self.colptr[j]
+    }
+
+    /// Convert to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Our arrays are the CSR form of Aᵀ; transposing that yields A.
+        let t = CsrMatrix::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.colptr.clone(),
+            self.rowidx.clone(),
+            self.values.clone(),
+        );
+        t.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn small_csr() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 0, 4.0);
+        coo.push(2, 2, 5.0);
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn csr_to_csc_columns() {
+        let a = small_csr();
+        let c = a.to_csc();
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(c.ncols(), 3);
+        assert_eq!(c.nnz(), 5);
+        let (rows, vals) = c.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+        let (rows, vals) = c.col(2);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[2.0, 5.0]);
+        assert_eq!(c.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn csc_roundtrip_to_csr() {
+        let a = small_csr();
+        let back = a.to_csc().to_csr();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn rectangular_conversion() {
+        let mut coo = CooMatrix::new(2, 4);
+        coo.push(0, 3, 1.0);
+        coo.push(1, 0, 2.0);
+        coo.push(1, 3, 3.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let c = a.to_csc();
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 4);
+        let (rows, _) = c.col(3);
+        assert_eq!(rows, &[0, 1]);
+        assert_eq!(c.to_csr(), a);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+    }
+}

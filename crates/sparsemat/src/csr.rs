@@ -1,0 +1,632 @@
+use crate::{ColIdx, CooMatrix, CscMatrix, Permutation, SparseError};
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// Nonzeros are grouped by row; within each row, column indices are
+/// strictly increasing (no duplicates). `rowptr` has `nrows + 1`
+/// entries, with `rowptr[i]..rowptr[i+1]` delimiting the nonzeros of
+/// row `i` in `colidx`/`values`. Column indices are 32-bit and values
+/// are `f64`, matching the storage convention of the paper (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<ColIdx>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Construct from raw parts, validating every structural invariant.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<ColIdx>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if ncols > u32::MAX as usize {
+            return Err(SparseError::TooLarge { dim: ncols });
+        }
+        if rowptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "rowptr has length {}, expected {}",
+                rowptr.len(),
+                nrows + 1
+            )));
+        }
+        if rowptr[0] != 0 {
+            return Err(SparseError::InvalidStructure(
+                "rowptr must start at 0".into(),
+            ));
+        }
+        if *rowptr.last().unwrap() != colidx.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "rowptr ends at {} but there are {} column indices",
+                rowptr.last().unwrap(),
+                colidx.len()
+            )));
+        }
+        if colidx.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "{} column indices but {} values",
+                colidx.len(),
+                values.len()
+            )));
+        }
+        for i in 0..nrows {
+            if rowptr[i] > rowptr[i + 1] || rowptr[i + 1] > colidx.len() {
+                return Err(SparseError::InvalidStructure(format!(
+                    "rowptr not monotone at row {i}"
+                )));
+            }
+            let row = &colidx[rowptr[i]..rowptr[i + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "columns not strictly increasing in row {i}"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: i,
+                        col: last as usize,
+                        nrows,
+                        ncols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        })
+    }
+
+    /// Construct from raw parts without validation.
+    ///
+    /// Not `unsafe` in the memory-safety sense, but callers must uphold
+    /// the CSR invariants or later operations will panic or produce
+    /// wrong results. Used on hot internal paths where the structure is
+    /// correct by construction.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<ColIdx>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(rowptr.len(), nrows + 1);
+        debug_assert_eq!(colidx.len(), values.len());
+        debug_assert_eq!(*rowptr.last().unwrap(), colidx.len());
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Convert from COO, sorting entries and summing duplicates.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        let (rows, cols, vals) = coo.triplets();
+        let nnz_in = rows.len();
+
+        // Counting sort by row.
+        let mut rowcount = vec![0usize; nrows + 1];
+        for &r in rows {
+            rowcount[r as usize + 1] += 1;
+        }
+        for i in 0..nrows {
+            rowcount[i + 1] += rowcount[i];
+        }
+        let mut order: Vec<u32> = vec![0; nnz_in];
+        let mut next = rowcount.clone();
+        for (k, &r) in rows.iter().enumerate() {
+            order[next[r as usize]] = k as u32;
+            next[r as usize] += 1;
+        }
+
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        rowptr.push(0);
+        let mut colidx: Vec<ColIdx> = Vec::with_capacity(nnz_in);
+        let mut values: Vec<f64> = Vec::with_capacity(nnz_in);
+        let mut rowbuf: Vec<(ColIdx, f64)> = Vec::new();
+        for i in 0..nrows {
+            rowbuf.clear();
+            for &k in &order[rowcount[i]..rowcount[i + 1]] {
+                rowbuf.push((cols[k as usize], vals[k as usize]));
+            }
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            // Sum duplicates.
+            let mut j = 0;
+            while j < rowbuf.len() {
+                let (c, mut v) = rowbuf[j];
+                let mut j2 = j + 1;
+                while j2 < rowbuf.len() && rowbuf[j2].0 == c {
+                    v += rowbuf[j2].1;
+                    j2 += 1;
+                }
+                colidx.push(c);
+                values.push(v);
+                j = j2;
+            }
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// The `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            rowptr: (0..=n).collect(),
+            colidx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// The row pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// The column index array (`nnz` entries).
+    #[inline]
+    pub fn colidx(&self) -> &[ColIdx] {
+        &self.colidx
+    }
+
+    /// The value array (`nnz` entries).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to values (the pattern stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[ColIdx], &[f64]) {
+        let lo = self.rowptr[i];
+        let hi = self.rowptr[i + 1];
+        (&self.colidx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of nonzeros in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// Iterate over `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals.iter())
+                .map(move |(&c, &v)| (i, c as usize, v))
+        })
+    }
+
+    /// Look up the value at `(row, col)` by binary search, if stored.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        let (cols, vals) = self.row(row);
+        cols.binary_search(&(col as ColIdx))
+            .ok()
+            .map(|k| vals[k])
+    }
+
+    /// Sequential reference SpMV: returns `y = A * x`.
+    ///
+    /// The parallel kernels live in the `spmv` crate; this is the
+    /// correctness oracle they are tested against.
+    pub fn spmv_dense(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        let mut y = vec![0.0; self.nrows];
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let mut sum = 0.0;
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                sum += v * x[c as usize];
+            }
+            y[i] = sum;
+        }
+        y
+    }
+
+    /// The transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut colcount = vec![0usize; self.ncols + 1];
+        for &c in &self.colidx {
+            colcount[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            colcount[j + 1] += colcount[j];
+        }
+        // After the prefix sum, `colcount` is exactly the transpose's
+        // row pointer array.
+        let rowptr_t = colcount.clone();
+        let mut colidx_t = vec![0 as ColIdx; self.nnz()];
+        let mut values_t = vec![0.0; self.nnz()];
+        let mut next: Vec<usize> = colcount[..self.ncols].to_vec();
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let slot = next[c as usize];
+                colidx_t[slot] = i as ColIdx;
+                values_t[slot] = v;
+                next[c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr: rowptr_t,
+            colidx: colidx_t,
+            values: values_t,
+        }
+    }
+
+    /// Convert to compressed sparse column form.
+    pub fn to_csc(&self) -> CscMatrix {
+        let t = self.transpose();
+        CscMatrix::from_transposed_csr(t)
+    }
+
+    /// Convert back to COO triplets.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (i, j, v) in self.iter() {
+            coo.push(i, j, v);
+        }
+        coo
+    }
+
+    /// Symmetric permutation `B = P A Pᵀ`: row and column `old` both move
+    /// to position `perm.old_to_new(old)`.
+    ///
+    /// Requires a square matrix (all symmetric reorderings in the paper
+    /// operate on square matrices).
+    pub fn permute_symmetric(&self, perm: &Permutation) -> Result<CsrMatrix, SparseError> {
+        if !self.is_square() {
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        assert_eq!(perm.len(), self.nrows, "permutation length mismatch");
+        let n = self.nrows;
+        let mut rowptr = Vec::with_capacity(n + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut rowbuf: Vec<(ColIdx, f64)> = Vec::new();
+        for new_i in 0..n {
+            let old_i = perm.new_to_old(new_i);
+            let (cols, vals) = self.row(old_i);
+            rowbuf.clear();
+            rowbuf.reserve(cols.len());
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                rowbuf.push((perm.old_to_new(c as usize) as ColIdx, v));
+            }
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &rowbuf {
+                colidx.push(c);
+                values.push(v);
+            }
+            rowptr.push(colidx.len());
+        }
+        Ok(CsrMatrix {
+            nrows: n,
+            ncols: n,
+            rowptr,
+            colidx,
+            values,
+        })
+    }
+
+    /// Row-only permutation `B = P A` (used by the unsymmetric Gray
+    /// ordering, which leaves columns in place).
+    pub fn permute_rows(&self, perm: &Permutation) -> CsrMatrix {
+        assert_eq!(perm.len(), self.nrows, "permutation length mismatch");
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for new_i in 0..self.nrows {
+            let old_i = perm.new_to_old(new_i);
+            let (cols, vals) = self.row(old_i);
+            colidx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Column-only permutation `B = A Pᵀ` (columns move to their new
+    /// positions; rows stay).
+    pub fn permute_cols(&self, perm: &Permutation) -> CsrMatrix {
+        assert_eq!(perm.len(), self.ncols, "permutation length mismatch");
+        let mut colidx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut rowbuf: Vec<(ColIdx, f64)> = Vec::new();
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            rowbuf.clear();
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                rowbuf.push((perm.old_to_new(c as usize) as ColIdx, v));
+            }
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &rowbuf {
+                colidx.push(c);
+                values.push(v);
+            }
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// The structural pattern with all values set to 1.0.
+    pub fn pattern(&self) -> CsrMatrix {
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr: self.rowptr.clone(),
+            colidx: self.colidx.clone(),
+            values: vec![1.0; self.nnz()],
+        }
+    }
+
+    /// True if both matrices have the same sparsity pattern.
+    pub fn same_pattern(&self, other: &CsrMatrix) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.rowptr == other.rowptr
+            && self.colidx == other.colidx
+    }
+
+    /// Extract the diagonal (length `min(nrows, ncols)`, zeros where no
+    /// entry is stored).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i).unwrap_or(0.0)).collect()
+    }
+
+    /// Validate all CSR invariants (useful in tests and after unchecked
+    /// construction).
+    pub fn validate(&self) -> Result<(), SparseError> {
+        CsrMatrix::from_parts(
+            self.nrows,
+            self.ncols,
+            self.rowptr.clone(),
+            self.colidx.clone(),
+            self.values.clone(),
+        )
+        .map(|_| ())
+    }
+
+    /// Bytes needed to store the matrix in CSR form (8-byte values,
+    /// 4-byte column indices, 8-byte row pointers), as in the paper's
+    /// cache-capacity discussion (§4.1).
+    pub fn csr_bytes(&self) -> usize {
+        self.values.len() * 8 + self.colidx.len() * 4 + self.rowptr.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 0, 4.0);
+        coo.push(2, 2, 5.0);
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_sorts_and_sums_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 1, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 0, 3.0);
+        coo.push(0, 1, 4.0); // duplicate, summed
+        let a = CsrMatrix::from_coo(&coo);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), Some(6.0));
+        assert_eq!(a.get(0, 0), Some(3.0));
+        assert_eq!(a.get(1, 1), Some(1.0));
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn row_access() {
+        let a = small();
+        let (cols, vals) = a.row(2);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[4.0, 5.0]);
+        assert_eq!(a.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn spmv_dense_reference() {
+        let a = small();
+        let y = a.spmv_dense(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = small();
+        let t = a.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.get(0, 2), Some(4.0));
+        assert_eq!(t.get(2, 0), Some(2.0));
+        let tt = t.transpose();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let i = CsrMatrix::identity(4);
+        i.validate().unwrap();
+        assert_eq!(i.nnz(), 4);
+        let y = i.spmv_dense(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn permute_symmetric_reverse() {
+        let a = small();
+        let p = Permutation::from_new_to_old(vec![2, 1, 0]).unwrap();
+        let b = a.permute_symmetric(&p).unwrap();
+        b.validate().unwrap();
+        // Old (2,2)=5 moves to (0,0); old (0,2)=2 moves to (2,0).
+        assert_eq!(b.get(0, 0), Some(5.0));
+        assert_eq!(b.get(2, 0), Some(2.0));
+        assert_eq!(b.get(1, 1), Some(3.0));
+        assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn permute_symmetric_identity_is_noop() {
+        let a = small();
+        let p = Permutation::identity(3);
+        assert_eq!(a.permute_symmetric(&p).unwrap(), a);
+    }
+
+    #[test]
+    fn permute_rows_only() {
+        let a = small();
+        let p = Permutation::from_new_to_old(vec![1, 2, 0]).unwrap();
+        let b = a.permute_rows(&p);
+        b.validate().unwrap();
+        // New row 0 is old row 1.
+        assert_eq!(b.get(0, 1), Some(3.0));
+        assert_eq!(b.get(1, 0), Some(4.0));
+        assert_eq!(b.get(2, 2), Some(2.0));
+    }
+
+    #[test]
+    fn permute_cols_only() {
+        let a = small();
+        let p = Permutation::from_new_to_old(vec![2, 1, 0]).unwrap();
+        let b = a.permute_cols(&p);
+        b.validate().unwrap();
+        // Old column 0 moves to column 2.
+        assert_eq!(b.get(0, 2), Some(1.0));
+        assert_eq!(b.get(0, 0), Some(2.0));
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_structure() {
+        // Non-monotone rowptr.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).is_err());
+        // Unsorted columns.
+        assert!(
+            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+        // Duplicate columns.
+        assert!(
+            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
+        );
+        // Column out of range.
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Length mismatch.
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn diagonal_and_get() {
+        let a = small();
+        assert_eq!(a.diagonal(), vec![1.0, 3.0, 5.0]);
+        assert_eq!(a.get(0, 1), None);
+    }
+
+    #[test]
+    fn csr_bytes_accounting() {
+        let a = small();
+        assert_eq!(a.csr_bytes(), 5 * 8 + 5 * 4 + 4 * 8);
+    }
+
+    #[test]
+    fn iter_yields_row_major() {
+        let a = small();
+        let all: Vec<_> = a.iter().collect();
+        assert_eq!(
+            all,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0)
+            ]
+        );
+    }
+}

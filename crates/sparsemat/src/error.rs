@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Errors produced while constructing, converting or parsing sparse
+/// matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index is outside the matrix dimensions.
+    IndexOutOfBounds {
+        row: usize,
+        col: usize,
+        nrows: usize,
+        ncols: usize,
+    },
+    /// A CSR/CSC structural invariant is violated (non-monotone pointers,
+    /// unsorted or duplicate column indices, length mismatches).
+    InvalidStructure(String),
+    /// The operation requires a square matrix.
+    NotSquare { nrows: usize, ncols: usize },
+    /// The operation requires a structurally symmetric matrix.
+    NotSymmetric,
+    /// A Matrix Market file could not be parsed.
+    Parse { line: usize, message: String },
+    /// An I/O error occurred while reading or writing a file.
+    Io(String),
+    /// The matrix dimensions exceed what 32-bit column indices can address.
+    TooLarge { dim: usize },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
+            }
+            SparseError::NotSymmetric => {
+                write!(f, "operation requires a structurally symmetric matrix")
+            }
+            SparseError::Parse { line, message } => {
+                write!(f, "matrix market parse error at line {line}: {message}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::TooLarge { dim } => write!(
+                f,
+                "dimension {dim} exceeds the 32-bit column index limit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 2,
+            nrows: 3,
+            ncols: 3,
+        };
+        assert!(e.to_string().contains("(5, 2)"));
+        assert!(e.to_string().contains("3x3"));
+
+        let e = SparseError::NotSquare { nrows: 2, ncols: 4 };
+        assert!(e.to_string().contains("2x4"));
+
+        let e = SparseError::Parse {
+            line: 10,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 10"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+    }
+}

@@ -1,0 +1,172 @@
+//! ASCII "spy plot" rendering of sparsity patterns.
+//!
+//! Figure 1 of the paper shows sparsity patterns of matrices before and
+//! after reordering. This module renders the same view in the terminal:
+//! the matrix is divided into a grid of character cells and each cell is
+//! shaded by the density of nonzeros falling inside it.
+
+use crate::CsrMatrix;
+
+/// Options controlling [`spy_string`] rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct SpyOptions {
+    /// Output width in character cells.
+    pub width: usize,
+    /// Output height in character cells.
+    pub height: usize,
+    /// Draw a border box around the plot.
+    pub border: bool,
+}
+
+impl Default for SpyOptions {
+    fn default() -> Self {
+        SpyOptions {
+            width: 48,
+            height: 24,
+            border: true,
+        }
+    }
+}
+
+/// Shading ramp from empty to dense.
+const SHADES: [char; 5] = [' ', '.', ':', 'o', '@'];
+
+/// Render the sparsity pattern of `a` as an ASCII density plot.
+pub fn spy_string(a: &CsrMatrix, opts: &SpyOptions) -> String {
+    let w = opts.width.max(1);
+    let h = opts.height.max(1);
+    let mut cells = vec![0usize; w * h];
+    let rscale = h as f64 / a.nrows().max(1) as f64;
+    let cscale = w as f64 / a.ncols().max(1) as f64;
+    for i in 0..a.nrows() {
+        let ci = ((i as f64 * rscale) as usize).min(h - 1);
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            let cj = ((j as f64 * cscale) as usize).min(w - 1);
+            cells[ci * w + cj] += 1;
+        }
+    }
+    // Cell capacity: nonzeros a cell would hold if the matrix were full.
+    let cell_rows = (a.nrows() as f64 / h as f64).max(1.0);
+    let cell_cols = (a.ncols() as f64 / w as f64).max(1.0);
+    let capacity = cell_rows * cell_cols;
+
+    let mut out = String::with_capacity((w + 3) * (h + 2));
+    if opts.border {
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', w));
+        out.push('+');
+        out.push('\n');
+    }
+    for r in 0..h {
+        if opts.border {
+            out.push('|');
+        }
+        for c in 0..w {
+            let count = cells[r * w + c];
+            let ch = if count == 0 {
+                SHADES[0]
+            } else {
+                let density = (count as f64 / capacity).min(1.0);
+                // Map (0, 1] onto the nonzero shades.
+                let levels = SHADES.len() - 1;
+                let idx = 1 + ((density * levels as f64) as usize).min(levels - 1);
+                SHADES[idx]
+            };
+            out.push(ch);
+        }
+        if opts.border {
+            out.push('|');
+        }
+        out.push('\n');
+    }
+    if opts.border {
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', w));
+        out.push('+');
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn diagonal_matrix_renders_diagonal() {
+        let a = CsrMatrix::identity(10);
+        let opts = SpyOptions {
+            width: 10,
+            height: 10,
+            border: false,
+        };
+        let s = spy_string(&a, &opts);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 10);
+        for (r, line) in lines.iter().enumerate() {
+            let chars: Vec<char> = line.chars().collect();
+            assert_eq!(chars.len(), 10);
+            assert_ne!(chars[r], ' ', "diagonal cell ({r},{r}) should be shaded");
+            // Off-diagonal cells in this row are empty.
+            for (c, &ch) in chars.iter().enumerate() {
+                if c != r {
+                    assert_eq!(ch, ' ');
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_renders_blank() {
+        let coo = CooMatrix::new(5, 5);
+        let a = CsrMatrix::from_coo(&coo);
+        let opts = SpyOptions {
+            width: 4,
+            height: 4,
+            border: false,
+        };
+        let s = spy_string(&a, &opts);
+        assert!(s.lines().all(|l| l.chars().all(|c| c == ' ')));
+    }
+
+    #[test]
+    fn border_is_drawn() {
+        let a = CsrMatrix::identity(4);
+        let opts = SpyOptions {
+            width: 4,
+            height: 2,
+            border: true,
+        };
+        let s = spy_string(&a, &opts);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "+----+");
+        assert!(lines[1].starts_with('|') && lines[1].ends_with('|'));
+        assert_eq!(lines[3], "+----+");
+    }
+
+    #[test]
+    fn denser_cells_get_darker_shades() {
+        // One very dense block in the top-left of a mostly empty matrix.
+        let mut coo = CooMatrix::new(100, 100);
+        for i in 0..10 {
+            for j in 0..10 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        coo.push(99, 99, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let opts = SpyOptions {
+            width: 10,
+            height: 10,
+            border: false,
+        };
+        let s = spy_string(&a, &opts);
+        let first = s.lines().next().unwrap().chars().next().unwrap();
+        assert_eq!(first, '@', "a full cell should use the densest shade");
+        let last_line: Vec<char> = s.lines().last().unwrap().chars().collect();
+        assert_eq!(last_line[9], '.', "a single nonzero uses the lightest shade");
+    }
+}

@@ -1,0 +1,132 @@
+use crate::{ColIdx, CsrMatrix, SparseError};
+
+/// True if the sparsity pattern of a square matrix is symmetric
+/// (an entry at `(i, j)` implies an entry at `(j, i)`; values are
+/// ignored).
+pub fn is_structurally_symmetric(a: &CsrMatrix) -> bool {
+    if !a.is_square() {
+        return false;
+    }
+    let t = a.transpose();
+    a.rowptr() == t.rowptr() && a.colidx() == t.colidx()
+}
+
+/// The structural symmetrisation `A + Aᵀ` (pattern only, values 1.0).
+///
+/// The symmetric reorderings in the paper (RCM, AMD, ND, GP) operate on
+/// the undirected graph of a structurally symmetric matrix; for
+/// unsymmetric inputs, §3.3 prescribes using the pattern of `A + Aᵀ`.
+/// Diagonal entries are preserved as-is; the result has a symmetric
+/// pattern by construction.
+pub fn symmetrize_pattern(a: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+    if !a.is_square() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    let t = a.transpose();
+    // Merge row i of A and row i of Aᵀ (both sorted).
+    let mut rowptr = Vec::with_capacity(n + 1);
+    rowptr.push(0usize);
+    let mut colidx: Vec<ColIdx> = Vec::with_capacity(a.nnz() + a.nnz() / 2);
+    for i in 0..n {
+        let (ca, _) = a.row(i);
+        let (cb, _) = t.row(i);
+        let (mut p, mut q) = (0, 0);
+        while p < ca.len() && q < cb.len() {
+            match ca[p].cmp(&cb[q]) {
+                std::cmp::Ordering::Less => {
+                    colidx.push(ca[p]);
+                    p += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    colidx.push(cb[q]);
+                    q += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    colidx.push(ca[p]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        colidx.extend_from_slice(&ca[p..]);
+        colidx.extend_from_slice(&cb[q..]);
+        rowptr.push(colidx.len());
+    }
+    let nnz = colidx.len();
+    Ok(CsrMatrix::from_parts_unchecked(
+        n,
+        n,
+        rowptr,
+        colidx,
+        vec![1.0; nnz],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn symmetric_matrix_detected() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 1, 2.0);
+        coo.push(2, 2, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        assert!(is_structurally_symmetric(&a));
+    }
+
+    #[test]
+    fn unsymmetric_matrix_detected() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(2, 2, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        assert!(!is_structurally_symmetric(&a));
+    }
+
+    #[test]
+    fn rectangular_is_not_symmetric() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        assert!(!is_structurally_symmetric(&a));
+    }
+
+    #[test]
+    fn symmetrize_adds_transpose_entries() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 2, 3.0);
+        coo.push(0, 0, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let s = symmetrize_pattern(&a).unwrap();
+        s.validate().unwrap();
+        assert!(is_structurally_symmetric(&s));
+        assert_eq!(s.nnz(), 5); // (0,0), (0,1), (1,0), (1,2), (2,1)
+        assert!(s.get(1, 0).is_some());
+        assert!(s.get(2, 1).is_some());
+    }
+
+    #[test]
+    fn symmetrize_is_idempotent_on_symmetric_patterns() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push_symmetric(0, 3, 1.0);
+        coo.push_symmetric(1, 2, 1.0);
+        coo.push(2, 2, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let s = symmetrize_pattern(&a).unwrap();
+        assert!(s.same_pattern(&a));
+    }
+
+    #[test]
+    fn symmetrize_rejects_rectangular() {
+        let coo = CooMatrix::new(2, 3);
+        let a = CsrMatrix::from_coo(&coo);
+        assert!(symmetrize_pattern(&a).is_err());
+    }
+}

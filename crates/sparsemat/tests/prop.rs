@@ -1,0 +1,160 @@
+//! Property-based tests for the sparse matrix substrate.
+
+use proptest::prelude::*;
+use sparsemat::{symmetrize_pattern, CooMatrix, CsrMatrix, Permutation};
+
+/// Strategy: a random COO matrix with dimensions up to 24 and up to 80
+/// entries (duplicates allowed, as permitted by the builder).
+fn coo_strategy() -> impl Strategy<Value = CooMatrix> {
+    (1usize..24, 1usize..24).prop_flat_map(|(nr, nc)| {
+        proptest::collection::vec((0..nr, 0..nc, -10.0f64..10.0), 0..80).prop_map(
+            move |entries| {
+                let mut coo = CooMatrix::new(nr, nc);
+                for (r, c, v) in entries {
+                    coo.push(r, c, v);
+                }
+                coo
+            },
+        )
+    })
+}
+
+/// Strategy: a random square COO matrix.
+fn square_coo_strategy() -> impl Strategy<Value = CooMatrix> {
+    (2usize..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..80).prop_map(move |entries| {
+            let mut coo = CooMatrix::new(n, n);
+            for (r, c, v) in entries {
+                coo.push(r, c, v);
+            }
+            coo
+        })
+    })
+}
+
+/// Strategy: a random permutation of n indices (Fisher-Yates driven by a
+/// proptest-provided swap schedule).
+fn permutation_strategy(n: usize) -> impl Strategy<Value = Permutation> {
+    proptest::collection::vec(0usize..n.max(1), n).prop_map(move |swaps| {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for (i, &j) in swaps.iter().enumerate() {
+            order.swap(i, j % n.max(1));
+        }
+        Permutation::from_new_to_old(order).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_from_coo_is_valid(coo in coo_strategy()) {
+        let a = CsrMatrix::from_coo(&coo);
+        prop_assert!(a.validate().is_ok());
+        // Sum of values is preserved (duplicates summed, not dropped).
+        let total_coo: f64 = coo.iter().map(|(_, _, v)| v).sum();
+        let total_csr: f64 = a.values().iter().sum();
+        prop_assert!((total_coo - total_csr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_is_involutive(coo in coo_strategy()) {
+        let a = CsrMatrix::from_coo(&coo);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn csc_roundtrip(coo in coo_strategy()) {
+        let a = CsrMatrix::from_coo(&coo);
+        prop_assert_eq!(a.to_csc().to_csr(), a);
+    }
+
+    #[test]
+    fn spmv_transpose_identity(coo in coo_strategy()) {
+        // For all x, y: yᵀ(Ax) == xᵀ(Aᵀy). Check with ramp vectors.
+        let a = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i + 1) as f64).collect();
+        let y: Vec<f64> = (0..a.nrows()).map(|i| (i + 2) as f64).collect();
+        let ax = a.spmv_dense(&x);
+        let aty = a.transpose().spmv_dense(&y);
+        let lhs: f64 = y.iter().zip(ax.iter()).map(|(&u, &v)| u * v).sum();
+        let rhs: f64 = x.iter().zip(aty.iter()).map(|(&u, &v)| u * v).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_spmv(coo in square_coo_strategy(), seed in 0usize..1000) {
+        let a = CsrMatrix::from_coo(&coo);
+        let n = a.nrows();
+        // A deterministic pseudo-random permutation from the seed.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed as u64 + 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let p = Permutation::from_new_to_old(order).unwrap();
+        let b = a.permute_symmetric(&p).unwrap();
+        prop_assert!(b.validate().is_ok());
+        prop_assert_eq!(b.nnz(), a.nnz());
+        // (P A Pᵀ)(P x) == P (A x)
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let px = p.apply_to_slice(&x);
+        let bpx = b.spmv_dense(&px);
+        let pax = p.apply_to_slice(&a.spmv_dense(&x));
+        for (u, v) in bpx.iter().zip(pax.iter()) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn row_permutation_preserves_row_content(coo in square_coo_strategy()) {
+        let a = CsrMatrix::from_coo(&coo);
+        let n = a.nrows();
+        let order: Vec<u32> = (0..n as u32).rev().collect();
+        let p = Permutation::from_new_to_old(order).unwrap();
+        let b = a.permute_rows(&p);
+        for new_i in 0..n {
+            let old_i = p.new_to_old(new_i);
+            prop_assert_eq!(b.row(new_i), a.row(old_i));
+        }
+    }
+
+    #[test]
+    fn symmetrize_yields_symmetric_superset(coo in square_coo_strategy()) {
+        let a = CsrMatrix::from_coo(&coo);
+        let s = symmetrize_pattern(&a).unwrap();
+        prop_assert!(sparsemat::is_structurally_symmetric(&s));
+        // Every entry of A appears in S.
+        for (i, j, _) in a.iter() {
+            prop_assert!(s.get(i, j).is_some());
+        }
+        prop_assert!(s.nnz() >= a.nnz());
+        prop_assert!(s.nnz() <= 2 * a.nnz());
+    }
+
+    #[test]
+    fn permutation_compose_inverse_is_identity(n in 1usize..40, p in (1usize..40).prop_flat_map(permutation_strategy)) {
+        let _ = n;
+        // p.then(p⁻¹) maps position k to p.new_to_old(p.old_to_new(k)) = k.
+        prop_assert!(p.then(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn market_roundtrip_preserves_matrix(coo in coo_strategy()) {
+        let a = CsrMatrix::from_coo(&coo);
+        let mut text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{} {} {}\n",
+            a.nrows(), a.ncols(), a.nnz());
+        for (i, j, v) in a.iter() {
+            text.push_str(&format!("{} {} {:e}\n", i + 1, j + 1, v));
+        }
+        let (b, _) = sparsemat::read_matrix_market_str(&text).unwrap();
+        prop_assert_eq!(b.nrows(), a.nrows());
+        prop_assert_eq!(b.nnz(), a.nnz());
+        for ((i1, j1, v1), (i2, j2, v2)) in a.iter().zip(b.iter()) {
+            prop_assert_eq!((i1, j1), (i2, j2));
+            prop_assert!((v1 - v2).abs() < 1e-12 * (1.0 + v1.abs()));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Reordering recommendation from cheap, order-independent features —
+//! a rule-based realisation of the paper's future-work idea of
+//! *predicting* the most effective reordering algorithm (§6).
+//!
+//! The rules encode the study's conclusions rather than learned
+//! weights, which keeps them auditable:
+//!
+//! - **GP** is the default recommendation (best geomean in Tables 3/4);
+//! - matrices that are *already block-local* (tiny off-diagonal count)
+//!   are left alone — reordering is unlikely to pay (§1's challenge,
+//!   Class 4 in §4.4);
+//! - strongly *row-imbalanced* matrices should switch kernel rather
+//!   than ordering (Class 3/5): the 2D kernel fixes imbalance that no
+//!   symmetric ordering can;
+//! - *hopeless* structure (near-random, high density variance and no
+//!   block locality to recover) is flagged so users can skip the
+//!   reordering cost entirely (§4.7's amortisation would never break
+//!   even).
+
+use crate::features::off_diagonal_nnz;
+use partition::bisect_graph;
+use sparsegraph::Graph;
+use sparsemat::CsrMatrix;
+use spmv::{imbalance_factor, nnz_per_thread};
+
+/// A recommendation with the features that justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Suggested action.
+    pub action: Action,
+    /// Off-diagonal fraction of nonzeros at the probed block count.
+    pub off_diagonal_fraction: f64,
+    /// 1D load imbalance factor at the probed thread count.
+    pub imbalance: f64,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// The recommended course of action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep the current ordering (already local).
+    KeepOriginal,
+    /// Reorder with graph partitioning (the study's overall winner).
+    ReorderGp,
+    /// Don't reorder; use the nonzero-balanced 2D kernel instead.
+    UseTwoDKernel,
+    /// Reordering is unlikely to pay; measure before committing.
+    ProbablyHopeless,
+}
+
+/// Thresholds for [`recommend`]; the defaults are calibrated against
+/// the synthetic corpus (see the `predictor_agrees_with_sweep` test).
+#[derive(Debug, Clone, Copy)]
+pub struct PredictorConfig {
+    /// Thread/block count to probe features at.
+    pub threads: usize,
+    /// Off-diagonal fraction below which the matrix counts as already
+    /// block-local.
+    pub local_threshold: f64,
+    /// Imbalance factor above which the kernel, not the order, is the
+    /// problem.
+    pub imbalance_threshold: f64,
+    /// A probe bisection must achieve a cut fraction at most this times
+    /// the current off-block fraction for the structure to count as
+    /// recoverable.
+    pub recoverable_ratio: f64,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            threads: 64,
+            local_threshold: 0.05,
+            imbalance_threshold: 2.0,
+            recoverable_ratio: 0.5,
+        }
+    }
+}
+
+/// Fraction of edges cut by a single balanced bisection (the
+/// recoverability probe).
+fn probe_cut_fraction(a: &CsrMatrix) -> f64 {
+    let g = match Graph::from_matrix(a) {
+        Ok(g) => g,
+        Err(_) => return 1.0,
+    };
+    let total = g.total_edge_weight();
+    if total == 0 {
+        return 0.0;
+    }
+    let half = g.total_vertex_weight() / 2;
+    let bis = bisect_graph(&g, [half, g.total_vertex_weight() - half], 1.1, 0xBE5);
+    bis.cut as f64 / total as f64
+}
+
+/// Recommend a reordering strategy for a matrix.
+pub fn recommend(a: &CsrMatrix, cfg: &PredictorConfig) -> Recommendation {
+    let offdiag = off_diagonal_nnz(a, cfg.threads) as f64 / a.nnz().max(1) as f64;
+    let imbalance = imbalance_factor(&nnz_per_thread(a, cfg.threads));
+    let (action, rationale) = if imbalance > cfg.imbalance_threshold {
+        (
+            Action::UseTwoDKernel,
+            format!(
+                "1D imbalance factor {imbalance:.2} exceeds {:.2}: no symmetric reordering \
+                 fixes a nonzero-count skew — switch to the nonzero-balanced 2D kernel \
+                 (paper §4.3, Class 3/5)",
+                cfg.imbalance_threshold
+            ),
+        )
+    } else if offdiag < cfg.local_threshold {
+        (
+            Action::KeepOriginal,
+            format!(
+                "only {:.1} % of nonzeros are off-block: the ordering is already local \
+                 (paper Class 4); reordering costs more than it can save",
+                offdiag * 100.0
+            ),
+        )
+    } else {
+        // Probe: one cheap 2-way bisection estimates the achievable
+        // cut, compared against the *current* 2-way off-block fraction
+        // (same granularity). If even an explicit min-cut partition
+        // leaves most of those edges crossing, no ordering will
+        // manufacture locality.
+        let achievable = probe_cut_fraction(a);
+        let current2 = off_diagonal_nnz(a, 2) as f64 / a.nnz().max(1) as f64;
+        if achievable > cfg.recoverable_ratio * current2.max(0.05) && achievable > 0.25 {
+            (
+                Action::ProbablyHopeless,
+                format!(
+                    "a probe bisection still cuts {:.0} % of edges: near-random structure \
+                     rarely improves under any ordering (paper Fig. 2's lower quartiles) — \
+                     measure before paying the reordering cost",
+                    achievable * 100.0
+                ),
+            )
+        } else {
+            (
+                Action::ReorderGp,
+                format!(
+                    "recoverable structure (probe bisection cuts only {:.0} % of edges): \
+                     graph partitioning gives the best expected speedup (paper Tables 3-4)",
+                    achievable * 100.0
+                ),
+            )
+        }
+    };
+    Recommendation {
+        action,
+        off_diagonal_fraction: offdiag,
+        imbalance,
+        rationale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    #[test]
+    fn banded_natural_matrix_is_kept() {
+        let mut coo = CooMatrix::new(6400, 6400);
+        for i in 0..6400 {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let r = recommend(&a, &PredictorConfig::default());
+        assert_eq!(r.action, Action::KeepOriginal, "{}", r.rationale);
+        assert!(r.off_diagonal_fraction < 0.05);
+    }
+
+    #[test]
+    fn skewed_matrix_gets_kernel_advice() {
+        let mut coo = CooMatrix::new(6400, 6400);
+        for i in 0..64 {
+            for j in 0..200 {
+                coo.push(i, (i * 31 + j) % 6400, 1.0);
+            }
+        }
+        for i in 64..6400 {
+            coo.push(i, i, 1.0);
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let r = recommend(&a, &PredictorConfig::default());
+        assert_eq!(r.action, Action::UseTwoDKernel, "{}", r.rationale);
+        assert!(r.imbalance > 2.0);
+    }
+
+    #[test]
+    fn random_matrix_is_flagged_hopeless() {
+        // A *dense-ish* random graph: sparse ER graphs (degree ~4) still
+        // have usable bisections — and GP indeed helps them in the sweep
+        // — but at degree ~12 the cut fraction stays high no matter what.
+        let mut coo = CooMatrix::new(6400, 6400);
+        let mut state = 7u64;
+        for i in 0..6400 {
+            coo.push(i, i, 1.0);
+            for _ in 0..12 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                coo.push(i, (state >> 33) as usize % 6400, 1.0);
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let r = recommend(&a, &PredictorConfig::default());
+        assert_eq!(r.action, Action::ProbablyHopeless, "{}", r.rationale);
+    }
+
+    #[test]
+    fn scrambled_block_matrix_gets_gp() {
+        // Block-diagonal structure hidden by a shuffle: recoverable.
+        let nb = 100;
+        let bs = 32;
+        let n = nb * bs;
+        let mut coo = CooMatrix::new(n, n);
+        let mut state = 3u64;
+        let shuffle: Vec<usize> = {
+            let mut v: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                v.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            v
+        };
+        for b in 0..nb {
+            for i in 0..bs {
+                for j in 0..6 {
+                    coo.push(shuffle[b * bs + i], shuffle[b * bs + (i + j) % bs], 1.0);
+                }
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let r = recommend(&a, &PredictorConfig::default());
+        assert_eq!(r.action, Action::ReorderGp, "{}", r.rationale);
+    }
+}

@@ -1,0 +1,170 @@
+//! Dolan–Moré performance profiles [7], the comparison device of
+//! Fig. 5.
+//!
+//! Given a cost matrix (one row per problem instance, one column per
+//! method, lower is better), the profile of method `m` is the function
+//! `ρ_m(τ) = |{ instances where cost_m ≤ τ · best_cost }| / #instances`.
+//! A point `(x, y)` on a curve means the method is within a factor `x`
+//! of the best method on a fraction `y` of the instances; curves closer
+//! to the top-left are better.
+
+/// One method's performance-profile curve, sampled at given ratios.
+#[derive(Debug, Clone)]
+pub struct ProfileCurve {
+    /// Method name.
+    pub name: String,
+    /// Sampled ratio points `τ` (the x axis).
+    pub taus: Vec<f64>,
+    /// Fraction of instances within factor `τ` of the best (the y axis).
+    pub fractions: Vec<f64>,
+}
+
+impl ProfileCurve {
+    /// The fraction of instances on which this method is (tied-)best,
+    /// i.e. the curve value at `τ = 1`.
+    pub fn fraction_best(&self) -> f64 {
+        self.fractions.first().copied().unwrap_or(0.0)
+    }
+
+    /// Linear interpolation of the curve at an arbitrary `τ`.
+    pub fn at(&self, tau: f64) -> f64 {
+        if self.taus.is_empty() {
+            return 0.0;
+        }
+        if tau <= self.taus[0] {
+            return if tau >= self.taus[0] { self.fractions[0] } else { 0.0 };
+        }
+        for w in 0..self.taus.len() - 1 {
+            if tau < self.taus[w + 1] {
+                return self.fractions[w];
+            }
+        }
+        *self.fractions.last().unwrap()
+    }
+}
+
+/// Compute performance profiles for a set of methods over a set of
+/// instances.
+///
+/// `costs[i][m]` is the cost of method `m` on instance `i` (lower is
+/// better; non-finite or non-positive costs mark failures and are
+/// treated as never within any factor of the best). `taus` is the
+/// sample grid, which must start at 1.0 and be increasing.
+pub fn performance_profile(
+    names: &[&str],
+    costs: &[Vec<f64>],
+    taus: &[f64],
+) -> Vec<ProfileCurve> {
+    assert!(!taus.is_empty() && taus[0] >= 1.0, "taus must start at >= 1");
+    let nmethods = names.len();
+    let ninstances = costs.len();
+    // Best cost per instance.
+    let best: Vec<f64> = costs
+        .iter()
+        .map(|row| {
+            assert_eq!(row.len(), nmethods, "cost row length mismatch");
+            row.iter()
+                .copied()
+                .filter(|c| c.is_finite() && *c > 0.0)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    names
+        .iter()
+        .enumerate()
+        .map(|(m, &name)| {
+            let fractions: Vec<f64> = taus
+                .iter()
+                .map(|&tau| {
+                    if ninstances == 0 {
+                        return 0.0;
+                    }
+                    let within = (0..ninstances)
+                        .filter(|&i| {
+                            let c = costs[i][m];
+                            best[i].is_finite()
+                                && c.is_finite()
+                                && c > 0.0
+                                && c <= tau * best[i] * (1.0 + 1e-12)
+                        })
+                        .count();
+                    within as f64 / ninstances as f64
+                })
+                .collect();
+            ProfileCurve {
+                name: name.to_string(),
+                taus: taus.to_vec(),
+                fractions,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_method_dominates_at_tau_one() {
+        // Method 0 is best on 2 of 3 instances, method 1 on 1.
+        let costs = vec![
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+            vec![5.0, 1.0],
+        ];
+        let taus = vec![1.0, 2.0, 5.0, 10.0];
+        let profiles = performance_profile(&["a", "b"], &costs, &taus);
+        assert!((profiles[0].fraction_best() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((profiles[1].fraction_best() - 1.0 / 3.0).abs() < 1e-12);
+        // Everyone reaches 1.0 at a big enough tau.
+        assert_eq!(*profiles[0].fractions.last().unwrap(), 1.0);
+        assert_eq!(*profiles[1].fractions.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        let costs = vec![
+            vec![1.0, 1.5, 9.0],
+            vec![2.0, 1.0, 4.0],
+            vec![3.0, 2.9, 1.0],
+            vec![1.0, 1.0, 1.0],
+        ];
+        let taus: Vec<f64> = (0..40).map(|i| 1.0 + i as f64 * 0.25).collect();
+        let profiles = performance_profile(&["x", "y", "z"], &costs, &taus);
+        for p in &profiles {
+            for w in p.fractions.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "profile must be non-decreasing");
+            }
+        }
+    }
+
+    #[test]
+    fn ties_count_for_both() {
+        let costs = vec![vec![1.0, 1.0]];
+        let profiles = performance_profile(&["a", "b"], &costs, &[1.0]);
+        assert_eq!(profiles[0].fraction_best(), 1.0);
+        assert_eq!(profiles[1].fraction_best(), 1.0);
+    }
+
+    #[test]
+    fn failures_never_qualify() {
+        let costs = vec![vec![f64::INFINITY, 1.0], vec![0.0, 2.0]];
+        let profiles = performance_profile(&["bad", "good"], &costs, &[1.0, 100.0]);
+        assert_eq!(*profiles[0].fractions.last().unwrap(), 0.0);
+        assert_eq!(*profiles[1].fractions.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn interpolation_lookup() {
+        let curve = ProfileCurve {
+            name: "m".into(),
+            taus: vec![1.0, 2.0, 4.0],
+            fractions: vec![0.5, 0.75, 1.0],
+        };
+        assert_eq!(curve.at(1.0), 0.5);
+        assert_eq!(curve.at(1.5), 0.5);
+        assert_eq!(curve.at(2.5), 0.75);
+        assert_eq!(curve.at(100.0), 1.0);
+        assert_eq!(curve.at(0.5), 0.0);
+    }
+}

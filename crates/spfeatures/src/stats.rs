@@ -1,0 +1,196 @@
+//! Summary statistics used in the evaluation: geometric means
+//! (Tables 3 and 4) and box-plot quartiles (Figs. 2, 3 and 6).
+
+/// Geometric mean of strictly positive values. Returns `None` if the
+/// slice is empty or contains non-positive values.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut log_sum = 0.0;
+    for &v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return None;
+        }
+        log_sum += v.ln();
+    }
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Five-number summary for box plots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum value.
+    pub min: f64,
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+/// Linear-interpolation percentile on sorted data (the same convention
+/// as numpy's default).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Compute the five-number summary of a sample. Returns `None` for an
+/// empty sample.
+pub fn quartiles(values: &[f64]) -> Option<BoxStats> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    Some(BoxStats {
+        min: sorted[0],
+        q1: percentile(&sorted, 0.25),
+        median: percentile(&sorted, 0.50),
+        q3: percentile(&sorted, 0.75),
+        max: *sorted.last().unwrap(),
+    })
+}
+
+/// Spearman rank correlation between two samples.
+///
+/// Used to quantify the paper's §4.5 observation that SpMV runtime
+/// tracks the off-diagonal nonzero count more closely than bandwidth or
+/// profile. Returns `None` for samples shorter than 2 or of unequal
+/// length. Ties get averaged ranks.
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let n = a.len() as f64;
+    let mean = (n + 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (x, y) in ra.iter().zip(rb.iter()) {
+        num += (x - mean) * (y - mean);
+        da += (x - mean).powi(2);
+        db += (y - mean).powi(2);
+    }
+    if da == 0.0 || db == 0.0 {
+        return None; // constant sample
+    }
+    Some(num / (da * db).sqrt())
+}
+
+/// Average ranks (1-based) with ties averaged.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("NaN in sample"));
+    let mut out = vec![0.0; values.len()];
+    let mut k = 0;
+    while k < idx.len() {
+        let mut k2 = k;
+        while k2 + 1 < idx.len() && values[idx[k2 + 1]] == values[idx[k]] {
+            k2 += 1;
+        }
+        let avg_rank = (k + k2) as f64 / 2.0 + 1.0;
+        for &i in &idx[k..=k2] {
+            out[i] = avg_rank;
+        }
+        k = k2 + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 25.0, 90.0]; // monotone, not linear
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = b.iter().rev().copied().collect();
+        assert!((spearman(&a, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_degenerates() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [5.0, 5.0, 6.0, 7.0];
+        assert!(spearman(&a, &b).unwrap() > 0.9);
+        assert!(spearman(&[1.0], &[2.0]).is_none());
+        assert!(spearman(&[1.0, 2.0], &[3.0]).is_none());
+        assert!(spearman(&[1.0, 1.0], &[2.0, 3.0]).is_none()); // constant
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 10.0]), vec![1.5, 3.0, 1.5]);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        let g = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        let g = geometric_mean(&[2.0, 2.0, 2.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_bad_input() {
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+        assert!(geometric_mean(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn geometric_mean_is_scale_invariant() {
+        let a = [0.5, 1.5, 2.5, 3.5];
+        let scaled: Vec<f64> = a.iter().map(|v| v * 10.0).collect();
+        let ga = geometric_mean(&a).unwrap();
+        let gs = geometric_mean(&scaled).unwrap();
+        assert!((gs / ga - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        let q = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(q.min, 1.0);
+        assert_eq!(q.q1, 2.0);
+        assert_eq!(q.median, 3.0);
+        assert_eq!(q.q3, 4.0);
+        assert_eq!(q.max, 5.0);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let q = quartiles(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((q.q1 - 1.75).abs() < 1e-12);
+        assert!((q.median - 2.5).abs() < 1e-12);
+        assert!((q.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartiles_edge_cases() {
+        assert!(quartiles(&[]).is_none());
+        let q = quartiles(&[7.0]).unwrap();
+        assert_eq!(q.min, 7.0);
+        assert_eq!(q.median, 7.0);
+        assert_eq!(q.max, 7.0);
+        // Unsorted input is handled.
+        let q = quartiles(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(q.median, 2.0);
+    }
+}

@@ -1,0 +1,232 @@
+use crate::plan::{Plan1d, Plan2d};
+use sparsemat::CsrMatrix;
+
+/// 1D parallel SpMV: `y = A x` with rows statically split into equal
+/// contiguous blocks, one per thread (§3.1).
+///
+/// `y` is fully overwritten. Threads write disjoint row slices, so the
+/// kernel is race-free by construction.
+pub fn spmv_1d(a: &CsrMatrix, plan: &Plan1d, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols(), "x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "y length mismatch");
+    let rowptr = a.rowptr();
+    let colidx = a.colidx();
+    let values = a.values();
+
+    std::thread::scope(|scope| {
+        let mut rest: &mut [f64] = y;
+        let mut offset = 0usize;
+        for &(start, end) in &plan.row_ranges {
+            debug_assert_eq!(start, offset);
+            let (chunk, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            offset = end;
+            scope.spawn(move || {
+                for (yi, r) in chunk.iter_mut().zip(start..end) {
+                    let lo = rowptr[r];
+                    let hi = rowptr[r + 1];
+                    let mut sum = 0.0;
+                    for k in lo..hi {
+                        sum += values[k] * x[colidx[k] as usize];
+                    }
+                    *yi = sum;
+                }
+            });
+        }
+    });
+}
+
+/// Raw pointer wrapper allowing scoped threads to write disjoint,
+/// pre-validated row sets of the output vector.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+// SAFETY: every thread writes only rows it exclusively owns
+// (`own_row_start..own_row_end` are disjoint across spans, an invariant
+// established by `Plan2d::new` and checked by its tests); boundary rows
+// are only written after the parallel region.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// 2D parallel SpMV: `y = A x` with nonzeros statically split into
+/// equal blocks (§3.1).
+///
+/// Rows fully inside a thread's nonzero range are written directly;
+/// rows straddling a range boundary are accumulated as partial sums and
+/// combined sequentially after the parallel region, avoiding races on
+/// `y` exactly as the paper describes.
+pub fn spmv_2d(a: &CsrMatrix, plan: &Plan2d, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols(), "x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "y length mismatch");
+    let rowptr = a.rowptr();
+    let colidx = a.colidx();
+    let values = a.values();
+    let y_ptr = SendPtr(y.as_mut_ptr());
+
+    // Partial sums for boundary rows: (row, value) pairs per thread.
+    let mut partials: Vec<Vec<(usize, f64)>> = Vec::with_capacity(plan.spans.len());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(plan.spans.len());
+        for span in &plan.spans {
+            let span = *span;
+            let yp = y_ptr;
+            handles.push(scope.spawn(move || {
+                // Capture the wrapper itself, not its raw-pointer field
+                // (disjoint closure capture would otherwise move the
+                // non-Send `*mut f64` directly).
+                let yp = yp;
+                let mut local: Vec<(usize, f64)> = Vec::with_capacity(2);
+                if span.is_empty() {
+                    return local;
+                }
+                for r in span.row_start..=span.row_end {
+                    let lo = rowptr[r].max(span.nnz_start);
+                    let hi = rowptr[r + 1].min(span.nnz_end);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let mut sum = 0.0;
+                    for k in lo..hi {
+                        sum += values[k] * x[colidx[k] as usize];
+                    }
+                    if r >= span.own_row_start && r < span.own_row_end {
+                        // Fully owned: direct write.
+                        // SAFETY: see `SendPtr`.
+                        unsafe { *yp.0.add(r) = sum };
+                    } else {
+                        local.push((r, sum));
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("SpMV worker panicked"));
+        }
+    });
+
+    // Sequential fixup: boundary rows get the sum of their partials.
+    for &r in &plan.boundary_rows {
+        y[r] = 0.0;
+    }
+    for thread_partials in &partials {
+        for &(r, v) in thread_partials {
+            y[r] += v;
+        }
+    }
+    // Rows with no nonzeros are skipped by every thread (their nnz
+    // ranges are empty); clear them so y is fully defined.
+    for r in 0..a.nrows() {
+        if a.row_nnz(r) == 0 {
+            y[r] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    fn random_matrix(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        let mut state = seed | 1;
+        for i in 0..n {
+            // Deterministic pseudo-random columns; duplicates are summed.
+            for _ in 0..nnz_per_row {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % n;
+                let v = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                coo.push(i, j, v);
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    fn skewed_matrix(n: usize) -> CsrMatrix {
+        // First row is dense; the rest are diagonal.
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..n {
+            coo.push(0, j, 1.0 + j as f64);
+        }
+        for i in 1..n {
+            coo.push(i, i, 2.0);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    fn check_against_reference(a: &CsrMatrix, threads: &[usize]) {
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 7 + 1) as f64).sin()).collect();
+        let want = a.spmv_dense(&x);
+        for &t in threads {
+            let p1 = Plan1d::new(a, t);
+            let mut y1 = vec![f64::NAN; a.nrows()];
+            spmv_1d(a, &p1, &x, &mut y1);
+            for (i, (&got, &exp)) in y1.iter().zip(want.iter()).enumerate() {
+                assert!(
+                    (got - exp).abs() < 1e-9 * (1.0 + exp.abs()),
+                    "1D t={t}: y[{i}] = {got}, want {exp}"
+                );
+            }
+            let p2 = Plan2d::new(a, t);
+            let mut y2 = vec![f64::NAN; a.nrows()];
+            spmv_2d(a, &p2, &x, &mut y2);
+            for (i, (&got, &exp)) in y2.iter().zip(want.iter()).enumerate() {
+                assert!(
+                    (got - exp).abs() < 1e-9 * (1.0 + exp.abs()),
+                    "2D t={t}: y[{i}] = {got}, want {exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_reference_on_random_matrix() {
+        let a = random_matrix(200, 6, 42);
+        check_against_reference(&a, &[1, 2, 3, 4, 7, 16]);
+    }
+
+    #[test]
+    fn kernels_match_reference_on_skewed_matrix() {
+        // The dense first row straddles several 2D thread ranges.
+        let a = skewed_matrix(64);
+        check_against_reference(&a, &[1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn kernels_handle_empty_rows() {
+        let mut coo = CooMatrix::new(10, 10);
+        coo.push(2, 3, 1.0);
+        coo.push(7, 1, -2.0);
+        let a = CsrMatrix::from_coo(&coo);
+        check_against_reference(&a, &[1, 2, 4]);
+    }
+
+    #[test]
+    fn kernels_handle_single_row_matrix() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 3.0);
+        let a = CsrMatrix::from_coo(&coo);
+        check_against_reference(&a, &[1, 4]);
+    }
+
+    #[test]
+    fn kernels_handle_more_threads_than_nnz() {
+        let a = random_matrix(5, 1, 9);
+        check_against_reference(&a, &[16]);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero() {
+        let a = CsrMatrix::from_coo(&CooMatrix::new(6, 6));
+        let x = vec![1.0; 6];
+        let mut y = vec![f64::NAN; 6];
+        spmv_1d(&a, &Plan1d::new(&a, 2), &x, &mut y);
+        assert!(y.iter().all(|&v| v == 0.0));
+        let mut y2 = vec![f64::NAN; 6];
+        spmv_2d(&a, &Plan2d::new(&a, 2), &x, &mut y2);
+        assert!(y2.iter().all(|&v| v == 0.0));
+    }
+}

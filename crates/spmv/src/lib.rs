@@ -1,0 +1,32 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Shared-memory parallel CSR SpMV kernels — the measurement kernels of
+//! the study (§3.1).
+//!
+//! Two kernels are provided, matching the paper exactly:
+//!
+//! - the **1D algorithm** partitions the *rows* into equal-sized
+//!   contiguous blocks, one per thread (what `#pragma omp for` with
+//!   static scheduling does). Simple, but load-imbalanced whenever
+//!   nonzeros are unevenly distributed over rows.
+//! - the **2D algorithm** partitions the *nonzeros* equally. Threads
+//!   may start or end mid-row, so each thread's first and last row are
+//!   handled specially (partial sums combined after the parallel
+//!   region) to avoid write races on `y`. This is a simplified form of
+//!   merge-based SpMV (Merrill & Garland).
+//!
+//! Plans ([`Plan1d`], [`Plan2d`]) precompute the partition for a given
+//! matrix and thread count; the paper likewise treats partitioning as a
+//! one-time preprocessing cost excluded from measurements.
+
+mod exec;
+mod measure;
+mod merge;
+mod plan;
+mod solvers;
+
+pub use exec::{spmv_1d, spmv_2d};
+pub use measure::{measure_spmv, Kernel, MeasureConfig, SpmvMeasurement};
+pub use merge::{spmv_merge, MergeSpan, PlanMerge};
+pub use plan::{imbalance_factor, nnz_per_thread, Plan1d, Plan2d, ThreadSpan};
+pub use solvers::{conjugate_gradient, CgOptions, SolveStats};

@@ -1,0 +1,179 @@
+use crate::exec::{spmv_1d, spmv_2d};
+use crate::plan::{imbalance_factor, Plan1d, Plan2d};
+use sparsemat::CsrMatrix;
+use std::time::Instant;
+
+/// Measurement configuration, defaulting to the paper's protocol
+/// (§4.1): 100 repetitions, peak = minimum time, mean over the last
+/// repetitions after discarding the first 3 warm-up iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureConfig {
+    /// Number of SpMV repetitions.
+    pub repetitions: usize,
+    /// Warm-up iterations excluded from the mean (the artifact
+    /// description discards the first 3).
+    pub warmup: usize,
+    /// Number of threads.
+    pub nthreads: usize,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            repetitions: 100,
+            warmup: 3,
+            nthreads: 4,
+        }
+    }
+}
+
+/// The per-(matrix, kernel) record of the paper's artifact: per-thread
+/// nonzero statistics, imbalance factor, best time and Gflop/s figures.
+#[derive(Debug, Clone)]
+pub struct SpmvMeasurement {
+    /// Minimum nonzeros processed by any thread.
+    pub nnz_min: usize,
+    /// Maximum nonzeros processed by any thread.
+    pub nnz_max: usize,
+    /// Mean nonzeros per thread.
+    pub nnz_mean: f64,
+    /// Imbalance factor (max / mean).
+    pub imbalance: f64,
+    /// Best (minimum) time for one SpMV iteration, in seconds.
+    pub min_time: f64,
+    /// Peak performance in Gflop/s: `2 * nnz / min_time / 1e9`.
+    pub max_gflops: f64,
+    /// Mean performance over the non-warm-up iterations, in Gflop/s.
+    pub mean_gflops: f64,
+}
+
+fn summarize(nnz_counts: &[usize], nnz_total: usize, times: &[f64], warmup: usize) -> SpmvMeasurement {
+    let nnz_min = nnz_counts.iter().copied().min().unwrap_or(0);
+    let nnz_max = nnz_counts.iter().copied().max().unwrap_or(0);
+    let nnz_mean = if nnz_counts.is_empty() {
+        0.0
+    } else {
+        nnz_counts.iter().sum::<usize>() as f64 / nnz_counts.len() as f64
+    };
+    let min_time = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let flops = 2.0 * nnz_total as f64;
+    let steady = &times[warmup.min(times.len().saturating_sub(1))..];
+    let mean_time = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
+    SpmvMeasurement {
+        nnz_min,
+        nnz_max,
+        nnz_mean,
+        imbalance: imbalance_factor(nnz_counts),
+        min_time,
+        max_gflops: if min_time > 0.0 { flops / min_time / 1e9 } else { 0.0 },
+        mean_gflops: if mean_time > 0.0 { flops / mean_time / 1e9 } else { 0.0 },
+    }
+}
+
+/// Which SpMV kernel to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// 1D row-split kernel.
+    OneD,
+    /// 2D nonzero-split kernel.
+    TwoD,
+}
+
+/// Measure a kernel on a matrix following the paper's protocol: run
+/// `repetitions` iterations with a deterministic non-constant `x`, take
+/// the minimum time (peak performance) and the mean over the steady
+/// iterations.
+pub fn measure_spmv(a: &CsrMatrix, kernel: Kernel, cfg: &MeasureConfig) -> SpmvMeasurement {
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|i| 1.0 + (i % 17) as f64 / 16.0)
+        .collect();
+    let mut y = vec![0.0f64; a.nrows()];
+    let mut times = Vec::with_capacity(cfg.repetitions);
+    match kernel {
+        Kernel::OneD => {
+            let plan = Plan1d::new(a, cfg.nthreads);
+            for _ in 0..cfg.repetitions.max(1) {
+                let t0 = Instant::now();
+                spmv_1d(a, &plan, &x, &mut y);
+                times.push(t0.elapsed().as_secs_f64());
+            }
+            summarize(&plan.nnz_per_thread(a), a.nnz(), &times, cfg.warmup)
+        }
+        Kernel::TwoD => {
+            let plan = Plan2d::new(a, cfg.nthreads);
+            for _ in 0..cfg.repetitions.max(1) {
+                let t0 = Instant::now();
+                spmv_2d(a, &plan, &x, &mut y);
+                times.push(t0.elapsed().as_secs_f64());
+            }
+            summarize(&plan.nnz_per_thread(), a.nnz(), &times, cfg.warmup)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    fn banded(n: usize, half_bw: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in i.saturating_sub(half_bw)..(i + half_bw + 1).min(n) {
+                coo.push(i, j, 1.0);
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn measurement_reports_consistent_statistics() {
+        let a = banded(500, 2);
+        let cfg = MeasureConfig {
+            repetitions: 10,
+            warmup: 2,
+            nthreads: 2,
+        };
+        let m = measure_spmv(&a, Kernel::OneD, &cfg);
+        assert!(m.min_time > 0.0);
+        assert!(m.max_gflops > 0.0);
+        assert!(m.mean_gflops > 0.0);
+        assert!(m.max_gflops >= m.mean_gflops * 0.5);
+        assert!(m.nnz_min <= m.nnz_max);
+        assert!(m.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn twod_measurement_is_balanced() {
+        // Skewed matrix: 1D imbalanced, 2D balanced.
+        let n = 200;
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..n {
+            coo.push(0, j, 1.0);
+        }
+        for i in 1..n {
+            coo.push(i, i, 1.0);
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let cfg = MeasureConfig {
+            repetitions: 5,
+            warmup: 1,
+            nthreads: 4,
+        };
+        let m1 = measure_spmv(&a, Kernel::OneD, &cfg);
+        let m2 = measure_spmv(&a, Kernel::TwoD, &cfg);
+        assert!(m1.imbalance > 1.5, "1D should be imbalanced: {}", m1.imbalance);
+        assert!(
+            (m2.imbalance - 1.0).abs() < 0.05,
+            "2D should be balanced: {}",
+            m2.imbalance
+        );
+    }
+
+    #[test]
+    fn summarize_handles_short_runs() {
+        let m = summarize(&[10, 10], 20, &[1.0], 3);
+        assert_eq!(m.min_time, 1.0);
+        assert!(m.mean_gflops > 0.0);
+    }
+}

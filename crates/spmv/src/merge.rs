@@ -1,0 +1,250 @@
+//! Merge-based CSR SpMV (Merrill & Garland [20]) — the kernel the
+//! paper's 2D algorithm is a simplified version of (§3.1).
+//!
+//! The merge formulation views SpMV as a 2D merge of the row-pointer
+//! sequence and the nonzero index sequence: a balanced diagonal of the
+//! merge grid is assigned to each thread, splitting *rows + nonzeros*
+//! evenly instead of nonzeros alone. This bounds each thread's work
+//! even for matrices with huge numbers of empty rows, where the plain
+//! 2D split can still be skewed in row-pointer traffic.
+//!
+//! Implemented here as a third kernel for baseline comparisons; its
+//! results are bit-identical to the other kernels' (same sums, same
+//! order of additions within each row).
+
+use crate::plan::imbalance_factor;
+use sparsemat::CsrMatrix;
+
+/// Per-thread output of the merge kernel: rows finished by this thread
+/// and carried partial sums for rows that continue into later threads.
+type ThreadOutput = (Vec<(usize, f64)>, Vec<(usize, f64)>);
+
+/// One thread's merge-path coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeSpan {
+    /// First row this thread touches.
+    pub row_start: usize,
+    /// First nonzero this thread consumes.
+    pub nnz_start: usize,
+    /// One-past-last row.
+    pub row_end: usize,
+    /// One-past-last nonzero.
+    pub nnz_end: usize,
+}
+
+/// Precomputed merge-based execution plan.
+#[derive(Debug, Clone)]
+pub struct PlanMerge {
+    /// Per-thread merge spans.
+    pub spans: Vec<MergeSpan>,
+}
+
+/// Find the merge-path split point for diagonal `d`: the number of
+/// rows `i` such that `i + rowptr-consumed` equals `d`, by binary
+/// search over the row pointers.
+fn merge_path_search(rowptr: &[usize], nrows: usize, d: usize) -> (usize, usize) {
+    // Count the rows fully consumed at diagonal `d`: after finishing
+    // row `i` the merge has consumed (i + 1) row-ends plus
+    // rowptr[i + 1] nonzeros, i.e. it sits at diagonal
+    // (i + 1) + rowptr[i + 1]. Binary search for the largest count of
+    // completed rows whose diagonal does not exceed `d`.
+    let mut lo = d.saturating_sub(rowptr[nrows]);
+    let mut hi = d.min(nrows);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if (mid + 1) + rowptr[mid + 1] <= d {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let i = lo; // rows fully consumed
+    let j = d - i; // nonzeros consumed
+    (i, j)
+}
+
+impl PlanMerge {
+    /// Build a merge plan for `nthreads` threads.
+    pub fn new(a: &CsrMatrix, nthreads: usize) -> PlanMerge {
+        let t = nthreads.max(1);
+        let nrows = a.nrows();
+        let total = nrows + a.nnz(); // merge-grid diagonal length
+        let rowptr = a.rowptr();
+        let mut spans = Vec::with_capacity(t);
+        let mut prev = merge_path_search(rowptr, nrows, 0);
+        for k in 1..=t {
+            let d = total * k / t;
+            let cur = merge_path_search(rowptr, nrows, d);
+            spans.push(MergeSpan {
+                row_start: prev.0,
+                nnz_start: prev.1,
+                row_end: cur.0,
+                nnz_end: cur.1,
+            });
+            prev = cur;
+        }
+        PlanMerge { spans }
+    }
+
+    /// Merge items (rows + nonzeros) per thread; the quantity the merge
+    /// split equalises.
+    pub fn items_per_thread(&self) -> Vec<usize> {
+        self.spans
+            .iter()
+            .map(|s| (s.row_end - s.row_start) + (s.nnz_end - s.nnz_start))
+            .collect()
+    }
+
+    /// Imbalance of merge items across threads (≈1 by construction).
+    pub fn imbalance(&self) -> f64 {
+        imbalance_factor(&self.items_per_thread())
+    }
+}
+
+/// Merge-based parallel SpMV: `y = A x`.
+pub fn spmv_merge(a: &CsrMatrix, plan: &PlanMerge, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols(), "x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "y length mismatch");
+    let rowptr = a.rowptr();
+    let colidx = a.colidx();
+    let values = a.values();
+
+    // Each thread produces (carry_row, carry_value) for its trailing
+    // partial row plus direct writes for rows it finishes.
+    let results: Vec<ThreadOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .spans
+            .iter()
+            .map(|span| {
+                let span = *span;
+                scope.spawn(move || {
+                    let mut finished: Vec<(usize, f64)> = Vec::new();
+                    let mut carry: Vec<(usize, f64)> = Vec::new();
+                    let mut k = span.nnz_start;
+                    // Consume rows [row_start, row_end): each such row END
+                    // belongs to this thread, so the row's remaining
+                    // nonzeros complete here.
+                    for r in span.row_start..span.row_end {
+                        let hi = rowptr[r + 1];
+                        let mut sum = 0.0;
+                        while k < hi {
+                            sum += values[k] * x[colidx[k] as usize];
+                            k += 1;
+                        }
+                        finished.push((r, sum));
+                    }
+                    // Trailing partial row (its end belongs to a later
+                    // thread).
+                    if k < span.nnz_end {
+                        let r = span.row_end;
+                        let mut sum = 0.0;
+                        while k < span.nnz_end {
+                            sum += values[k] * x[colidx[k] as usize];
+                            k += 1;
+                        }
+                        carry.push((r, sum));
+                    }
+                    (finished, carry)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("merge SpMV worker panicked"))
+            .collect()
+    });
+
+    // Sequential reduction: finished rows overwrite, carries accumulate.
+    y.fill(0.0);
+    for (finished, _) in &results {
+        for &(r, v) in finished {
+            y[r] += v;
+        }
+    }
+    for (_, carry) in &results {
+        for &(r, v) in carry {
+            y[r] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    fn check(a: &CsrMatrix, threads: &[usize]) {
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 7 + 1) as f64).cos()).collect();
+        let want = a.spmv_dense(&x);
+        for &t in threads {
+            let plan = PlanMerge::new(a, t);
+            let mut y = vec![f64::NAN; a.nrows()];
+            spmv_merge(a, &plan, &x, &mut y);
+            for i in 0..a.nrows() {
+                assert!(
+                    (y[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
+                    "t={t} row {i}: {} vs {}",
+                    y[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_path_search_endpoints() {
+        // 3 rows with 2, 0, 3 nonzeros.
+        let rowptr = [0usize, 2, 2, 5];
+        assert_eq!(merge_path_search(&rowptr, 3, 0), (0, 0));
+        // Full consumption: diagonal 8 = 3 rows + 5 nnz.
+        assert_eq!(merge_path_search(&rowptr, 3, 8), (3, 5));
+        // After consuming row 0 (2 nnz + 1 row-end = diagonal 3).
+        assert_eq!(merge_path_search(&rowptr, 3, 3), (1, 2));
+    }
+
+    #[test]
+    fn matches_reference_on_random_matrix() {
+        let mut coo = CooMatrix::new(150, 150);
+        let mut state = 5u64;
+        for i in 0..150 {
+            for _ in 0..4 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                coo.push(i, (state >> 33) as usize % 150, 1.0);
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        check(&a, &[1, 2, 3, 5, 8]);
+    }
+
+    #[test]
+    fn handles_many_empty_rows() {
+        // Merge-based SpMV's signature case: mostly empty rows.
+        let mut coo = CooMatrix::new(1000, 1000);
+        for i in (0..1000).step_by(100) {
+            for j in 0..30 {
+                coo.push(i, (i + j) % 1000, 1.0);
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        check(&a, &[1, 4, 7]);
+        // Items per thread stay balanced even with empty rows.
+        let plan = PlanMerge::new(&a, 8);
+        assert!(plan.imbalance() < 1.05, "merge imbalance {}", plan.imbalance());
+    }
+
+    #[test]
+    fn handles_single_giant_row() {
+        let mut coo = CooMatrix::new(4, 400);
+        for j in 0..400 {
+            coo.push(1, j, (j as f64) * 0.25);
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        check(&a, &[1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CsrMatrix::from_coo(&CooMatrix::new(5, 5));
+        check(&a, &[1, 4]);
+    }
+}

@@ -1,0 +1,322 @@
+use sparsemat::CsrMatrix;
+
+/// Static 1D plan: equal contiguous row blocks, one per thread.
+///
+/// Mirrors OpenMP's `schedule(static)` on the row loop (§3.1). The
+/// per-thread nonzero counts this induces — and hence the imbalance
+/// factor (§3.2) — depend entirely on the matrix ordering.
+#[derive(Debug, Clone)]
+pub struct Plan1d {
+    /// `row_ranges[t] = (start, end)`: rows assigned to thread `t`.
+    pub row_ranges: Vec<(usize, usize)>,
+}
+
+impl Plan1d {
+    /// Build the plan for `nthreads` threads over `a`'s rows.
+    pub fn new(a: &CsrMatrix, nthreads: usize) -> Plan1d {
+        let t = nthreads.max(1);
+        let n = a.nrows();
+        let chunk = n.div_ceil(t);
+        let row_ranges = (0..t)
+            .map(|i| {
+                let start = (i * chunk).min(n);
+                let end = ((i + 1) * chunk).min(n);
+                (start, end)
+            })
+            .collect();
+        Plan1d { row_ranges }
+    }
+
+    /// Number of threads the plan was built for.
+    pub fn num_threads(&self) -> usize {
+        self.row_ranges.len()
+    }
+
+    /// Nonzeros processed by each thread under this plan.
+    pub fn nnz_per_thread(&self, a: &CsrMatrix) -> Vec<usize> {
+        self.row_ranges
+            .iter()
+            .map(|&(s, e)| a.rowptr()[e] - a.rowptr()[s])
+            .collect()
+    }
+}
+
+/// One thread's work description in the 2D plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadSpan {
+    /// First nonzero index (inclusive).
+    pub nnz_start: usize,
+    /// Last nonzero index (exclusive).
+    pub nnz_end: usize,
+    /// Row containing `nnz_start`.
+    pub row_start: usize,
+    /// Row containing `nnz_end - 1` (inclusive bound).
+    pub row_end: usize,
+    /// First row fully owned by this thread (written directly).
+    pub own_row_start: usize,
+    /// One past the last fully owned row.
+    pub own_row_end: usize,
+}
+
+impl ThreadSpan {
+    /// True if the thread has no nonzeros at all.
+    pub fn is_empty(&self) -> bool {
+        self.nnz_start >= self.nnz_end
+    }
+}
+
+/// Static 2D plan: equal contiguous nonzero blocks, one per thread,
+/// with boundary rows (shared between adjacent threads) resolved by a
+/// sequential partial-sum fixup.
+#[derive(Debug, Clone)]
+pub struct Plan2d {
+    /// Per-thread spans.
+    pub spans: Vec<ThreadSpan>,
+    /// Rows partially covered by at least one thread; zeroed before the
+    /// fixup accumulates partial sums into them.
+    pub boundary_rows: Vec<usize>,
+}
+
+impl Plan2d {
+    /// Build the plan for `nthreads` threads over `a`'s nonzeros.
+    pub fn new(a: &CsrMatrix, nthreads: usize) -> Plan2d {
+        let t = nthreads.max(1);
+        let k = a.nnz();
+        let n = a.nrows();
+        let rowptr = a.rowptr();
+        let mut spans = Vec::with_capacity(t);
+        for i in 0..t {
+            let nnz_start = k * i / t;
+            let nnz_end = k * (i + 1) / t;
+            if nnz_start >= nnz_end {
+                spans.push(ThreadSpan {
+                    nnz_start,
+                    nnz_end: nnz_start,
+                    row_start: 0,
+                    row_end: 0,
+                    own_row_start: 0,
+                    own_row_end: 0,
+                });
+                continue;
+            }
+            // Row containing nnz_start: the last r with rowptr[r] <= nnz_start.
+            let row_start = match rowptr.binary_search(&nnz_start) {
+                Ok(mut r) => {
+                    // Skip empty rows that share this pointer value.
+                    while r + 1 < rowptr.len() && rowptr[r + 1] == nnz_start {
+                        r += 1;
+                    }
+                    r.min(n - 1)
+                }
+                Err(ins) => ins - 1,
+            };
+            let last_nnz = nnz_end - 1;
+            let row_end = match rowptr.binary_search(&last_nnz) {
+                Ok(mut r) => {
+                    while r + 1 < rowptr.len() && rowptr[r + 1] == last_nnz {
+                        r += 1;
+                    }
+                    r.min(n - 1)
+                }
+                Err(ins) => ins - 1,
+            };
+            let own_row_start = if rowptr[row_start] == nnz_start {
+                row_start
+            } else {
+                row_start + 1
+            };
+            let own_row_end = if rowptr[row_end + 1] == nnz_end {
+                row_end + 1
+            } else {
+                row_end
+            };
+            spans.push(ThreadSpan {
+                nnz_start,
+                nnz_end,
+                row_start,
+                row_end,
+                own_row_start,
+                own_row_end: own_row_end.max(own_row_start),
+            });
+        }
+        // Boundary rows: touched rows not fully owned by their thread.
+        let mut boundary: Vec<usize> = Vec::new();
+        for s in &spans {
+            if s.is_empty() {
+                continue;
+            }
+            for r in s.row_start..s.own_row_start.min(s.row_end + 1) {
+                boundary.push(r);
+            }
+            for r in s.own_row_end.max(s.row_start)..=s.row_end {
+                boundary.push(r);
+            }
+        }
+        boundary.sort_unstable();
+        boundary.dedup();
+        Plan2d {
+            spans,
+            boundary_rows: boundary,
+        }
+    }
+
+    /// Number of threads the plan was built for.
+    pub fn num_threads(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Nonzeros processed by each thread (equal by construction, up to
+    /// rounding).
+    pub fn nnz_per_thread(&self) -> Vec<usize> {
+        self.spans
+            .iter()
+            .map(|s| s.nnz_end - s.nnz_start)
+            .collect()
+    }
+}
+
+/// Nonzeros per thread of a 1D row split — the quantity behind the
+/// load imbalance factor of §3.2.
+pub fn nnz_per_thread(a: &CsrMatrix, nthreads: usize) -> Vec<usize> {
+    Plan1d::new(a, nthreads).nnz_per_thread(a)
+}
+
+/// The load imbalance factor: max over threads of nonzeros assigned,
+/// divided by the mean (§3.2). 1.0 = perfectly balanced.
+pub fn imbalance_factor(nnz_counts: &[usize]) -> f64 {
+    if nnz_counts.is_empty() {
+        return 1.0;
+    }
+    let max = *nnz_counts.iter().max().unwrap() as f64;
+    let mean = nnz_counts.iter().sum::<usize>() as f64 / nnz_counts.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::CooMatrix;
+
+    fn matrix_with_row_nnz(counts: &[usize]) -> CsrMatrix {
+        let n = counts.len();
+        let ncols = counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut coo = CooMatrix::new(n, ncols);
+        for (i, &c) in counts.iter().enumerate() {
+            for j in 0..c {
+                coo.push(i, j, 1.0);
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn plan1d_splits_rows_evenly() {
+        let a = matrix_with_row_nnz(&[1; 10]);
+        let p = Plan1d::new(&a, 3);
+        assert_eq!(p.row_ranges, vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(p.nnz_per_thread(&a), vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn plan1d_more_threads_than_rows() {
+        let a = matrix_with_row_nnz(&[2, 2]);
+        let p = Plan1d::new(&a, 4);
+        assert_eq!(p.num_threads(), 4);
+        let total: usize = p.nnz_per_thread(&a).iter().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn imbalance_factor_detects_skew() {
+        assert!((imbalance_factor(&[5, 5, 5]) - 1.0).abs() < 1e-12);
+        assert!((imbalance_factor(&[10, 5, 0]) - 2.0).abs() < 1e-12);
+        assert_eq!(imbalance_factor(&[]), 1.0);
+        assert_eq!(imbalance_factor(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn plan2d_balances_nnz() {
+        // Skewed rows: one heavy row, many light.
+        let a = matrix_with_row_nnz(&[12, 1, 1, 1, 1, 1, 1, 1, 1]); // 20 nnz
+        let p = Plan2d::new(&a, 4);
+        let counts = p.nnz_per_thread();
+        assert_eq!(counts.iter().sum::<usize>(), 20);
+        assert_eq!(counts, vec![5, 5, 5, 5]);
+        assert!((imbalance_factor(&counts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan2d_span_invariants() {
+        let a = matrix_with_row_nnz(&[3, 7, 2, 9, 1, 4, 6]); // 32 nnz
+        for t in 1..=8 {
+            let p = Plan2d::new(&a, t);
+            let rowptr = a.rowptr();
+            for s in &p.spans {
+                if s.is_empty() {
+                    continue;
+                }
+                // nnz range within the row range.
+                assert!(rowptr[s.row_start] <= s.nnz_start);
+                assert!(rowptr[s.row_end + 1] >= s.nnz_end);
+                // Owned rows fully inside the nnz range.
+                for r in s.own_row_start..s.own_row_end {
+                    assert!(rowptr[r] >= s.nnz_start);
+                    assert!(rowptr[r + 1] <= s.nnz_end);
+                }
+            }
+            // Owned rows are disjoint across threads.
+            let mut owned: Vec<usize> = Vec::new();
+            for s in &p.spans {
+                for r in s.own_row_start..s.own_row_end {
+                    owned.push(r);
+                }
+            }
+            let mut sorted = owned.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), owned.len(), "t={t}: owned rows overlap");
+            // Every row is either owned or boundary.
+            for r in 0..a.nrows() {
+                let in_owned = owned.contains(&r);
+                let in_boundary = p.boundary_rows.contains(&r);
+                assert!(
+                    in_owned || in_boundary || a.row_nnz(r) == 0,
+                    "t={t}: row {r} unassigned"
+                );
+                assert!(
+                    !(in_owned && in_boundary),
+                    "t={t}: row {r} both owned and boundary"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan2d_single_huge_row_spanning_threads() {
+        let a = matrix_with_row_nnz(&[100]);
+        let p = Plan2d::new(&a, 4);
+        assert_eq!(p.boundary_rows, vec![0]);
+        for s in &p.spans {
+            assert_eq!(s.own_row_start, s.own_row_end, "no thread owns the row fully");
+        }
+    }
+
+    #[test]
+    fn plan2d_with_empty_rows() {
+        let a = matrix_with_row_nnz(&[0, 5, 0, 5, 0]);
+        let p = Plan2d::new(&a, 2);
+        let counts = p.nnz_per_thread();
+        assert_eq!(counts, vec![5, 5]);
+    }
+
+    #[test]
+    fn plan2d_more_threads_than_nnz() {
+        let a = matrix_with_row_nnz(&[1, 1]);
+        let p = Plan2d::new(&a, 8);
+        assert_eq!(p.nnz_per_thread().iter().sum::<usize>(), 2);
+    }
+}

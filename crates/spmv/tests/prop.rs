@@ -1,0 +1,79 @@
+//! Property-based tests: the parallel kernels must agree with the
+//! sequential reference for every matrix shape and thread count.
+
+use proptest::prelude::*;
+use sparsemat::{CooMatrix, CsrMatrix};
+use spmv::{imbalance_factor, spmv_1d, spmv_2d, Plan1d, Plan2d};
+
+fn matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..50, 1usize..50, proptest::collection::vec((0usize..2500, 0usize..2500, -4.0f64..4.0), 0..220))
+        .prop_map(|(nr, nc, entries)| {
+            let mut coo = CooMatrix::new(nr, nc);
+            for (i, j, v) in entries {
+                coo.push(i % nr, j % nc, v);
+            }
+            CsrMatrix::from_coo(&coo)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernels_match_reference(a in matrix_strategy(), t in 1usize..12) {
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+        let want = a.spmv_dense(&x);
+
+        let p1 = Plan1d::new(&a, t);
+        let mut y1 = vec![f64::NAN; a.nrows()];
+        spmv_1d(&a, &p1, &x, &mut y1);
+        for i in 0..a.nrows() {
+            prop_assert!((y1[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
+                "1D t={} row {}: {} vs {}", t, i, y1[i], want[i]);
+        }
+
+        let p2 = Plan2d::new(&a, t);
+        let mut y2 = vec![f64::NAN; a.nrows()];
+        spmv_2d(&a, &p2, &x, &mut y2);
+        for i in 0..a.nrows() {
+            prop_assert!((y2[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
+                "2D t={} row {}: {} vs {}", t, i, y2[i], want[i]);
+        }
+    }
+
+    #[test]
+    fn plan2d_is_nnz_balanced(a in matrix_strategy(), t in 1usize..12) {
+        let p = Plan2d::new(&a, t);
+        let counts = p.nnz_per_thread();
+        prop_assert_eq!(counts.iter().sum::<usize>(), a.nnz());
+        // Max differs from min by at most 1 (equal split up to rounding).
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        prop_assert!(max - min <= 1, "2D split not balanced: {:?}", counts);
+    }
+
+    #[test]
+    fn plan1d_partitions_rows_exactly(a in matrix_strategy(), t in 1usize..12) {
+        let p = Plan1d::new(&a, t);
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for &(s, e) in &p.row_ranges {
+            prop_assert_eq!(s, prev_end);
+            prop_assert!(e >= s);
+            covered += e - s;
+            prev_end = e;
+        }
+        prop_assert_eq!(covered, a.nrows());
+        prop_assert_eq!(prev_end, a.nrows());
+    }
+
+    #[test]
+    fn imbalance_at_least_one(counts in proptest::collection::vec(0usize..10_000, 1..64)) {
+        let f = imbalance_factor(&counts);
+        prop_assert!(f >= 1.0 - 1e-12);
+        // Equal counts => exactly 1.
+        if counts.iter().all(|&c| c == counts[0]) && counts[0] > 0 {
+            prop_assert!((f - 1.0).abs() < 1e-12);
+        }
+    }
+}
