@@ -1,0 +1,17 @@
+#!/bin/sh
+# The repo's CI gate, runnable locally. Order matters: the cheap
+# style/lint checks on the serving layer run after the functional gate
+# so a broken build is reported first.
+set -eux
+
+# Tier-1 gate: the umbrella crate must build in release and every test
+# in the workspace must pass.
+cargo build --release
+cargo test -q --workspace
+
+# Serving-layer hygiene: the engine crate stays warning-free and
+# canonically formatted.
+cargo fmt --check -p engine
+cargo clippy -p engine --all-targets -- -D warnings
+
+echo "ci: all gates passed"

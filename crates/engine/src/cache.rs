@@ -1,0 +1,501 @@
+//! The content-addressed ordering cache.
+//!
+//! Keys are (matrix content hash, algorithm spec); values are computed
+//! permutations. The cache is sharded to keep lock contention low under
+//! the worker pool, each shard running an exact LRU (hash map plus a
+//! recency index). Optionally, permutations are persisted to disk so
+//! separate processes — each figure/table binary is its own process —
+//! amortise one computation across the whole artifact run, which is the
+//! paper's §4.7 cost argument operationalised.
+
+use crate::AlgoSpec;
+use sparsemat::Permutation;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: the matrix content address plus the parameterised
+/// algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OrderingKey {
+    /// `CsrMatrix::content_hash()` of the input matrix.
+    pub matrix_hash: u128,
+    /// Algorithm and parameters.
+    pub algo: AlgoSpec,
+}
+
+impl OrderingKey {
+    pub fn new(matrix_hash: u128, algo: AlgoSpec) -> Self {
+        OrderingKey { matrix_hash, algo }
+    }
+
+    /// Filename stem for disk persistence: hash plus algorithm token.
+    fn file_stem(&self) -> String {
+        format!("{:032x}-{}", self.matrix_hash, self.algo.cache_token())
+    }
+}
+
+/// A cached reordering: the permutation, whether it applies
+/// symmetrically, and the one-time cost that computing it incurred.
+#[derive(Debug, Clone)]
+pub struct CachedOrdering {
+    /// `order[new] = old`, as everywhere in the workspace.
+    pub perm: Permutation,
+    /// True if rows *and* columns are permuted (everything but Gray).
+    pub symmetric: bool,
+    /// Wall-clock seconds the original computation took (zero when the
+    /// entry was loaded from disk; the cost was paid by some earlier
+    /// process).
+    pub compute_seconds: f64,
+}
+
+impl CachedOrdering {
+    /// View as the `reorder` crate's result type.
+    pub fn to_reorder_result(&self) -> reorder::ReorderResult {
+        reorder::ReorderResult {
+            perm: self.perm.clone(),
+            symmetric: self.symmetric,
+        }
+    }
+
+    /// Apply to a matrix (symmetric or row-only as recorded).
+    pub fn apply(
+        &self,
+        a: &sparsemat::CsrMatrix,
+    ) -> Result<sparsemat::CsrMatrix, sparsemat::SparseError> {
+        self.to_reorder_result().apply(a)
+    }
+}
+
+/// Monotonic counters, shared by all shards.
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that found nothing (neither memory nor disk).
+    pub misses: u64,
+    /// Entries inserted (computations completed).
+    pub insertions: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Lookups served from the disk store (counted separately from
+    /// `hits`; they also repopulate memory).
+    pub disk_hits: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that avoided a computation.
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.disk_hits;
+        let total = served + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+}
+
+/// One shard: an exact LRU over `capacity` entries.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<OrderingKey, (Arc<CachedOrdering>, u64)>,
+    /// Recency index: tick -> key, oldest first.
+    recency: BTreeMap<u64, OrderingKey>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: OrderingKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old_tick)) = self.entries.get_mut(&key) {
+            self.recency.remove(old_tick);
+            *old_tick = tick;
+            self.recency.insert(tick, key);
+        }
+    }
+
+    fn get(&mut self, key: &OrderingKey) -> Option<Arc<CachedOrdering>> {
+        let value = self.entries.get(key).map(|(v, _)| Arc::clone(v))?;
+        self.touch(*key);
+        Some(value)
+    }
+
+    /// Insert, returning the number of evictions performed.
+    fn insert(&mut self, key: OrderingKey, value: Arc<CachedOrdering>, capacity: usize) -> u64 {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((old_value, old_tick)) = self.entries.insert(key, (value, tick)) {
+            // Refresh of an existing entry: no eviction needed.
+            let _ = old_value;
+            self.recency.remove(&old_tick);
+            self.recency.insert(tick, key);
+            return 0;
+        }
+        self.recency.insert(tick, key);
+        let mut evicted = 0;
+        while self.entries.len() > capacity {
+            let (&oldest_tick, &victim) = self
+                .recency
+                .iter()
+                .next()
+                .expect("recency index tracks every entry");
+            self.recency.remove(&oldest_tick);
+            self.entries.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The sharded, content-addressed LRU cache of reorderings.
+#[derive(Debug)]
+pub struct OrderingCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Maximum entries per shard (total capacity / shard count, at
+    /// least 1).
+    per_shard_capacity: usize,
+    counters: Counters,
+    persist_dir: Option<PathBuf>,
+}
+
+impl OrderingCache {
+    /// An in-memory cache with `capacity` total entries across
+    /// `shards` shards.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        OrderingCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            counters: Counters::default(),
+            persist_dir: None,
+        }
+    }
+
+    /// Enable disk persistence under `dir` (created on first write).
+    pub fn with_persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Current entry count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .sum()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_for(&self, key: &OrderingKey) -> &Mutex<Shard> {
+        // The matrix hash is already uniform; fold in the algorithm so
+        // the same matrix's orderings spread across shards.
+        let mut h = key.matrix_hash as u64 ^ (key.matrix_hash >> 64) as u64;
+        h ^= {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            key.algo.hash(&mut hasher);
+            hasher.finish()
+        };
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a key, consulting memory first and then the disk store.
+    pub fn get(&self, key: &OrderingKey) -> Option<Arc<CachedOrdering>> {
+        self.lookup(key, true)
+    }
+
+    /// Like [`OrderingCache::get`], but a negative result is not
+    /// counted as a miss. Used for the engine's second probe under the
+    /// in-flight lock, which would otherwise double-count every miss.
+    pub fn get_uncounted(&self, key: &OrderingKey) -> Option<Arc<CachedOrdering>> {
+        self.lookup(key, false)
+    }
+
+    fn lookup(&self, key: &OrderingKey, count_miss: bool) -> Option<Arc<CachedOrdering>> {
+        if let Some(v) = self.shard_for(key).lock().unwrap().get(key) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v);
+        }
+        if let Some(v) = self.load_from_disk(key) {
+            self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+            let v = Arc::new(v);
+            // Repopulate memory without re-counting as an insertion —
+            // the computation was done by whoever wrote the file.
+            let evicted = self.shard_for(key).lock().unwrap().insert(
+                *key,
+                Arc::clone(&v),
+                self.per_shard_capacity,
+            );
+            self.counters
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+            return Some(v);
+        }
+        if count_miss {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// Insert a freshly computed ordering and persist it if configured.
+    pub fn insert(&self, key: OrderingKey, value: Arc<CachedOrdering>) {
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        let evicted = self.shard_for(&key).lock().unwrap().insert(
+            key,
+            Arc::clone(&value),
+            self.per_shard_capacity,
+        );
+        self.counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+        if let Err(e) = self.store_to_disk(&key, &value) {
+            eprintln!("engine cache: failed to persist {}: {e}", key.file_stem());
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn disk_path(&self, key: &OrderingKey) -> Option<PathBuf> {
+        self.persist_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.perm", key.file_stem())))
+    }
+
+    /// On-disk format, one value per line: a header
+    /// `perm-cache-v1 <len> <symmetric 0|1>` followed by the
+    /// `order[new] = old` indices.
+    fn store_to_disk(&self, key: &OrderingKey, value: &CachedOrdering) -> std::io::Result<()> {
+        let Some(path) = self.disk_path(key) else {
+            return Ok(());
+        };
+        if path.exists() {
+            return Ok(());
+        }
+        std::fs::create_dir_all(path.parent().expect("cache files live in a directory"))?;
+        // Write to a temp file and rename so concurrent readers never
+        // see a torn entry.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            writeln!(
+                f,
+                "perm-cache-v1 {} {}",
+                value.perm.len(),
+                u8::from(value.symmetric)
+            )?;
+            for &old in value.perm.order() {
+                writeln!(f, "{old}")?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn load_from_disk(&self, key: &OrderingKey) -> Option<CachedOrdering> {
+        let path = self.disk_path(key)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        parse_perm_file(&text).or_else(|| {
+            eprintln!("engine cache: ignoring malformed file {}", path.display());
+            None
+        })
+    }
+}
+
+fn parse_perm_file(text: &str) -> Option<CachedOrdering> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut parts = header.split_whitespace();
+    if parts.next()? != "perm-cache-v1" {
+        return None;
+    }
+    let len: usize = parts.next()?.parse().ok()?;
+    let symmetric = match parts.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let order: Vec<u32> = lines
+        .map(|l| l.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    if order.len() != len {
+        return None;
+    }
+    let perm = Permutation::from_new_to_old(order).ok()?;
+    Some(CachedOrdering {
+        perm,
+        symmetric,
+        compute_seconds: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u128) -> OrderingKey {
+        OrderingKey::new(i, AlgoSpec::Rcm)
+    }
+
+    fn entry(n: usize) -> Arc<CachedOrdering> {
+        Arc::new(CachedOrdering {
+            perm: Permutation::identity(n),
+            symmetric: true,
+            compute_seconds: 0.01,
+        })
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_counts() {
+        // Single shard so eviction order is fully deterministic.
+        let cache = OrderingCache::new(3, 1);
+        cache.insert(key(1), entry(1));
+        cache.insert(key(2), entry(2));
+        cache.insert(key(3), entry(3));
+        // Touch key 1 so key 2 becomes the oldest.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(4), entry(4));
+        assert!(cache.get(&key(2)).is_none(), "oldest entry must be evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert!(cache.get(&key(4)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.insertions, 4);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 4);
+    }
+
+    #[test]
+    fn eviction_cascade_past_capacity() {
+        let cache = OrderingCache::new(2, 1);
+        for i in 0..6 {
+            cache.insert(key(i), entry(1));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 4);
+        // The two most recent survive.
+        assert!(cache.get(&key(4)).is_some());
+        assert!(cache.get(&key(5)).is_some());
+        for i in 0..4 {
+            assert!(cache.get(&key(i)).is_none());
+        }
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let cache = OrderingCache::new(2, 1);
+        cache.insert(key(1), entry(1));
+        cache.insert(key(2), entry(2));
+        // Refreshing key 1 must not evict anything...
+        cache.insert(key(1), entry(1));
+        assert_eq!(cache.stats().evictions, 0);
+        // ...and must make key 2 the LRU victim.
+        cache.insert(key(3), entry(3));
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn sharded_capacity_and_spread() {
+        let cache = OrderingCache::new(8, 4);
+        assert_eq!(cache.capacity(), 8);
+        for i in 0..8 {
+            cache.insert(key(i), entry(1));
+        }
+        // No shard can exceed its per-shard capacity, so at most 8
+        // entries remain; with a uniform key hash most should survive.
+        assert!(cache.len() >= 4, "len {} unexpectedly small", cache.len());
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "engine-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = OrderingCache::new(4, 1).with_persist_dir(&dir);
+        let perm = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        writer.insert(
+            OrderingKey::new(42, AlgoSpec::Gray),
+            Arc::new(CachedOrdering {
+                perm: perm.clone(),
+                symmetric: false,
+                compute_seconds: 1.5,
+            }),
+        );
+
+        // A fresh cache (cold memory) finds the entry on disk.
+        let reader = OrderingCache::new(4, 1).with_persist_dir(&dir);
+        let got = reader
+            .get(&OrderingKey::new(42, AlgoSpec::Gray))
+            .expect("disk hit");
+        assert_eq!(got.perm.order(), perm.order());
+        assert!(!got.symmetric);
+        let s = reader.stats();
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.misses, 0);
+        // Second read is a memory hit.
+        assert!(reader.get(&OrderingKey::new(42, AlgoSpec::Gray)).is_some());
+        assert_eq!(reader.stats().hits, 1);
+        // Different algorithm on the same matrix is still a miss.
+        assert!(reader.get(&OrderingKey::new(42, AlgoSpec::Rcm)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_disk_entry_is_ignored() {
+        assert!(parse_perm_file("not-a-header\n0\n").is_none());
+        assert!(parse_perm_file("perm-cache-v1 3 1\n0\n1\n").is_none()); // short
+        assert!(parse_perm_file("perm-cache-v1 2 1\n0\n0\n").is_none()); // not a permutation
+        assert!(parse_perm_file("perm-cache-v1 2 1\n1\n0\n").is_some());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            insertions: 1,
+            evictions: 0,
+            disk_hits: 1,
+        };
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

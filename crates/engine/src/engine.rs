@@ -1,0 +1,443 @@
+//! The engine facade: the batched session API over the cache and the
+//! worker pool.
+
+use crate::cache::{CacheStats, CachedOrdering, OrderingCache, OrderingKey};
+use crate::pool::{spawn_pool, InFlight, Job, PoolCounters, WorkerContext};
+use crate::AlgoSpec;
+use sparsemat::CsrMatrix;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads computing reorderings.
+    pub workers: usize,
+    /// Bounded job-queue capacity; submissions past this block (back-
+    /// pressure).
+    pub queue_capacity: usize,
+    /// Total in-memory cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// Cache shard count (lock striping).
+    pub cache_shards: usize,
+    /// Optional directory for cross-process permutation persistence
+    /// (the paper's amortisation argument across artifact binaries).
+    pub persist_dir: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(8);
+        EngineConfig {
+            workers,
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            persist_dir: None,
+        }
+    }
+}
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The underlying algorithm failed (e.g. non-square input).
+    Compute { algo: AlgoSpec, message: String },
+    /// The engine is shutting down and cannot accept work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Compute { algo, message } => {
+                write!(f, "{} failed: {message}", algo.name())
+            }
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A matrix registered with the engine: the matrix plus its content
+/// address, computed once at registration so repeated submissions do
+/// not re-hash the nonzeros.
+#[derive(Debug, Clone)]
+pub struct MatrixHandle {
+    matrix: Arc<CsrMatrix>,
+    hash: u128,
+}
+
+impl MatrixHandle {
+    /// Register a shared matrix (hashes it once, `O(nnz)`).
+    pub fn new(matrix: Arc<CsrMatrix>) -> Self {
+        let hash = matrix.content_hash();
+        MatrixHandle { matrix, hash }
+    }
+
+    /// Register an owned matrix.
+    pub fn from_matrix(matrix: CsrMatrix) -> Self {
+        MatrixHandle::new(Arc::new(matrix))
+    }
+
+    /// The content address used for cache keys.
+    pub fn content_hash(&self) -> u128 {
+        self.hash
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Arc<CsrMatrix> {
+        &self.matrix
+    }
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Cache counters (hits, misses, evictions, disk hits).
+    pub cache: CacheStats,
+    /// Requests that coalesced onto an already in-flight computation.
+    pub coalesced: u64,
+    /// Jobs actually computed by the pool.
+    pub jobs_executed: u64,
+    /// Jobs whose computation failed.
+    pub jobs_failed: u64,
+    /// Total wall-clock compute seconds across all executed jobs.
+    pub compute_seconds: f64,
+    /// Total requests submitted.
+    pub submitted: u64,
+}
+
+impl EngineStats {
+    /// Fraction of submissions that needed no fresh computation
+    /// (memory hit, disk hit, or coalesced onto in-flight work).
+    pub fn amortised_fraction(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        let avoided = self.cache.hits + self.cache.disk_hits + self.coalesced;
+        avoided as f64 / self.submitted as f64
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} submitted | {} hits + {} disk + {} coalesced / {} misses \
+             ({:.1}% amortised) | {} computed in {:.3}s | {} evicted",
+            self.submitted,
+            self.cache.hits,
+            self.cache.disk_hits,
+            self.coalesced,
+            self.cache.misses,
+            100.0 * self.amortised_fraction(),
+            self.jobs_executed,
+            self.compute_seconds,
+            self.cache.evictions,
+        )
+    }
+}
+
+/// A pending (or already satisfied) reordering request.
+pub struct Ticket {
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    Ready(Result<Arc<CachedOrdering>, EngineError>),
+    Pending(Arc<InFlight>),
+}
+
+impl Ticket {
+    /// Block until the ordering is available.
+    pub fn wait(self) -> Result<Arc<CachedOrdering>, EngineError> {
+        match self.inner {
+            TicketInner::Ready(r) => r,
+            TicketInner::Pending(slot) => slot.wait(),
+        }
+    }
+
+    /// True if the result was served without waiting (cache hit).
+    pub fn is_ready(&self) -> bool {
+        matches!(self.inner, TicketInner::Ready(_))
+    }
+}
+
+/// The reordering-as-a-service engine: content-addressed cache in
+/// front, deduplicating worker pool behind.
+///
+/// ```
+/// use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
+///
+/// let engine = Engine::new(EngineConfig::default());
+/// let m = MatrixHandle::from_matrix(corpus::mesh2d(12, 12));
+/// let first = engine.get(&m, AlgoSpec::Rcm).unwrap();
+/// let again = engine.get(&m, AlgoSpec::Rcm).unwrap(); // cache hit
+/// assert_eq!(first.perm.order(), again.perm.order());
+/// assert_eq!(engine.stats().jobs_executed, 1);
+/// ```
+pub struct Engine {
+    cache: Arc<OrderingCache>,
+    inflight: Arc<Mutex<HashMap<OrderingKey, Arc<InFlight>>>>,
+    counters: Arc<PoolCounters>,
+    coalesced: AtomicU64,
+    submitted: AtomicU64,
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Start an engine: builds the cache and spawns the worker pool.
+    pub fn new(config: EngineConfig) -> Self {
+        let mut cache = OrderingCache::new(config.cache_capacity, config.cache_shards);
+        if let Some(dir) = &config.persist_dir {
+            cache = cache.with_persist_dir(dir);
+        }
+        let cache = Arc::new(cache);
+        let inflight = Arc::new(Mutex::new(HashMap::new()));
+        let counters = Arc::new(PoolCounters::default());
+        let (tx, workers) = spawn_pool(
+            config.workers,
+            config.queue_capacity,
+            WorkerContext {
+                cache: Arc::clone(&cache),
+                inflight: Arc::clone(&inflight),
+                counters: Arc::clone(&counters),
+            },
+        );
+        Engine {
+            cache,
+            inflight,
+            counters,
+            coalesced: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Submit one reordering request. Returns immediately with a
+    /// [`Ticket`]; a cache hit makes the ticket ready, otherwise it
+    /// joins (or starts) the in-flight computation for its key.
+    pub fn submit(&self, matrix: &MatrixHandle, algo: AlgoSpec) -> Ticket {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let key = OrderingKey::new(matrix.content_hash(), algo);
+
+        if let Some(v) = self.cache.get(&key) {
+            return Ticket {
+                inner: TicketInner::Ready(Ok(v)),
+            };
+        }
+
+        // Miss: coalesce onto in-flight work for the same key, or
+        // become the request that enqueues it.
+        let slot = {
+            let mut inflight = self.inflight.lock().unwrap();
+            if let Some(existing) = inflight.get(&key) {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Ticket {
+                    inner: TicketInner::Pending(Arc::clone(existing)),
+                };
+            }
+            // The computation may have completed between the cache
+            // probe and taking this lock (workers remove the key only
+            // *after* inserting into the cache), so re-probe while
+            // holding the lock to avoid a needless recompute.
+            if let Some(v) = self.cache.get_uncounted(&key) {
+                return Ticket {
+                    inner: TicketInner::Ready(Ok(v)),
+                };
+            }
+            let slot = Arc::new(InFlight::new());
+            inflight.insert(key, Arc::clone(&slot));
+            slot
+        };
+
+        // Enqueue outside the in-flight lock: the bounded queue can
+        // block here, and workers need that lock to finish jobs.
+        let job = Job {
+            key,
+            matrix: Arc::clone(matrix.matrix()),
+            slot: Arc::clone(&slot),
+        };
+        match &self.tx {
+            Some(tx) => {
+                if tx.send(job).is_err() {
+                    self.inflight.lock().unwrap().remove(&key);
+                    slot.fulfil(Err(EngineError::ShuttingDown));
+                }
+            }
+            None => {
+                self.inflight.lock().unwrap().remove(&key);
+                slot.fulfil(Err(EngineError::ShuttingDown));
+            }
+        }
+        Ticket {
+            inner: TicketInner::Pending(slot),
+        }
+    }
+
+    /// Submit a batch; tickets come back in request order.
+    pub fn submit_batch<'a, I>(&self, requests: I) -> Vec<Ticket>
+    where
+        I: IntoIterator<Item = (&'a MatrixHandle, AlgoSpec)>,
+    {
+        requests
+            .into_iter()
+            .map(|(m, algo)| self.submit(m, algo))
+            .collect()
+    }
+
+    /// Submit and wait: the blocking convenience call.
+    pub fn get(
+        &self,
+        matrix: &MatrixHandle,
+        algo: AlgoSpec,
+    ) -> Result<Arc<CachedOrdering>, EngineError> {
+        self.submit(matrix, algo).wait()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache: self.cache.stats(),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            jobs_executed: self.counters.jobs_executed.load(Ordering::Relaxed),
+            jobs_failed: self.counters.jobs_failed.load(Ordering::Relaxed),
+            compute_seconds: self.counters.compute_micros.load(Ordering::Relaxed) as f64 / 1e6,
+            submitted: self.submitted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers once the queue drains;
+        // queued jobs still complete, so outstanding tickets resolve.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine() -> Engine {
+        Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 64,
+            cache_shards: 2,
+            persist_dir: None,
+        })
+    }
+
+    fn mesh() -> MatrixHandle {
+        MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(14, 14), 3))
+    }
+
+    #[test]
+    fn get_computes_then_hits() {
+        let engine = small_engine();
+        let m = mesh();
+        let a = engine.get(&m, AlgoSpec::Rcm).unwrap();
+        let b = engine.get(&m, AlgoSpec::Rcm).unwrap();
+        assert_eq!(a.perm.order(), b.perm.order());
+        assert!(a.symmetric);
+        let s = engine.stats();
+        assert_eq!(s.jobs_executed, 1);
+        assert_eq!(s.cache.hits, 1);
+        assert_eq!(s.cache.misses, 1);
+        assert_eq!(s.submitted, 2);
+        assert!(s.compute_seconds >= 0.0);
+    }
+
+    #[test]
+    fn distinct_algorithms_are_distinct_entries() {
+        let engine = small_engine();
+        let m = mesh();
+        let _ = engine.get(&m, AlgoSpec::Rcm).unwrap();
+        let _ = engine.get(&m, AlgoSpec::Amd).unwrap();
+        let _ = engine.get(&m, AlgoSpec::Gp { parts: 4 }).unwrap();
+        let _ = engine.get(&m, AlgoSpec::Gp { parts: 8 }).unwrap();
+        assert_eq!(engine.stats().jobs_executed, 4);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_dedups() {
+        let engine = small_engine();
+        let m = mesh();
+        let suite = AlgoSpec::study_suite(4, 8);
+        let requests: Vec<_> = suite
+            .iter()
+            .chain(suite.iter()) // every algorithm twice
+            .map(|&a| (&m, a))
+            .collect();
+        let tickets = engine.submit_batch(requests);
+        assert_eq!(tickets.len(), 12);
+        let results: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        for (i, &algo) in suite.iter().enumerate() {
+            assert_eq!(
+                results[i].perm.order(),
+                results[i + 6].perm.order(),
+                "duplicate of {} must share the result",
+                algo.name()
+            );
+        }
+        // Six unique keys -> exactly six computations.
+        assert_eq!(engine.stats().jobs_executed, 6);
+    }
+
+    #[test]
+    fn gray_is_row_only() {
+        let engine = small_engine();
+        let m = mesh();
+        let gray = engine.get(&m, AlgoSpec::Gray).unwrap();
+        assert!(!gray.symmetric);
+        let b = gray.apply(m.matrix()).unwrap();
+        assert_eq!(b.nnz(), m.matrix().nnz());
+    }
+
+    #[test]
+    fn compute_error_is_reported_not_cached() {
+        let engine = small_engine();
+        // A rectangular matrix: every ordering requires square input.
+        let mut coo = sparsemat::CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 2, 1.0);
+        let m = MatrixHandle::from_matrix(sparsemat::CsrMatrix::from_coo(&coo));
+        let err = engine.get(&m, AlgoSpec::Rcm).unwrap_err();
+        match &err {
+            EngineError::Compute { algo, .. } => assert_eq!(algo.name(), "RCM"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let s = engine.stats();
+        assert_eq!(s.jobs_failed, 1);
+        // Failures are not cached: a retry fails afresh.
+        let _ = engine.get(&m, AlgoSpec::Rcm).unwrap_err();
+        assert_eq!(engine.stats().jobs_failed, 2);
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let engine = small_engine();
+        let m = mesh();
+        let _ = engine.get(&m, AlgoSpec::Rcm).unwrap();
+        let _ = engine.get(&m, AlgoSpec::Rcm).unwrap();
+        let line = engine.stats().to_string();
+        assert!(line.contains("1 hits"), "got: {line}");
+        assert!(line.contains("1 computed"), "got: {line}");
+    }
+}

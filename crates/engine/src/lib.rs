@@ -1,0 +1,56 @@
+//! # engine — reordering as a service
+//!
+//! The paper's cost argument (§4.7, Table 5) is that a reordering only
+//! pays off when its one-time cost is amortised over many SpMV
+//! iterations. In a serving setting that means: compute each
+//! (matrix, algorithm) ordering **once**, cache it, and hand the same
+//! permutation to every subsequent request. This crate turns the
+//! workspace's one-shot pipeline into that serving subsystem, in three
+//! layers:
+//!
+//! 1. **Content-addressed cache** ([`OrderingCache`]): keys are
+//!    `CsrMatrix::content_hash()` (a stable 128-bit content address
+//!    over the canonical CSR form) plus the parameterised algorithm
+//!    ([`AlgoSpec`]); values are permutations. Sharded in-memory LRU
+//!    with hit/miss/eviction counters and optional disk persistence,
+//!    so separate experiment processes share one computation.
+//! 2. **Worker pool** (`pool`): a fixed set of `std::thread` workers
+//!    consuming a bounded job queue, with request deduplication —
+//!    concurrent requests for the same key coalesce onto one in-flight
+//!    computation and all receive the shared result — and per-job
+//!    wall-clock accounting.
+//! 3. **Batched session API** ([`Engine`]): [`Engine::submit`],
+//!    [`Engine::submit_batch`], [`Engine::get`] and [`Engine::stats`].
+//!    The `experiments` crate's sweep obtains all orderings through
+//!    this API, and `experiments --bin serve` replays a Zipf request
+//!    trace against it.
+//!
+//! ```
+//! use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let m = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(16, 16), 1));
+//!
+//! // A batch with duplicates: six unique orderings, twelve requests.
+//! let suite = AlgoSpec::study_suite(8, 16);
+//! let requests: Vec<_> = suite.iter().chain(suite.iter()).map(|&a| (&m, a)).collect();
+//! let results: Vec<_> = engine
+//!     .submit_batch(requests)
+//!     .into_iter()
+//!     .map(|t| t.wait().unwrap())
+//!     .collect();
+//!
+//! assert_eq!(results.len(), 12);
+//! let stats = engine.stats();
+//! assert_eq!(stats.jobs_executed, 6); // duplicates were amortised
+//! ```
+
+mod algo;
+mod cache;
+mod engine;
+mod pool;
+
+pub use algo::AlgoSpec;
+pub use cache::{CacheStats, CachedOrdering, OrderingCache, OrderingKey};
+pub use engine::{Engine, EngineConfig, EngineError, EngineStats, MatrixHandle, Ticket};
+pub use pool::InFlight;

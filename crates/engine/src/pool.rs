@@ -1,0 +1,144 @@
+//! The batched worker pool: a fixed set of `std::thread` workers
+//! consuming a bounded job queue.
+//!
+//! Each job computes one reordering and publishes it through the
+//! shared cache plus an [`InFlight`] slot that every coalesced waiter
+//! blocks on. The queue is bounded (`std::sync::mpsc::sync_channel`),
+//! so a flood of submissions applies back-pressure to callers instead
+//! of ballooning memory.
+
+use crate::cache::{CachedOrdering, OrderingKey};
+use crate::EngineError;
+use sparsemat::CsrMatrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued reordering computation.
+pub(crate) struct Job {
+    pub key: OrderingKey,
+    pub matrix: Arc<CsrMatrix>,
+    pub slot: Arc<InFlight>,
+}
+
+/// The rendezvous for one in-flight computation: the first requester
+/// enqueues the job; every later requester for the same key blocks on
+/// the same slot and receives the shared result.
+#[derive(Debug)]
+pub struct InFlight {
+    state: Mutex<Option<Result<Arc<CachedOrdering>, EngineError>>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    pub(crate) fn new() -> Self {
+        InFlight {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the computation completes.
+    pub fn wait(&self) -> Result<Arc<CachedOrdering>, EngineError> {
+        let mut guard = self.state.lock().unwrap();
+        while guard.is_none() {
+            guard = self.cv.wait(guard).unwrap();
+        }
+        guard.as_ref().expect("checked above").clone()
+    }
+
+    pub(crate) fn fulfil(&self, result: Result<Arc<CachedOrdering>, EngineError>) {
+        let mut guard = self.state.lock().unwrap();
+        *guard = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// Work accounting shared between the pool and the engine facade.
+#[derive(Debug, Default)]
+pub(crate) struct PoolCounters {
+    pub jobs_executed: AtomicU64,
+    pub jobs_failed: AtomicU64,
+    /// Total wall-clock compute time, in microseconds (atomic so the
+    /// hot path never takes a lock for accounting).
+    pub compute_micros: AtomicU64,
+}
+
+/// Everything a worker needs to process jobs.
+pub(crate) struct WorkerContext {
+    pub cache: Arc<crate::cache::OrderingCache>,
+    pub inflight: Arc<Mutex<std::collections::HashMap<OrderingKey, Arc<InFlight>>>>,
+    pub counters: Arc<PoolCounters>,
+}
+
+/// Spawn `workers` threads consuming from a bounded channel of
+/// capacity `queue_capacity`. Returns the sender and the join handles;
+/// dropping the sender drains and stops the pool.
+pub(crate) fn spawn_pool(
+    workers: usize,
+    queue_capacity: usize,
+    ctx: WorkerContext,
+) -> (SyncSender<Job>, Vec<JoinHandle<()>>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(queue_capacity.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let ctx = Arc::new(ctx);
+    let handles = (0..workers.max(1))
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name(format!("engine-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &ctx))
+                .expect("spawning an engine worker thread")
+        })
+        .collect();
+    (tx, handles)
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
+    loop {
+        // Hold the receiver lock only for the dequeue, never during
+        // compute, so workers pull jobs concurrently.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: pool shutdown
+        };
+        process(job, ctx);
+    }
+}
+
+fn process(job: Job, ctx: &WorkerContext) {
+    let start = Instant::now();
+    let computed = job.key.algo.instantiate().compute(&job.matrix);
+    let elapsed = start.elapsed();
+
+    let result = match computed {
+        Ok(r) => {
+            let cached = Arc::new(CachedOrdering {
+                perm: r.perm,
+                symmetric: r.symmetric,
+                compute_seconds: elapsed.as_secs_f64(),
+            });
+            ctx.cache.insert(job.key, Arc::clone(&cached));
+            ctx.counters.jobs_executed.fetch_add(1, Ordering::Relaxed);
+            ctx.counters
+                .compute_micros
+                .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+            Ok(cached)
+        }
+        Err(e) => {
+            ctx.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            Err(EngineError::Compute {
+                algo: job.key.algo,
+                message: e.to_string(),
+            })
+        }
+    };
+
+    // Publish order matters: the cache already has the entry, so once
+    // the key leaves the in-flight map any new request finds it there.
+    ctx.inflight.lock().unwrap().remove(&job.key);
+    job.slot.fulfil(result);
+}

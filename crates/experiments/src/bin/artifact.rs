@@ -49,12 +49,13 @@ fn main() {
     let per_matrix: Vec<_> = specs
         .iter()
         .map(|spec| {
-            let a = spec.build();
+            let a = std::sync::Arc::new(spec.build());
             let ordered = apply_all_orderings(&a, &cfg);
             eprintln!("  {} done", spec.name);
             (spec, a.nrows(), a.ncols(), a.nnz(), ordered)
         })
         .collect();
+    experiments::sweep::log_engine_stats("artifact");
 
     for m in &machines {
         let slug = m.name.to_lowercase().replace(' ', "");

@@ -1,0 +1,266 @@
+//! `serve`: replay a synthetic reordering request trace against the
+//! engine and report serving metrics.
+//!
+//! The paper's amortisation argument (§4.7, Table 5) says reordering
+//! pays for itself when its cost is spread over many SpMV iterations.
+//! A serving deployment sharpens that: *requests for orderings repeat*
+//! (the same matrices come back, hot matrices far more often than cold
+//! ones), so a content-addressed cache amortises the cost across
+//! requests as well as iterations. This binary quantifies that with a
+//! Zipf-distributed trace over the (matrix, algorithm) key space:
+//!
+//! - **throughput** — requests served per second of wall-clock;
+//! - **hit rate** — fraction of requests amortised (cache hits, disk
+//!   hits, or coalesced onto an in-flight computation);
+//! - **latency** — p50/p99 of the per-request wait, microseconds.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve [--size small|medium|large] [--requests N] [--clients N]
+//!       [--workers N] [--skew S] [--seed N] [--cache-capacity N]
+//!       [--persist-dir DIR]
+//! ```
+
+use corpus::CorpusSize;
+use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
+use experiments::sweep::SweepConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ServeOptions {
+    size: CorpusSize,
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    skew: f64,
+    seed: u64,
+    cache_capacity: usize,
+    persist_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            size: CorpusSize::Small,
+            requests: 2000,
+            clients: 4,
+            workers: EngineConfig::default().workers,
+            skew: 1.1,
+            seed: 42,
+            cache_capacity: 4096,
+            persist_dir: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    println!(
+        "usage: serve [--size small|medium|large] [--requests N] [--clients N]\n\
+         \x20            [--workers N] [--skew S] [--seed N] [--cache-capacity N]\n\
+         \x20            [--persist-dir DIR]"
+    );
+    std::process::exit(0);
+}
+
+fn parse_serve_args() -> ServeOptions {
+    let mut opts = ServeOptions::default();
+    let mut it = std::env::args().skip(1);
+    fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    }
+    fn num<T: std::str::FromStr>(v: String, flag: &str) -> T {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag}: cannot parse '{v}'");
+            std::process::exit(2);
+        })
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size" => {
+                opts.size = match value(&mut it, "--size").as_str() {
+                    "small" => CorpusSize::Small,
+                    "medium" => CorpusSize::Medium,
+                    "large" => CorpusSize::Large,
+                    other => {
+                        eprintln!("unknown --size '{other}' (small|medium|large)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--requests" => opts.requests = num(value(&mut it, "--requests"), "--requests"),
+            "--clients" => opts.clients = num::<usize>(value(&mut it, "--clients"), "--clients").max(1),
+            "--workers" => opts.workers = num::<usize>(value(&mut it, "--workers"), "--workers").max(1),
+            "--skew" => opts.skew = num(value(&mut it, "--skew"), "--skew"),
+            "--seed" => opts.seed = num(value(&mut it, "--seed"), "--seed"),
+            "--cache-capacity" => {
+                opts.cache_capacity =
+                    num::<usize>(value(&mut it, "--cache-capacity"), "--cache-capacity").max(1)
+            }
+            "--persist-dir" => opts.persist_dir = Some(value(&mut it, "--persist-dir").into()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Draw `n` indices in `0..weights_cumulative.len()` from the
+/// distribution whose cumulative weights are given (ascending, last
+/// element = total mass).
+fn sample_trace(cumulative: &[f64], n: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    let total = *cumulative.last().expect("non-empty key space");
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * total;
+            // First index whose cumulative weight exceeds u.
+            cumulative.partition_point(|&c| c <= u).min(cumulative.len() - 1)
+        })
+        .collect()
+}
+
+fn percentile(sorted_micros: &[u64], pct: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let idx = ((pct / 100.0) * (sorted_micros.len() - 1) as f64).round() as usize;
+    sorted_micros[idx.min(sorted_micros.len() - 1)]
+}
+
+fn main() {
+    let opts = parse_serve_args();
+    let cfg = SweepConfig::for_size(opts.size);
+
+    // --- Key space: every (matrix, algorithm) pair of the study. -----
+    let setup = Instant::now();
+    let specs = corpus::standard_corpus(opts.size);
+    let handles: Vec<MatrixHandle> = specs
+        .iter()
+        .map(|s| MatrixHandle::from_matrix(s.build()))
+        .collect();
+    let mut algos = vec![AlgoSpec::Original];
+    algos.extend(AlgoSpec::study_suite(cfg.gp_parts, cfg.hp_parts));
+    let keys: Vec<(usize, AlgoSpec)> = handles
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, _)| algos.iter().map(move |&a| (mi, a)))
+        .collect();
+    eprintln!(
+        "key space: {} matrices x {} algorithms = {} keys ({:.2}s to build corpus)",
+        handles.len(),
+        algos.len(),
+        keys.len(),
+        setup.elapsed().as_secs_f64()
+    );
+
+    // --- Zipf trace: rank r gets weight 1/r^s; ranks are assigned to
+    // keys in shuffled order so popularity is uncorrelated with the
+    // corpus enumeration. -------------------------------------------
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut cumulative = Vec::with_capacity(keys.len());
+    let mut acc = 0.0;
+    for rank in 1..=keys.len() {
+        acc += 1.0 / (rank as f64).powf(opts.skew);
+        cumulative.push(acc);
+    }
+    let trace: Vec<usize> = sample_trace(&cumulative, opts.requests, &mut rng)
+        .into_iter()
+        .map(|rank| order[rank])
+        .collect();
+    let unique = {
+        let mut seen = vec![false; keys.len()];
+        trace.iter().for_each(|&k| seen[k] = true);
+        seen.iter().filter(|&&s| s).count()
+    };
+    eprintln!(
+        "trace: {} requests over {} unique keys (zipf s = {})",
+        trace.len(),
+        unique,
+        opts.skew
+    );
+
+    // --- Replay through the engine. ----------------------------------
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: opts.workers,
+        cache_capacity: opts.cache_capacity,
+        persist_dir: opts.persist_dir.clone(),
+        ..EngineConfig::default()
+    }));
+    let replay = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let chunk = trace.len().div_ceil(opts.clients);
+        let threads: Vec<_> = trace
+            .chunks(chunk.max(1))
+            .map(|slice| {
+                let engine = Arc::clone(&engine);
+                let handles = &handles;
+                let keys = &keys;
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|&k| {
+                            let (mi, algo) = keys[k];
+                            let t0 = Instant::now();
+                            engine
+                                .get(&handles[mi], algo)
+                                .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+                            t0.elapsed().as_micros() as u64
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = replay.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    // --- Report. -----------------------------------------------------
+    let stats = engine.stats();
+    let amortised = stats.cache.hits + stats.cache.disk_hits + stats.coalesced;
+    let hit_rate = amortised as f64 / stats.submitted.max(1) as f64;
+    println!("served {} requests in {:.3}s with {} clients / {} workers", trace.len(), wall, opts.clients, opts.workers);
+    println!("  throughput: {:.0} req/s", trace.len() as f64 / wall);
+    println!(
+        "  hit rate:   {:.1}% ({} memory + {} disk + {} coalesced of {} requests)",
+        100.0 * hit_rate,
+        stats.cache.hits,
+        stats.cache.disk_hits,
+        stats.coalesced,
+        stats.submitted
+    );
+    println!(
+        "  latency:    p50 {} us | p99 {} us | max {} us",
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+        latencies.last().copied().unwrap_or(0)
+    );
+    println!(
+        "  compute:    {} jobs, {:.3}s of reordering amortised over {} requests",
+        stats.jobs_executed, stats.compute_seconds, stats.submitted
+    );
+    println!("  engine:     {stats}");
+    if hit_rate < 0.5 {
+        eprintln!(
+            "warning: hit rate below 50% — trace too short or cache too small \
+             for this key space"
+        );
+        std::process::exit(1);
+    }
+}

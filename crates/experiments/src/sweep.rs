@@ -1,12 +1,19 @@
 //! The shared corpus sweep: reorder every matrix with every algorithm,
 //! simulate both SpMV kernels on every machine, and aggregate speedups.
+//!
+//! All orderings are obtained through the shared [`engine`] instance
+//! ([`sweep_engine`]), so repeated (matrix, algorithm) pairs — within a
+//! sweep, across the figure/table binaries of one process, or across
+//! processes when disk persistence is enabled — are computed exactly
+//! once and every later consumer gets the cached permutation (the
+//! paper's §4.7 amortisation argument, operationalised).
 
 use archsim::{simulate_spmv_1d_opt, simulate_spmv_2d_opt, Machine, SimOptions};
 use corpus::{CorpusSize, MatrixSpec};
-use rayon::prelude::*;
-use reorder::{all_algorithms, Original, ReorderAlgorithm};
-use sparsemat::CsrMatrix;
+use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
 use spfeatures::{geometric_mean, matrix_features, quartiles, BoxStats, MatrixFeatures};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Ordering names in the paper's column order, with the baseline first.
 pub const ORDERINGS: [&str; 7] = ["Original", "RCM", "AMD", "ND", "GP", "HP", "Gray"];
@@ -110,41 +117,73 @@ impl MatrixSweep {
     }
 }
 
-/// Compute all seven (matrix, ordering) pairs for one matrix: the
-/// reordered matrices plus timings.
+/// The process-wide reordering engine every sweep goes through.
+///
+/// One instance per process means every figure/table binary that
+/// sweeps the same corpus twice (or overlapping corpora) computes each
+/// (matrix, algorithm) ordering exactly once. Set
+/// `REORDER_CACHE_DIR=<dir>` to also persist permutations across
+/// processes (e.g. `results/cache/` for a full artifact regeneration).
+pub fn sweep_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let mut config = EngineConfig::default();
+        if let Ok(dir) = std::env::var("REORDER_CACHE_DIR") {
+            if !dir.is_empty() {
+                config.persist_dir = Some(dir.into());
+            }
+        }
+        Engine::new(config)
+    })
+}
+
+/// Report the shared engine's cache statistics (call at the end of a
+/// sweep so the amortisation win is visible in every table/figure run).
+pub fn log_engine_stats(context: &str) {
+    eprintln!("  engine stats [{context}]: {}", sweep_engine().stats());
+}
+
+/// Compute all seven (matrix, ordering) pairs for one matrix through
+/// the shared engine: the reordered matrices plus the one-time
+/// reordering costs.
+///
+/// The returned `f64` is the wall-clock cost of *computing* the
+/// ordering (Table 5's quantity). On a cache hit it is the cost the
+/// original computation paid, not the (near-zero) cost this call paid —
+/// callers reporting amortisation should consult [`sweep_engine`]'s
+/// stats.
 pub fn apply_all_orderings(
-    a: &CsrMatrix,
+    a: &Arc<sparsemat::CsrMatrix>,
     cfg: &SweepConfig,
-) -> Vec<(String, f64, CsrMatrix)> {
-    let mut out = Vec::with_capacity(7);
-    let orig = Original
-        .compute_timed(a)
-        .expect("corpus matrices are square");
-    out.push((
-        "Original".to_string(),
-        orig.elapsed.as_secs_f64(),
-        a.clone(),
-    ));
-    for alg in all_algorithms(cfg.gp_parts, cfg.hp_parts) {
-        let timed = alg
-            .compute_timed(a)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
-        let b = timed
-            .result
-            .apply(a)
-            .unwrap_or_else(|e| panic!("{} apply failed: {e}", alg.name()));
-        out.push((
-            alg.name().to_string(),
-            timed.elapsed.as_secs_f64(),
-            b,
-        ));
-    }
-    out
+) -> Vec<(String, f64, sparsemat::CsrMatrix)> {
+    let engine = sweep_engine();
+    let handle = MatrixHandle::new(Arc::clone(a));
+    let mut specs = vec![AlgoSpec::Original];
+    specs.extend(AlgoSpec::study_suite(cfg.gp_parts, cfg.hp_parts));
+    let tickets = engine.submit_batch(specs.iter().map(|&s| (&handle, s)));
+    specs
+        .iter()
+        .zip(tickets)
+        .map(|(spec, ticket)| {
+            let cached = ticket
+                .wait()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name()));
+            let b = if matches!(spec, AlgoSpec::Original) {
+                // The identity ordering: skip the no-op permutation.
+                a.as_ref().clone()
+            } else {
+                cached
+                    .apply(a)
+                    .unwrap_or_else(|e| panic!("{} apply failed: {e}", spec.name()))
+            };
+            (spec.name().to_string(), cached.compute_seconds, b)
+        })
+        .collect()
 }
 
 /// Sweep one matrix: reorder + simulate on all machines.
 pub fn sweep_matrix(spec: &MatrixSpec, machines: &[Machine], cfg: &SweepConfig) -> MatrixSweep {
-    let a = spec.build();
+    let a = Arc::new(spec.build());
     let ordered = apply_all_orderings(&a, cfg);
     let runs = ordered
         .into_iter()
@@ -184,21 +223,46 @@ pub fn sweep_matrix(spec: &MatrixSpec, machines: &[Machine], cfg: &SweepConfig) 
 }
 
 /// Sweep a whole corpus, in parallel over matrices.
+///
+/// Matrices are claimed from a shared atomic counter by a scoped
+/// thread per available core; the reordering work itself funnels
+/// through [`sweep_engine`]'s worker pool, so duplicate (matrix,
+/// algorithm) pairs across the corpus are computed once.
 pub fn sweep_corpus(
     specs: &[MatrixSpec],
     machines: &[Machine],
     cfg: &SweepConfig,
     verbose: bool,
 ) -> Vec<MatrixSweep> {
-    specs
-        .par_iter()
-        .map(|spec| {
-            let r = sweep_matrix(spec, machines, cfg);
-            if verbose {
-                eprintln!("  swept {} ({} rows, {} nnz)", r.name, r.nrows, r.nnz);
-            }
-            r
-        })
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<MatrixSweep>>> =
+        Mutex::new((0..specs.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let r = sweep_matrix(&specs[i], machines, cfg);
+                if verbose {
+                    eprintln!("  swept {} ({} rows, {} nnz)", r.name, r.nrows, r.nnz);
+                }
+                results.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    if verbose {
+        log_engine_stats("sweep_corpus");
+    }
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every sweep index is claimed exactly once"))
         .collect()
 }
 
@@ -295,6 +359,36 @@ mod tests {
         // stray perturbation edges, which inflate the max-type bandwidth
         // metric but not the sum-type profile).
         assert!(s.runs[rcm].features.profile * 2 < s.runs[0].features.profile);
+    }
+
+    #[test]
+    fn repeated_sweep_hits_cache() {
+        // The amortisation acceptance criterion: sweeping the same
+        // matrix twice must serve the second pass from the engine cache
+        // (at least one hit per duplicated (matrix, algorithm) pair).
+        // The engine is process-global, so assert on stat *deltas*;
+        // concurrent tests can only add hits, never remove cache
+        // entries (default capacity far exceeds the test corpus).
+        let specs = standard_corpus(CorpusSize::Small);
+        let spec = specs.iter().find(|s| s.name.contains("mesh2d")).unwrap();
+        let machines = tiny_machines();
+        let cfg = SweepConfig::for_size(CorpusSize::Small);
+        let before = sweep_engine().stats();
+        let s1 = sweep_matrix(spec, &machines, &cfg);
+        let s2 = sweep_matrix(spec, &machines, &cfg);
+        let after = sweep_engine().stats();
+        let amortised = (after.cache.hits + after.coalesced + after.cache.disk_hits)
+            - (before.cache.hits + before.coalesced + before.cache.disk_hits);
+        assert!(
+            amortised >= ORDERINGS.len() as u64,
+            "second sweep should be served from cache: {amortised} amortised, stats {after}"
+        );
+        // Served-from-cache results are identical to computed ones.
+        for (r1, r2) in s1.runs.iter().zip(s2.runs.iter()) {
+            assert_eq!(r1.ordering, r2.ordering);
+            assert_eq!(r1.reorder_seconds, r2.reorder_seconds);
+            assert_eq!(r1.features.bandwidth, r2.features.bandwidth);
+        }
     }
 
     #[test]

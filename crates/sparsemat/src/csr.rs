@@ -470,6 +470,47 @@ impl CsrMatrix {
     pub fn csr_bytes(&self) -> usize {
         self.values.len() * 8 + self.colidx.len() * 4 + self.rowptr.len() * 8
     }
+
+    /// A stable 128-bit content hash of the matrix.
+    ///
+    /// Hashes the canonical CSR encoding — dimensions, row pointers,
+    /// column indices and value bit patterns. Because CSR is a
+    /// canonical form (rows in order, columns strictly increasing,
+    /// duplicates already summed), two matrices with the same logical
+    /// content hash identically no matter what order their entries
+    /// were inserted in. This is the key the `engine` crate's
+    /// content-addressed ordering cache is built on.
+    ///
+    /// The hash is two independent FNV-1a streams over the same byte
+    /// sequence, packed into a `u128`; it is stable across runs,
+    /// platforms and compiler versions (no `DefaultHasher` seeds).
+    pub fn content_hash(&self) -> u128 {
+        const BASIS_LO: u64 = 0xcbf2_9ce4_8422_2325;
+        const BASIS_HI: u64 = 0x6c62_272e_07bb_0142;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut lo = BASIS_LO;
+        let mut hi = BASIS_HI ^ 0x517c_c1b7_2722_0a95;
+        let mut absorb = |word: u64| {
+            for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+                let b = (word >> shift) & 0xff;
+                lo = (lo ^ b).wrapping_mul(PRIME);
+                hi = (hi ^ b).wrapping_mul(PRIME);
+            }
+        };
+        absorb(self.nrows as u64);
+        absorb(self.ncols as u64);
+        absorb(self.nnz() as u64);
+        for &p in &self.rowptr {
+            absorb(p as u64);
+        }
+        for &c in &self.colidx {
+            absorb(c as u64);
+        }
+        for &v in &self.values {
+            absorb(v.to_bits());
+        }
+        ((hi as u128) << 64) | lo as u128
+    }
 }
 
 #[cfg(test)]
@@ -612,6 +653,60 @@ mod tests {
     fn csr_bytes_accounting() {
         let a = small();
         assert_eq!(a.csr_bytes(), 5 * 8 + 5 * 4 + 4 * 8);
+    }
+
+    #[test]
+    fn content_hash_is_stable_across_insertion_order() {
+        // The same logical matrix built from COO triplets pushed in
+        // three different orders must hash identically: CSR is the
+        // canonical form, so the hash is insertion-order independent.
+        let triplets = [
+            (0usize, 0usize, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ];
+        let build = |order: &[usize]| {
+            let mut coo = CooMatrix::new(3, 3);
+            for &k in order {
+                let (i, j, v) = triplets[k];
+                coo.push(i, j, v);
+            }
+            CsrMatrix::from_coo(&coo).content_hash()
+        };
+        let h1 = build(&[0, 1, 2, 3, 4]);
+        let h2 = build(&[4, 3, 2, 1, 0]);
+        let h3 = build(&[2, 0, 4, 1, 3]);
+        assert_eq!(h1, h2);
+        assert_eq!(h1, h3);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_content() {
+        let a = small();
+        // Different value, same pattern.
+        let mut b = a.clone();
+        b.values_mut()[0] += 1.0;
+        assert_ne!(a.content_hash(), b.content_hash());
+        // Different pattern, same nnz.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 0, 4.0);
+        coo.push(2, 2, 5.0);
+        let c = CsrMatrix::from_coo(&coo);
+        assert_ne!(a.content_hash(), c.content_hash());
+        // Same nonzeros, different dimensions.
+        let mut coo4 = CooMatrix::new(4, 4);
+        for (i, j, v) in a.iter() {
+            coo4.push(i, j, v);
+        }
+        let d = CsrMatrix::from_coo(&coo4);
+        assert_ne!(a.content_hash(), d.content_hash());
+        // Identical content hashes identically (fresh clone).
+        assert_eq!(a.content_hash(), a.clone().content_hash());
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Offline stand-in for the Criterion.rs benchmarking harness.
+//!
+//! Provides the API subset the `bench` crate uses — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!` / `criterion_main!` macros — with a simple
+//! best-effort timing loop instead of Criterion's statistical engine.
+//! Each benchmark runs for at most `sample_size` samples or the
+//! configured measurement time, whichever is hit first, and reports the
+//! mean wall-clock time per iteration (plus throughput when set).
+//!
+//! When invoked by `cargo test` (which passes `--test` to bench
+//! binaries built with `harness = false`), every benchmark body runs
+//! exactly once, so benches act as smoke tests without slowing the
+//! suite down.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs one benchmark body repeatedly and accumulates timing.
+pub struct Bencher<'a> {
+    samples: usize,
+    max_time: Duration,
+    result: &'a mut Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, running it until the sample budget or time budget is
+    /// exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warm-up call (also the only call in test mode).
+        std::hint::black_box(f());
+        if self.samples <= 1 {
+            *self.result = Some((Duration::ZERO, 0));
+            return;
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while iters < self.samples as u64 && start.elapsed() < self.max_time {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        *self.result = Some((start.elapsed(), iters.max(1)));
+    }
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let name: String = id.into().id;
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        };
+        group.bench_function(BenchmarkId::from_parameter(""), f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, throughput: Option<Throughput>, mut f: F) {
+        let mut result = None;
+        let mut b = Bencher {
+            samples: if self.test_mode { 1 } else { self.sample_size },
+            max_time: self.measurement_time,
+            result: &mut result,
+        };
+        f(&mut b);
+        match result {
+            Some((total, iters)) if iters > 0 => {
+                let per_iter = total.as_secs_f64() / iters as f64;
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:>12.3e} elem/s", n as f64 / per_iter)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {:>12.3e} B/s", n as f64 / per_iter)
+                    }
+                    None => String::new(),
+                };
+                println!("bench {label:<48} {:>12.3} us/iter{rate}", per_iter * 1e6);
+            }
+            _ => println!("bench {label:<48} ok (test mode)"),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let label = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b));
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export of `std::hint::black_box` under Criterion's name.
+pub use std::hint::black_box;
+
+/// `criterion_group!`: both the struct form (with `config`) and the
+/// simple positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!`: the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut count = 0u32;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        let data = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", 3), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline mini property-testing harness.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the subset of the `proptest` API the workspace's tests
+//! use: the [`Strategy`] trait with [`Strategy::prop_map`] /
+//! [`Strategy::prop_flat_map`], range and tuple strategies,
+//! [`collection::vec`], the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]` header) and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case panics immediately with the case
+//!   index and the seed, which is enough to reproduce (generation is
+//!   deterministic per test name).
+//! - **Deterministic.** Every test derives its RNG seed from the test
+//!   name, so runs are reproducible and CI is stable.
+//! - The default case count is 64 (the real crate's 256), keeping the
+//!   suite fast; tests override it with `ProptestConfig::with_cases`.
+
+use rand::{RngCore, SplitMix64};
+use std::ops::Range;
+
+/// The per-test random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(SplitMix64);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(SplitMix64::new(seed))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then use it to pick a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Blanket impl so strategies can be taken by reference.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + (rng.next_u64() % span) as i64) as i32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`]: an exact count or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S` and a size drawn
+    /// from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.uniform_usize(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration. Only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one `proptest!` test: owns the RNG and the case loop.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a of the test name: deterministic per test, different
+        // across tests.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(h),
+            seed: h,
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// The body of one property test: generates inputs and runs the case
+/// loop, reporting the failing case index before propagating a panic.
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr, $name:ident, ($($arg:pat, $strat:expr);*), $body:block) => {{
+        let __config: $crate::ProptestConfig = $cfg;
+        let mut __runner = $crate::TestRunner::new(__config, stringify!($name));
+        for __case in 0..__runner.cases() {
+            $(let $arg = $crate::Strategy::generate(&($strat), __runner.rng());)*
+            let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                move || $body,
+            ));
+            if let Err(e) = __result {
+                eprintln!(
+                    "proptest shim: test `{}` failed at case {}/{} (seed {:#x})",
+                    stringify!($name),
+                    __case + 1,
+                    __runner.cases(),
+                    __runner.seed(),
+                );
+                ::std::panic::resume_unwind(e);
+            }
+        }
+    }};
+}
+
+/// The `proptest!` macro: a block of `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr); ) => {};
+    ( ($cfg:expr);
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body!($cfg, $name, ($($arg, $strat);*), $body);
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+}
+
+/// `prop_assert!` and friends map to plain assertions: without
+/// shrinking there is no need to thread `Result` through the case body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 1usize..10, (a, b) in (0usize..5, -1.0f64..1.0)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 5);
+            prop_assert!((-1.0..1.0).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0usize..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            for &e in &v {
+                prop_assert!(e < 100);
+            }
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(v in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0usize..n, n).prop_map(move |xs| (n, xs))
+        })) {
+            let (n, xs) = v;
+            prop_assert_eq!(xs.len(), n);
+            for &x in &xs {
+                prop_assert!(x < n);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = crate::TestRunner::new(ProptestConfig::default(), "t");
+        let mut b = crate::TestRunner::new(ProptestConfig::default(), "t");
+        let s = 0usize..1000;
+        for _ in 0..50 {
+            assert_eq!(
+                Strategy::generate(&s, a.rng()),
+                Strategy::generate(&s, b.rng())
+            );
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on a few plain
+//! data structs but never actually serializes them, so this shim
+//! provides the trait names (as markers) and no-op derive macros. If a
+//! future PR needs real serialization, replace this shim with the real
+//! crate or implement the traits here.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace only uses the serde derives as declarative markers on
+//! plain data structs (nothing actually serializes them), so in the
+//! offline build the derives expand to nothing. See `shims/serde`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -19,7 +19,10 @@
 //! - [`cholesky`] — elimination trees, Gilbert–Ng–Peyton fill counts
 //!   and a reference numeric factorisation;
 //! - [`archsim`] — the eight-machine execution-cost model (Table 2);
-//! - [`corpus`] — the synthetic SuiteSparse stand-in collection.
+//! - [`corpus`] — the synthetic SuiteSparse stand-in collection;
+//! - [`engine`] — reordering-as-a-service: a content-addressed
+//!   ordering cache with a batched worker pool and request coalescing
+//!   (the §4.7 amortisation argument, operationalised).
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@
 pub use archsim;
 pub use cholesky;
 pub use corpus;
+pub use engine;
 pub use partition;
 pub use reorder;
 pub use sparsegraph;
@@ -59,6 +63,7 @@ pub mod prelude {
     pub use archsim::{machine_by_name, machines, simulate_spmv_1d, simulate_spmv_2d};
     pub use cholesky::{cholesky_factor, column_counts, fill_ratio};
     pub use corpus;
+    pub use engine::{AlgoSpec, Engine, EngineConfig, EngineStats, MatrixHandle};
     pub use reorder::{
         all_algorithms, Amd, Gp, Gray, Hp, Nd, Original, Rcm, ReorderAlgorithm, ReorderResult,
         Gps, Sbd,

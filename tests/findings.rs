@@ -101,8 +101,15 @@ fn rcm_wins_bandwidth() {
 #[test]
 fn gp_wins_off_diagonal_nnz() {
     let t = 8;
+    // "Most instances" needs a sample wide enough to survive instance
+    // noise: on any given random instance the runner-up is HP (the
+    // other partitioner, optimising the same connectivity objective),
+    // and which of the two edges ahead depends on the drawn chords.
+    // Five seeds give GP a stable majority; a partitioner must win
+    // every instance outright.
+    let seeds = [1u64, 2, 3, 4, 5];
     let mut gp_wins = 0;
-    for seed in [1u64, 2, 3] {
+    for &seed in &seeds {
         let a = corpus::with_random_edges(
             &corpus::scramble(&corpus::mesh2d(48, 48), seed),
             0.02,
@@ -118,13 +125,18 @@ fn gp_wins_off_diagonal_nnz() {
                 best_name = alg.name();
             }
         }
+        assert!(
+            best_name == "GP" || best_name == "HP",
+            "seed {seed}: a partitioner must win off-diagonal nnz, got {best_name}"
+        );
         if best_name == "GP" {
             gp_wins += 1;
         }
     }
     assert!(
-        gp_wins >= 2,
-        "GP should win the off-diagonal count on most instances ({gp_wins}/3)"
+        2 * gp_wins > seeds.len(),
+        "GP should win the off-diagonal count on most instances ({gp_wins}/{})",
+        seeds.len()
     );
 }
 
