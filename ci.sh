@@ -9,9 +9,9 @@ set -eux
 cargo build --release
 cargo test -q --workspace
 
-# Serving-layer hygiene: the engine crate stays warning-free and
-# canonically formatted.
-cargo fmt --check -p engine
-cargo clippy -p engine --all-targets -- -D warnings
+# Workspace hygiene: every crate stays warning-free and canonically
+# formatted.
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "ci: all gates passed"

@@ -33,4 +33,7 @@ mod model;
 
 pub use cache::CacheSim;
 pub use machines::{machine_by_name, machines, Machine};
-pub use model::{simulate_spmv_1d, simulate_spmv_1d_opt, simulate_spmv_2d, simulate_spmv_2d_opt, SimOptions, SimResult};
+pub use model::{
+    simulate_spmv_1d, simulate_spmv_1d_opt, simulate_spmv_2d, simulate_spmv_2d_opt, SimOptions,
+    SimResult,
+};

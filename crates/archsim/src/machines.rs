@@ -94,22 +94,150 @@ macro_rules! machine {
 /// The eight machines of Table 2, with calibration constants.
 pub fn machines() -> Vec<Machine> {
     vec![
-        machine!("Skylake", "Intel Xeon Gold 6130", "x86-64", "Skylake",
-                 2, 16, 2.4, 32, 1024, 22, 256.0, 32, 2.0, 9.0, 0.75, 2.0),
-        machine!("Ice Lake", "Intel Xeon Platinum 8360Y", "x86-64", "Ice Lake",
-                 2, 36, 2.8, 48, 1280, 54, 409.6, 72, 2.0, 10.0, 0.77, 1.9),
-        machine!("Naples", "AMD Epyc 7601", "x86-64", "Zen",
-                 2, 32, 2.9, 32, 512, 64, 342.0, 64, 2.0, 8.0, 0.70, 2.4),
-        machine!("Rome", "AMD Epyc 7302P", "x86-64", "Zen 2",
-                 1, 16, 2.8, 32, 512, 16, 204.8, 16, 2.0, 10.0, 0.75, 1.0),
-        machine!("Milan A", "AMD Epyc 7413", "x86-64", "Zen 3",
-                 2, 24, 3.0, 32, 512, 128, 409.6, 48, 2.0, 10.0, 0.77, 2.2),
-        machine!("Milan B", "AMD Epyc 7763", "x86-64", "Zen 3",
-                 2, 64, 2.8, 32, 512, 256, 409.6, 128, 2.0, 8.0, 0.77, 2.2),
-        machine!("TX2", "Cavium TX2 CN9980", "ARMv8.1", "Vulcan",
-                 2, 32, 2.25, 32, 256, 32, 342.0, 64, 0.8, 2.5, 0.60, 2.5),
-        machine!("Hi1620", "HiSilicon Kunpeng 920-6426", "ARMv8.2", "TaiShan v110",
-                 2, 64, 2.6, 64, 512, 64, 342.0, 128, 0.8, 2.0, 0.60, 2.5),
+        machine!(
+            "Skylake",
+            "Intel Xeon Gold 6130",
+            "x86-64",
+            "Skylake",
+            2,
+            16,
+            2.4,
+            32,
+            1024,
+            22,
+            256.0,
+            32,
+            2.0,
+            9.0,
+            0.75,
+            2.0
+        ),
+        machine!(
+            "Ice Lake",
+            "Intel Xeon Platinum 8360Y",
+            "x86-64",
+            "Ice Lake",
+            2,
+            36,
+            2.8,
+            48,
+            1280,
+            54,
+            409.6,
+            72,
+            2.0,
+            10.0,
+            0.77,
+            1.9
+        ),
+        machine!(
+            "Naples",
+            "AMD Epyc 7601",
+            "x86-64",
+            "Zen",
+            2,
+            32,
+            2.9,
+            32,
+            512,
+            64,
+            342.0,
+            64,
+            2.0,
+            8.0,
+            0.70,
+            2.4
+        ),
+        machine!(
+            "Rome",
+            "AMD Epyc 7302P",
+            "x86-64",
+            "Zen 2",
+            1,
+            16,
+            2.8,
+            32,
+            512,
+            16,
+            204.8,
+            16,
+            2.0,
+            10.0,
+            0.75,
+            1.0
+        ),
+        machine!(
+            "Milan A",
+            "AMD Epyc 7413",
+            "x86-64",
+            "Zen 3",
+            2,
+            24,
+            3.0,
+            32,
+            512,
+            128,
+            409.6,
+            48,
+            2.0,
+            10.0,
+            0.77,
+            2.2
+        ),
+        machine!(
+            "Milan B",
+            "AMD Epyc 7763",
+            "x86-64",
+            "Zen 3",
+            2,
+            64,
+            2.8,
+            32,
+            512,
+            256,
+            409.6,
+            128,
+            2.0,
+            8.0,
+            0.77,
+            2.2
+        ),
+        machine!(
+            "TX2",
+            "Cavium TX2 CN9980",
+            "ARMv8.1",
+            "Vulcan",
+            2,
+            32,
+            2.25,
+            32,
+            256,
+            32,
+            342.0,
+            64,
+            0.8,
+            2.5,
+            0.60,
+            2.5
+        ),
+        machine!(
+            "Hi1620",
+            "HiSilicon Kunpeng 920-6426",
+            "ARMv8.2",
+            "TaiShan v110",
+            2,
+            64,
+            2.6,
+            64,
+            512,
+            64,
+            342.0,
+            128,
+            0.8,
+            2.0,
+            0.60,
+            2.5
+        ),
     ]
 }
 

@@ -117,8 +117,7 @@ impl PrivateCaches {
 
 /// One shared L3 per socket.
 fn socket_l3s(m: &Machine, scale: f64) -> Vec<CacheSim> {
-    let bytes = (m.l3_mib_per_socket as f64 * 1024.0 * 1024.0 * X_CACHE_FRACTION * scale)
-        as usize;
+    let bytes = (m.l3_mib_per_socket as f64 * 1024.0 * 1024.0 * X_CACHE_FRACTION * scale) as usize;
     (0..m.sockets).map(|_| CacheSim::new(bytes, 16)).collect()
 }
 
@@ -153,10 +152,10 @@ fn thread_time(
     let stream_bytes = nnz as f64 * BYTES_PER_NNZ + rows as f64 * BYTES_PER_ROW;
     // Remote lines traverse the socket interconnect: charged at the
     // machine's NUMA penalty.
-    let x_bytes = (x_local_lines as f64 + m.numa_penalty * x_remote_lines as f64)
-        * LINE_BYTES as f64;
-    let mem = stream_bytes / share(matrix_bw_gbs)
-        + x_bytes / share(m.effective_bw_gbs(active_threads));
+    let x_bytes =
+        (x_local_lines as f64 + m.numa_penalty * x_remote_lines as f64) * LINE_BYTES as f64;
+    let mem =
+        stream_bytes / share(matrix_bw_gbs) + x_bytes / share(m.effective_bw_gbs(active_threads));
     compute.max(mem)
 }
 

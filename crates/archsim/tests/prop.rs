@@ -6,7 +6,10 @@ use proptest::prelude::*;
 use sparsemat::{CooMatrix, CsrMatrix};
 
 fn matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
-    (50usize..400, proptest::collection::vec((0usize..160_000, 0usize..160_000), 50..400))
+    (
+        50usize..400,
+        proptest::collection::vec((0usize..160_000, 0usize..160_000), 50..400),
+    )
         .prop_map(|(n, entries)| {
             let mut coo = CooMatrix::new(n, n);
             for i in 0..n {

@@ -32,7 +32,6 @@ fn hypergraph_partitioning(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows: the benches compare algorithms whose
 /// runtimes differ by orders of magnitude, so tight confidence
 /// intervals are unnecessary and a full `cargo bench` stays fast.

@@ -19,7 +19,6 @@ fn reorder_cost(c: &mut Criterion) {
     }
 }
 
-
 /// Short measurement windows: the benches compare algorithms whose
 /// runtimes differ by orders of magnitude, so tight confidence
 /// intervals are unnecessary and a full `cargo bench` stays fast.

@@ -18,11 +18,7 @@ fn spmv_by_ordering(c: &mut Criterion) {
         // Original + the six orderings.
         let mut variants = vec![("Original".to_string(), a.clone())];
         for alg in all_algorithms(threads.max(8), 32) {
-            let b = alg
-                .compute(&a)
-                .expect("square")
-                .apply(&a)
-                .expect("apply");
+            let b = alg.compute(&a).expect("square").apply(&a).expect("apply");
             variants.push((alg.name().to_string(), b));
         }
 
@@ -30,32 +26,23 @@ fn spmv_by_ordering(c: &mut Criterion) {
             let x: Vec<f64> = (0..b.ncols()).map(|i| (i % 31) as f64).collect();
             let mut y = vec![0.0; b.nrows()];
             let p1 = Plan1d::new(b, threads);
-            group.bench_with_input(
-                BenchmarkId::new("1D", ord_name),
-                b,
-                |bench, mat| {
-                    bench.iter(|| {
-                        spmv_1d(mat, &p1, black_box(&x), &mut y);
-                        black_box(&y);
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("1D", ord_name), b, |bench, mat| {
+                bench.iter(|| {
+                    spmv_1d(mat, &p1, black_box(&x), &mut y);
+                    black_box(&y);
+                })
+            });
             let p2 = Plan2d::new(b, threads);
-            group.bench_with_input(
-                BenchmarkId::new("2D", ord_name),
-                b,
-                |bench, mat| {
-                    bench.iter(|| {
-                        spmv_2d(mat, &p2, black_box(&x), &mut y);
-                        black_box(&y);
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("2D", ord_name), b, |bench, mat| {
+                bench.iter(|| {
+                    spmv_2d(mat, &p2, black_box(&x), &mut y);
+                    black_box(&y);
+                })
+            });
         }
         group.finish();
     }
 }
-
 
 /// Short measurement windows: the benches compare algorithms whose
 /// runtimes differ by orders of magnitude, so tight confidence

@@ -13,18 +13,22 @@ use sparsemat::CsrMatrix;
 /// benchmarking (a few hundred thousand nonzeros).
 pub fn bench_matrices() -> Vec<(&'static str, CsrMatrix)> {
     vec![
-        ("mesh2d_scrambled", corpus::scramble(&corpus::mesh2d(110, 110), 1)),
+        (
+            "mesh2d_scrambled",
+            corpus::scramble(&corpus::mesh2d(110, 110), 1),
+        ),
         ("rmat_powerlaw", corpus::rmat(12, 8, 2)),
-        ("band_scrambled", corpus::scramble(&corpus::banded(10_000, 4), 3)),
+        (
+            "band_scrambled",
+            corpus::scramble(&corpus::banded(10_000, 4), 3),
+        ),
     ]
 }
 
-/// Threads to use for real-kernel benches on this host.
-pub fn host_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-}
+/// Threads to use for real-kernel benches on this host — the same
+/// lookup [`spmv::MeasureConfig::default`] uses, re-exported so the
+/// benches and the measurement protocol can never disagree.
+pub use spmv::host_threads;
 
 #[cfg(test)]
 mod tests {

@@ -216,8 +216,7 @@ mod tests {
         for j in 0..n {
             for p in l.colptr[j]..l.colptr[j + 1] {
                 for q in l.colptr[j]..l.colptr[j + 1] {
-                    b[l.rowidx[p] as usize][l.rowidx[q] as usize] +=
-                        l.values[p] * l.values[q];
+                    b[l.rowidx[p] as usize][l.rowidx[q] as usize] += l.values[p] * l.values[q];
                 }
             }
         }
@@ -264,7 +263,19 @@ mod tests {
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = spd(8, &[(1, 0), (2, 1), (3, 2), (4, 3), (5, 4), (6, 5), (7, 6), (7, 0)]);
+        let a = spd(
+            8,
+            &[
+                (1, 0),
+                (2, 1),
+                (3, 2),
+                (4, 3),
+                (5, 4),
+                (6, 5),
+                (7, 6),
+                (7, 0),
+            ],
+        );
         let l = cholesky_factor(&a).unwrap();
         let x_true: Vec<f64> = (0..8).map(|i| (i as f64 + 1.0) * 0.5).collect();
         let b = a.spmv_dense(&x_true);

@@ -10,8 +10,11 @@ use sparsemat::{CooMatrix, CsrMatrix};
 
 /// Random symmetric matrix with full diagonal.
 fn sym_strategy() -> impl Strategy<Value = CsrMatrix> {
-    (3usize..40, proptest::collection::vec((0usize..1600, 0usize..1600), 0..120)).prop_map(
-        |(n, pairs)| {
+    (
+        3usize..40,
+        proptest::collection::vec((0usize..1600, 0usize..1600), 0..120),
+    )
+        .prop_map(|(n, pairs)| {
             let mut coo = CooMatrix::new(n, n);
             for i in 0..n {
                 coo.push(i, i, 8.0);
@@ -23,8 +26,7 @@ fn sym_strategy() -> impl Strategy<Value = CsrMatrix> {
                 }
             }
             CsrMatrix::from_coo(&coo)
-        },
-    )
+        })
 }
 
 /// Naive symbolic factorisation: column counts of L incl. diagonal.
@@ -100,8 +102,8 @@ proptest! {
                 coo.push(i, j, v);
             }
         }
-        for i in 0..n {
-            coo.push(i, i, row_off[i] + 1.0);
+        for (i, off) in row_off.iter().enumerate() {
+            coo.push(i, i, off + 1.0);
         }
         spd = CsrMatrix::from_coo(&coo);
         let l = cholesky_factor(&spd).expect("diagonally dominant is SPD");

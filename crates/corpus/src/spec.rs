@@ -89,12 +89,8 @@ impl MatrixSpec {
             Generator::Genome { n } => families::genome(n, self.seed),
             Generator::Road { nx, ny } => families::road(nx, ny, self.seed),
             Generator::Circuit { n } => families::circuit(n, self.seed),
-            Generator::BlockDiag { nblocks, bs } => {
-                families::block_diag(nblocks, bs, self.seed)
-            }
-            Generator::DenseRowsMix { n, heavy } => {
-                families::dense_rows_mix(n, heavy, self.seed)
-            }
+            Generator::BlockDiag { nblocks, bs } => families::block_diag(nblocks, bs, self.seed),
+            Generator::DenseRowsMix { n, heavy } => families::dense_rows_mix(n, heavy, self.seed),
             Generator::TallDense { rows, cols } => families::tall_dense(rows, cols),
         };
         let base = if self.extra_edges > 0.0 {
@@ -102,12 +98,14 @@ impl MatrixSpec {
         } else {
             base
         };
-        let base = if self.spd { families::make_spd(&base) } else { base };
+        let base = if self.spd {
+            families::make_spd(&base)
+        } else {
+            base
+        };
         match self.noise {
             OrderNoise::Natural => base,
-            OrderNoise::Partial(f) => {
-                families::partial_scramble(&base, f, self.seed ^ 0x9A27_11D3)
-            }
+            OrderNoise::Partial(f) => families::partial_scramble(&base, f, self.seed ^ 0x9A27_11D3),
             OrderNoise::Scrambled => families::scramble(&base, self.seed ^ 0x5C7A_9B1E),
         }
     }
@@ -122,13 +120,7 @@ fn dim(size: CorpusSize, small: usize, medium: usize, large: usize) -> usize {
     }
 }
 
-fn spec(
-    name: &str,
-    group: &str,
-    generator: Generator,
-    noise: OrderNoise,
-    seed: u64,
-) -> MatrixSpec {
+fn spec(name: &str, group: &str, generator: Generator, noise: OrderNoise, seed: u64) -> MatrixSpec {
     MatrixSpec {
         name: name.to_string(),
         group: group.to_string(),
@@ -177,11 +169,20 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
     };
     vec![
         // Meshes: mostly well ordered, one construction-order mess.
-        spec("mesh2d_a", "FEM", G::Mesh2d { nx: mesh, ny: mesh }, Natural, 100),
+        spec(
+            "mesh2d_a",
+            "FEM",
+            G::Mesh2d { nx: mesh, ny: mesh },
+            Natural,
+            100,
+        ),
         spec_perturbed(
             "mesh2d_b",
             "FEM",
-            G::Mesh2d { nx: 2 * mesh, ny: mesh / 2 },
+            G::Mesh2d {
+                nx: 2 * mesh,
+                ny: mesh / 2,
+            },
             Natural,
             0.01,
             101,
@@ -205,14 +206,22 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
         spec(
             "mesh3d_a",
             "FEM",
-            G::Mesh3d { nx: mesh3, ny: mesh3, nz: mesh3 },
+            G::Mesh3d {
+                nx: mesh3,
+                ny: mesh3,
+                nz: mesh3,
+            },
             Natural,
             104,
         ),
         spec_perturbed(
             "mesh3d_partial",
             "FEM",
-            G::Mesh3d { nx: mesh3, ny: mesh3, nz: mesh3 },
+            G::Mesh3d {
+                nx: mesh3,
+                ny: mesh3,
+                nz: mesh3,
+            },
             Partial(0.4),
             0.02,
             105,
@@ -228,7 +237,10 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
         spec_perturbed(
             "band_wide_partial",
             "Mechanics",
-            G::Banded { n: nn * 3 / 4, half_bw: 8 },
+            G::Banded {
+                n: nn * 3 / 4,
+                half_bw: 8,
+            },
             Partial(0.3),
             0.02,
             107,
@@ -245,21 +257,30 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
         spec(
             "random_er_d4",
             "Optimization",
-            G::RandomEr { n: nn * 3 / 4, avg_deg: 4 },
+            G::RandomEr {
+                n: nn * 3 / 4,
+                avg_deg: 4,
+            },
             Natural,
             110,
         ),
         spec(
             "random_er_d8",
             "Optimization",
-            G::RandomEr { n: nn * 3 / 4, avg_deg: 8 },
+            G::RandomEr {
+                n: nn * 3 / 4,
+                avg_deg: 8,
+            },
             Natural,
             111,
         ),
         spec(
             "random_er_d16",
             "Optimization",
-            G::RandomEr { n: nn / 2, avg_deg: 16 },
+            G::RandomEr {
+                n: nn / 2,
+                avg_deg: 16,
+            },
             Natural,
             112,
         ),
@@ -267,26 +288,41 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
         spec(
             "rmat_d8",
             "SNAP",
-            G::Rmat { scale: rmat_scale, avg_deg: 8 },
+            G::Rmat {
+                scale: rmat_scale,
+                avg_deg: 8,
+            },
             Natural,
             120,
         ),
         spec(
             "rmat_d16",
             "SNAP",
-            G::Rmat { scale: rmat_scale, avg_deg: 16 },
+            G::Rmat {
+                scale: rmat_scale,
+                avg_deg: 16,
+            },
             Natural,
             121,
         ),
         spec(
             "rmat_big",
             "SNAP",
-            G::Rmat { scale: rmat_scale + 1, avg_deg: 8 },
+            G::Rmat {
+                scale: rmat_scale + 1,
+                avg_deg: 8,
+            },
             Natural,
             122,
         ),
         // Genome graphs.
-        spec("genome_a", "GenBank", G::Genome { n: nn * 3 / 2 }, Natural, 130),
+        spec(
+            "genome_a",
+            "GenBank",
+            G::Genome { n: nn * 3 / 2 },
+            Natural,
+            130,
+        ),
         spec("genome_b", "GenBank", G::Genome { n: nn }, Natural, 131),
         // Road networks.
         spec(
@@ -304,7 +340,13 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
             141,
         ),
         // Circuits.
-        spec("circuit_a", "Freescale", G::Circuit { n: nn * 3 / 2 }, Natural, 150),
+        spec(
+            "circuit_a",
+            "Freescale",
+            G::Circuit { n: nn * 3 / 2 },
+            Natural,
+            150,
+        ),
         spec(
             "circuit_partial",
             "Freescale",
@@ -316,14 +358,20 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
         spec(
             "blocks_a",
             "Multiphysics",
-            G::BlockDiag { nblocks: nn / 50, bs: 24 },
+            G::BlockDiag {
+                nblocks: nn / 50,
+                bs: 24,
+            },
             Natural,
             160,
         ),
         spec_perturbed(
             "blocks_scrambled",
             "Multiphysics",
-            G::BlockDiag { nblocks: nn / 50, bs: 24 },
+            G::BlockDiag {
+                nblocks: nn / 50,
+                bs: 24,
+            },
             Scrambled,
             0.01,
             161,
@@ -335,14 +383,21 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
         spec(
             "mesh2d_small(HV15R-regime)",
             "Fluid",
-            G::Mesh2d { nx: mesh / 3, ny: mesh / 3 },
+            G::Mesh2d {
+                nx: mesh / 3,
+                ny: mesh / 3,
+            },
             Natural,
             180,
         ),
         spec(
             "mesh3d_small",
             "Fluid",
-            G::Mesh3d { nx: mesh3 / 2, ny: mesh3 / 2, nz: mesh3 / 2 },
+            G::Mesh3d {
+                nx: mesh3 / 2,
+                ny: mesh3 / 2,
+                nz: mesh3 / 2,
+            },
             Natural,
             181,
         ),
@@ -356,7 +411,10 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
         spec(
             "rmat_d6",
             "SNAP",
-            G::Rmat { scale: rmat_scale, avg_deg: 6 },
+            G::Rmat {
+                scale: rmat_scale,
+                avg_deg: 6,
+            },
             Natural,
             183,
         ),
@@ -364,7 +422,10 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
         spec(
             "random_er_d12",
             "Optimization",
-            G::RandomEr { n: nn / 2, avg_deg: 12 },
+            G::RandomEr {
+                n: nn / 2,
+                avg_deg: 12,
+            },
             Natural,
             185,
         ),
@@ -379,7 +440,10 @@ pub fn standard_corpus(size: CorpusSize) -> Vec<MatrixSpec> {
         spec(
             "mixed_density_heavy",
             "PowerSystem",
-            G::DenseRowsMix { n: nn * 3 / 4, heavy: 0.03 },
+            G::DenseRowsMix {
+                n: nn * 3 / 4,
+                heavy: 0.03,
+            },
             Natural,
             171,
         ),
@@ -682,8 +746,7 @@ mod tests {
             a.validate().unwrap();
         }
         // At least 7 distinct groups.
-        let groups: std::collections::HashSet<_> =
-            specs.iter().map(|s| s.group.clone()).collect();
+        let groups: std::collections::HashSet<_> = specs.iter().map(|s| s.group.clone()).collect();
         assert!(groups.len() >= 7, "only {} groups", groups.len());
         // The noise mixture includes all three levels.
         assert!(specs.iter().any(|s| s.noise == OrderNoise::Natural));
@@ -726,12 +789,7 @@ mod tests {
             7,
         )
         .build();
-        let bw = |a: &CsrMatrix| {
-            a.iter()
-                .map(|(i, j, _)| i.abs_diff(j))
-                .max()
-                .unwrap_or(0)
-        };
+        let bw = |a: &CsrMatrix| a.iter().map(|(i, j, _)| i.abs_diff(j)).max().unwrap_or(0);
         // Partial degrades bandwidth but all three share nnz.
         assert_eq!(natural.nnz(), partial.nnz());
         assert_eq!(natural.nnz(), scrambled.nnz());

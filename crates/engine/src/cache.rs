@@ -13,8 +13,8 @@ use sparsemat::Permutation;
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use telemetry::{Counter, Gauge, Registry};
 
 /// Cache key: the matrix content address plus the parameterised
 /// algorithm.
@@ -69,14 +69,43 @@ impl CachedOrdering {
     }
 }
 
-/// Monotonic counters, shared by all shards.
-#[derive(Debug, Default)]
-struct Counters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    disk_hits: AtomicU64,
+/// The cache's registry metrics (`engine.cache.*`), resolved once at
+/// construction so the hot path only touches atomics.
+///
+/// When several caches share one registry (e.g. the global one), the
+/// series are process-wide totals across those caches — exactly what a
+/// scrape wants. Tests needing per-instance exactness pass a private
+/// registry to [`OrderingCache::new_in`].
+#[derive(Debug)]
+struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    insertions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    disk_hits: Arc<Counter>,
+    /// Entries currently resident in memory.
+    resident: Arc<Gauge>,
+    /// Approximate bytes held by resident permutations.
+    resident_bytes: Arc<Gauge>,
+}
+
+impl CacheMetrics {
+    fn new(registry: &Registry) -> Self {
+        CacheMetrics {
+            hits: registry.counter("engine.cache.hits"),
+            misses: registry.counter("engine.cache.misses"),
+            insertions: registry.counter("engine.cache.insertions"),
+            evictions: registry.counter("engine.cache.evictions"),
+            disk_hits: registry.counter("engine.cache.disk_hits"),
+            resident: registry.gauge("engine.cache.resident"),
+            resident_bytes: registry.gauge("engine.cache.resident_bytes"),
+        }
+    }
+}
+
+/// Approximate in-memory footprint of one cached ordering.
+fn entry_bytes(value: &CachedOrdering) -> i64 {
+    (std::mem::size_of::<CachedOrdering>() + value.perm.len() * std::mem::size_of::<u32>()) as i64
 }
 
 /// A point-in-time snapshot of the cache counters.
@@ -93,6 +122,10 @@ pub struct CacheStats {
     /// Lookups served from the disk store (counted separately from
     /// `hits`; they also repopulate memory).
     pub disk_hits: u64,
+    /// Entries currently resident in memory.
+    pub resident: u64,
+    /// Approximate bytes held by resident permutations.
+    pub resident_bytes: u64,
 }
 
 impl CacheStats {
@@ -117,6 +150,17 @@ struct Shard {
     tick: u64,
 }
 
+/// What one shard-level insert did, so the cache can keep its
+/// occupancy metrics exact.
+struct InsertOutcome {
+    /// Entries evicted by the LRU policy.
+    evicted: u64,
+    /// True if the key was not previously resident.
+    fresh: bool,
+    /// Net change in approximate resident bytes.
+    bytes_delta: i64,
+}
+
 impl Shard {
     fn touch(&mut self, key: OrderingKey) {
         self.tick += 1;
@@ -126,6 +170,7 @@ impl Shard {
             *old_tick = tick;
             self.recency.insert(tick, key);
         }
+        debug_assert_eq!(self.entries.len(), self.recency.len());
     }
 
     fn get(&mut self, key: &OrderingKey) -> Option<Arc<CachedOrdering>> {
@@ -134,16 +179,26 @@ impl Shard {
         Some(value)
     }
 
-    /// Insert, returning the number of evictions performed.
-    fn insert(&mut self, key: OrderingKey, value: Arc<CachedOrdering>, capacity: usize) -> u64 {
+    fn insert(
+        &mut self,
+        key: OrderingKey,
+        value: Arc<CachedOrdering>,
+        capacity: usize,
+    ) -> InsertOutcome {
         self.tick += 1;
         let tick = self.tick;
+        let mut bytes_delta = entry_bytes(&value);
         if let Some((old_value, old_tick)) = self.entries.insert(key, (value, tick)) {
             // Refresh of an existing entry: no eviction needed.
-            let _ = old_value;
+            bytes_delta -= entry_bytes(&old_value);
             self.recency.remove(&old_tick);
             self.recency.insert(tick, key);
-            return 0;
+            debug_assert_eq!(self.entries.len(), self.recency.len());
+            return InsertOutcome {
+                evicted: 0,
+                fresh: false,
+                bytes_delta,
+            };
         }
         self.recency.insert(tick, key);
         let mut evicted = 0;
@@ -154,10 +209,19 @@ impl Shard {
                 .next()
                 .expect("recency index tracks every entry");
             self.recency.remove(&oldest_tick);
-            self.entries.remove(&victim);
+            let (victim_value, _) = self
+                .entries
+                .remove(&victim)
+                .expect("recency index entries exist in the map");
+            bytes_delta -= entry_bytes(&victim_value);
             evicted += 1;
         }
-        evicted
+        debug_assert_eq!(self.entries.len(), self.recency.len());
+        InsertOutcome {
+            evicted,
+            fresh: true,
+            bytes_delta,
+        }
     }
 }
 
@@ -168,20 +232,26 @@ pub struct OrderingCache {
     /// Maximum entries per shard (total capacity / shard count, at
     /// least 1).
     per_shard_capacity: usize,
-    counters: Counters,
+    metrics: CacheMetrics,
     persist_dir: Option<PathBuf>,
 }
 
 impl OrderingCache {
     /// An in-memory cache with `capacity` total entries across
-    /// `shards` shards.
+    /// `shards` shards, reporting into the global telemetry registry.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        OrderingCache::new_in(&Registry::global(), capacity, shards)
+    }
+
+    /// Like [`OrderingCache::new`], but reporting into `registry`
+    /// (tests use a private registry so counter assertions are exact).
+    pub fn new_in(registry: &Registry, capacity: usize, shards: usize) -> Self {
         let shards = shards.max(1);
         let per_shard_capacity = capacity.div_ceil(shards).max(1);
         OrderingCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity,
-            counters: Counters::default(),
+            metrics: CacheMetrics::new(registry),
             persist_dir: None,
         }
     }
@@ -237,41 +307,49 @@ impl OrderingCache {
 
     fn lookup(&self, key: &OrderingKey, count_miss: bool) -> Option<Arc<CachedOrdering>> {
         if let Some(v) = self.shard_for(key).lock().unwrap().get(key) {
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.inc();
             return Some(v);
         }
         if let Some(v) = self.load_from_disk(key) {
-            self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.disk_hits.inc();
             let v = Arc::new(v);
             // Repopulate memory without re-counting as an insertion —
             // the computation was done by whoever wrote the file.
-            let evicted = self.shard_for(key).lock().unwrap().insert(
+            let outcome = self.shard_for(key).lock().unwrap().insert(
                 *key,
                 Arc::clone(&v),
                 self.per_shard_capacity,
             );
-            self.counters
-                .evictions
-                .fetch_add(evicted, Ordering::Relaxed);
+            self.apply_occupancy(&outcome);
             return Some(v);
         }
         if count_miss {
-            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.misses.inc();
         }
         None
     }
 
+    /// Fold one shard insert's occupancy changes into the metrics.
+    fn apply_occupancy(&self, outcome: &InsertOutcome) {
+        self.metrics.evictions.add(outcome.evicted);
+        let net = i64::from(outcome.fresh) - outcome.evicted as i64;
+        if net != 0 {
+            self.metrics.resident.add(net);
+        }
+        if outcome.bytes_delta != 0 {
+            self.metrics.resident_bytes.add(outcome.bytes_delta);
+        }
+    }
+
     /// Insert a freshly computed ordering and persist it if configured.
     pub fn insert(&self, key: OrderingKey, value: Arc<CachedOrdering>) {
-        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
-        let evicted = self.shard_for(&key).lock().unwrap().insert(
+        self.metrics.insertions.inc();
+        let outcome = self.shard_for(&key).lock().unwrap().insert(
             key,
             Arc::clone(&value),
             self.per_shard_capacity,
         );
-        self.counters
-            .evictions
-            .fetch_add(evicted, Ordering::Relaxed);
+        self.apply_occupancy(&outcome);
         if let Err(e) = self.store_to_disk(&key, &value) {
             eprintln!("engine cache: failed to persist {}: {e}", key.file_stem());
         }
@@ -280,12 +358,57 @@ impl OrderingCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.counters.hits.load(Ordering::Relaxed),
-            misses: self.counters.misses.load(Ordering::Relaxed),
-            insertions: self.counters.insertions.load(Ordering::Relaxed),
-            evictions: self.counters.evictions.load(Ordering::Relaxed),
-            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            insertions: self.metrics.insertions.get(),
+            evictions: self.metrics.evictions.get(),
+            disk_hits: self.metrics.disk_hits.get(),
+            resident: self.metrics.resident.get().max(0) as u64,
+            resident_bytes: self.metrics.resident_bytes.get().max(0) as u64,
         }
+    }
+
+    /// Check that the metric totals agree with the true per-shard
+    /// state: the recency index mirrors the entry map exactly, no
+    /// shard exceeds its capacity, and the resident counters equal the
+    /// summed shard occupancy. Only meaningful when this cache does not
+    /// share its registry with another cache (tests pass a private
+    /// registry); panics on any drift.
+    pub fn assert_consistent(&self) {
+        let mut total_entries = 0usize;
+        let mut total_bytes = 0i64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().unwrap();
+            assert_eq!(
+                shard.entries.len(),
+                shard.recency.len(),
+                "shard {i}: recency index out of sync with entries"
+            );
+            assert!(
+                shard.entries.len() <= self.per_shard_capacity,
+                "shard {i}: {} entries exceed capacity {}",
+                shard.entries.len(),
+                self.per_shard_capacity
+            );
+            for (key, (value, tick)) in shard.entries.iter() {
+                assert_eq!(
+                    shard.recency.get(tick),
+                    Some(key),
+                    "shard {i}: entry tick {tick} missing from recency index"
+                );
+                total_bytes += entry_bytes(value);
+            }
+            total_entries += shard.entries.len();
+        }
+        let stats = self.stats();
+        assert_eq!(
+            stats.resident, total_entries as u64,
+            "resident gauge drifted from true occupancy"
+        );
+        assert_eq!(
+            stats.resident_bytes, total_bytes as u64,
+            "resident-bytes gauge drifted from true footprint"
+        );
     }
 
     fn disk_path(&self, key: &OrderingKey) -> Option<PathBuf> {
@@ -366,6 +489,12 @@ fn parse_perm_file(text: &str) -> Option<CachedOrdering> {
 mod tests {
     use super::*;
 
+    /// A cache on a private registry so counter assertions are exact
+    /// even with other tests running in parallel.
+    fn test_cache(capacity: usize, shards: usize) -> OrderingCache {
+        OrderingCache::new_in(&Registry::new(), capacity, shards)
+    }
+
     fn key(i: u128) -> OrderingKey {
         OrderingKey::new(i, AlgoSpec::Rcm)
     }
@@ -381,7 +510,7 @@ mod tests {
     #[test]
     fn lru_evicts_oldest_and_counts() {
         // Single shard so eviction order is fully deterministic.
-        let cache = OrderingCache::new(3, 1);
+        let cache = test_cache(3, 1);
         cache.insert(key(1), entry(1));
         cache.insert(key(2), entry(2));
         cache.insert(key(3), entry(3));
@@ -401,7 +530,7 @@ mod tests {
 
     #[test]
     fn eviction_cascade_past_capacity() {
-        let cache = OrderingCache::new(2, 1);
+        let cache = test_cache(2, 1);
         for i in 0..6 {
             cache.insert(key(i), entry(1));
         }
@@ -417,7 +546,7 @@ mod tests {
 
     #[test]
     fn reinsert_refreshes_without_eviction() {
-        let cache = OrderingCache::new(2, 1);
+        let cache = test_cache(2, 1);
         cache.insert(key(1), entry(1));
         cache.insert(key(2), entry(2));
         // Refreshing key 1 must not evict anything...
@@ -431,7 +560,7 @@ mod tests {
 
     #[test]
     fn sharded_capacity_and_spread() {
-        let cache = OrderingCache::new(8, 4);
+        let cache = test_cache(8, 4);
         assert_eq!(cache.capacity(), 8);
         for i in 0..8 {
             cache.insert(key(i), entry(1));
@@ -449,7 +578,7 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let writer = OrderingCache::new(4, 1).with_persist_dir(&dir);
+        let writer = test_cache(4, 1).with_persist_dir(&dir);
         let perm = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
         writer.insert(
             OrderingKey::new(42, AlgoSpec::Gray),
@@ -461,7 +590,7 @@ mod tests {
         );
 
         // A fresh cache (cold memory) finds the entry on disk.
-        let reader = OrderingCache::new(4, 1).with_persist_dir(&dir);
+        let reader = test_cache(4, 1).with_persist_dir(&dir);
         let got = reader
             .get(&OrderingKey::new(42, AlgoSpec::Gray))
             .expect("disk hit");
@@ -494,8 +623,46 @@ mod tests {
             insertions: 1,
             evictions: 0,
             disk_hits: 1,
+            resident: 1,
+            resident_bytes: 64,
         };
         assert!((s.hit_rate() - 0.8).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    /// Satellite requirement: after a randomized workload, the metric
+    /// totals must equal the summed per-shard state — occupancy
+    /// counters cannot silently drift.
+    #[test]
+    fn randomized_workload_keeps_stats_consistent() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let cache = test_cache(13, 4); // deliberately uneven: ceil(13/4)*4 = 16
+        let mut lookups = 0u64;
+        for step in 0..4000 {
+            let k = key((next() % 40) as u128);
+            match next() % 3 {
+                0 => {
+                    lookups += 1;
+                    let _ = cache.get(&k);
+                }
+                // Entries of varying size exercise the byte gauge.
+                _ => cache.insert(k, entry((next() % 50) as usize + 1)),
+            }
+            if step % 500 == 0 {
+                cache.assert_consistent();
+            }
+        }
+        cache.assert_consistent();
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses + s.disk_hits, lookups);
+        assert_eq!(s.resident as usize, cache.len());
+        assert!(s.evictions > 0, "workload must overflow the cache: {s:?}");
     }
 }

@@ -2,15 +2,15 @@
 //! worker pool.
 
 use crate::cache::{CacheStats, CachedOrdering, OrderingCache, OrderingKey};
-use crate::pool::{spawn_pool, InFlight, Job, PoolCounters, WorkerContext};
+use crate::pool::{spawn_pool, InFlight, Job, PoolMetrics, WorkerContext};
 use crate::AlgoSpec;
 use sparsemat::CsrMatrix;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use telemetry::{Counter, Gauge, Histogram, Registry};
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -27,6 +27,11 @@ pub struct EngineConfig {
     /// Optional directory for cross-process permutation persistence
     /// (the paper's amortisation argument across artifact binaries).
     pub persist_dir: Option<PathBuf>,
+    /// Telemetry registry the engine reports into (`engine.*`,
+    /// `reorder.*` series). `None` means the process-wide
+    /// [`Registry::global`]; tests that assert exact counts pass a
+    /// private registry.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +46,7 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             persist_dir: None,
+            registry: None,
         }
     }
 }
@@ -188,48 +194,83 @@ impl Ticket {
 pub struct Engine {
     cache: Arc<OrderingCache>,
     inflight: Arc<Mutex<HashMap<OrderingKey, Arc<InFlight>>>>,
-    counters: Arc<PoolCounters>,
-    coalesced: AtomicU64,
-    submitted: AtomicU64,
+    registry: Arc<Registry>,
+    metrics: EngineMetrics,
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
+}
+
+/// The facade's registry metrics, resolved once at construction.
+#[derive(Debug)]
+struct EngineMetrics {
+    /// Total requests submitted.
+    submitted: Arc<Counter>,
+    /// Requests that coalesced onto an in-flight computation.
+    coalesced: Arc<Counter>,
+    /// Wall-clock of [`Engine::submit`] itself (nanoseconds) — the
+    /// non-blocking front half every request pays.
+    submit_span: Arc<Histogram>,
+    /// Mirrors the pool's counters for [`Engine::stats`].
+    jobs_executed: Arc<Counter>,
+    jobs_failed: Arc<Counter>,
+    compute_ns: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
 }
 
 impl Engine {
     /// Start an engine: builds the cache and spawns the worker pool.
     pub fn new(config: EngineConfig) -> Self {
-        let mut cache = OrderingCache::new(config.cache_capacity, config.cache_shards);
+        let registry = config.registry.unwrap_or_else(Registry::global);
+        let mut cache =
+            OrderingCache::new_in(&registry, config.cache_capacity, config.cache_shards);
         if let Some(dir) = &config.persist_dir {
             cache = cache.with_persist_dir(dir);
         }
         let cache = Arc::new(cache);
         let inflight = Arc::new(Mutex::new(HashMap::new()));
-        let counters = Arc::new(PoolCounters::default());
+        let pool_metrics = PoolMetrics::new(&registry);
+        let metrics = EngineMetrics {
+            submitted: registry.counter("engine.submitted"),
+            coalesced: registry.counter("engine.coalesced"),
+            submit_span: registry.histogram("engine.submit"),
+            jobs_executed: Arc::clone(&pool_metrics.jobs_executed),
+            jobs_failed: Arc::clone(&pool_metrics.jobs_failed),
+            compute_ns: Arc::clone(&pool_metrics.compute_ns),
+            queue_depth: Arc::clone(&pool_metrics.queue_depth),
+        };
         let (tx, workers) = spawn_pool(
             config.workers,
             config.queue_capacity,
             WorkerContext {
                 cache: Arc::clone(&cache),
                 inflight: Arc::clone(&inflight),
-                counters: Arc::clone(&counters),
+                registry: Arc::clone(&registry),
+                metrics: pool_metrics,
             },
         );
         Engine {
             cache,
             inflight,
-            counters,
-            coalesced: AtomicU64::new(0),
-            submitted: AtomicU64::new(0),
+            registry,
+            metrics,
             tx: Some(tx),
             workers,
         }
+    }
+
+    /// The registry this engine reports into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Submit one reordering request. Returns immediately with a
     /// [`Ticket`]; a cache hit makes the ticket ready, otherwise it
     /// joins (or starts) the in-flight computation for its key.
     pub fn submit(&self, matrix: &MatrixHandle, algo: AlgoSpec) -> Ticket {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let _span = self
+            .registry
+            .span_on("engine.submit", &self.metrics.submit_span);
+        self.metrics.submitted.inc();
         let key = OrderingKey::new(matrix.content_hash(), algo);
 
         if let Some(v) = self.cache.get(&key) {
@@ -243,7 +284,7 @@ impl Engine {
         let slot = {
             let mut inflight = self.inflight.lock().unwrap();
             if let Some(existing) = inflight.get(&key) {
-                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.metrics.coalesced.inc();
                 return Ticket {
                     inner: TicketInner::Pending(Arc::clone(existing)),
                 };
@@ -271,7 +312,11 @@ impl Engine {
         };
         match &self.tx {
             Some(tx) => {
+                // Count the job as queued before sending: a worker may
+                // dequeue (and decrement) the instant send returns.
+                self.metrics.queue_depth.inc();
                 if tx.send(job).is_err() {
+                    self.metrics.queue_depth.dec();
                     self.inflight.lock().unwrap().remove(&key);
                     slot.fulfil(Err(EngineError::ShuttingDown));
                 }
@@ -310,11 +355,11 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             cache: self.cache.stats(),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            jobs_executed: self.counters.jobs_executed.load(Ordering::Relaxed),
-            jobs_failed: self.counters.jobs_failed.load(Ordering::Relaxed),
-            compute_seconds: self.counters.compute_micros.load(Ordering::Relaxed) as f64 / 1e6,
-            submitted: self.submitted.load(Ordering::Relaxed),
+            coalesced: self.metrics.coalesced.get(),
+            jobs_executed: self.metrics.jobs_executed.get(),
+            jobs_failed: self.metrics.jobs_failed.get(),
+            compute_seconds: self.metrics.compute_ns.get() as f64 / 1e9,
+            submitted: self.metrics.submitted.get(),
         }
     }
 }
@@ -341,6 +386,7 @@ mod tests {
             cache_capacity: 64,
             cache_shards: 2,
             persist_dir: None,
+            registry: Some(telemetry::Registry::new_arc()),
         })
     }
 

@@ -6,15 +6,22 @@
 //! blocks on. The queue is bounded (`std::sync::mpsc::sync_channel`),
 //! so a flood of submissions applies back-pressure to callers instead
 //! of ballooning memory.
+//!
+//! The pool reports through the telemetry registry (`engine.pool.*`):
+//! a queue-depth gauge (incremented by the submitter, decremented at
+//! dequeue), a per-job wall-clock histogram, and executed/failed
+//! counters. The reordering itself runs under
+//! [`reorder::timed_permutation`], so per-algorithm compute histograms
+//! (`reorder.rcm`, ...) accumulate in the same registry.
 
 use crate::cache::{CachedOrdering, OrderingKey};
 use crate::EngineError;
 use sparsemat::CsrMatrix;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use telemetry::{Counter, Gauge, Histogram, Registry};
 
 /// One queued reordering computation.
 pub(crate) struct Job {
@@ -56,21 +63,39 @@ impl InFlight {
     }
 }
 
-/// Work accounting shared between the pool and the engine facade.
-#[derive(Debug, Default)]
-pub(crate) struct PoolCounters {
-    pub jobs_executed: AtomicU64,
-    pub jobs_failed: AtomicU64,
-    /// Total wall-clock compute time, in microseconds (atomic so the
-    /// hot path never takes a lock for accounting).
-    pub compute_micros: AtomicU64,
+/// The pool's registry metrics (`engine.pool.*`), resolved once.
+#[derive(Debug)]
+pub(crate) struct PoolMetrics {
+    /// Jobs computed to completion.
+    pub jobs_executed: Arc<Counter>,
+    /// Jobs whose computation failed.
+    pub jobs_failed: Arc<Counter>,
+    /// Total successful compute wall-clock, nanoseconds.
+    pub compute_ns: Arc<Counter>,
+    /// Wall-clock per job (success or failure), nanoseconds.
+    pub job_duration: Arc<Histogram>,
+    /// Jobs enqueued but not yet picked up by a worker.
+    pub queue_depth: Arc<Gauge>,
+}
+
+impl PoolMetrics {
+    pub(crate) fn new(registry: &Registry) -> Self {
+        PoolMetrics {
+            jobs_executed: registry.counter("engine.pool.jobs_executed"),
+            jobs_failed: registry.counter("engine.pool.jobs_failed"),
+            compute_ns: registry.counter("engine.pool.compute_ns"),
+            job_duration: registry.histogram("engine.pool.job"),
+            queue_depth: registry.gauge("engine.pool.queue_depth"),
+        }
+    }
 }
 
 /// Everything a worker needs to process jobs.
 pub(crate) struct WorkerContext {
     pub cache: Arc<crate::cache::OrderingCache>,
     pub inflight: Arc<Mutex<std::collections::HashMap<OrderingKey, Arc<InFlight>>>>,
-    pub counters: Arc<PoolCounters>,
+    pub registry: Arc<Registry>,
+    pub metrics: PoolMetrics,
 }
 
 /// Spawn `workers` threads consuming from a bounded channel of
@@ -105,31 +130,37 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
             Ok(job) => job,
             Err(_) => return, // all senders dropped: pool shutdown
         };
+        ctx.metrics.queue_depth.dec();
         process(job, ctx);
     }
 }
 
 fn process(job: Job, ctx: &WorkerContext) {
     let start = Instant::now();
-    let computed = job.key.algo.instantiate().compute(&job.matrix);
+    let computed = reorder::timed_permutation(
+        &ctx.registry,
+        job.key.algo.instantiate().as_ref(),
+        &job.matrix,
+    );
     let elapsed = start.elapsed();
+    ctx.metrics.job_duration.record_duration(elapsed);
 
     let result = match computed {
-        Ok(r) => {
+        Ok(t) => {
             let cached = Arc::new(CachedOrdering {
-                perm: r.perm,
-                symmetric: r.symmetric,
-                compute_seconds: elapsed.as_secs_f64(),
+                perm: t.result.perm,
+                symmetric: t.result.symmetric,
+                compute_seconds: t.elapsed.as_secs_f64(),
             });
             ctx.cache.insert(job.key, Arc::clone(&cached));
-            ctx.counters.jobs_executed.fetch_add(1, Ordering::Relaxed);
-            ctx.counters
-                .compute_micros
-                .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+            ctx.metrics.jobs_executed.inc();
+            ctx.metrics
+                .compute_ns
+                .add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
             Ok(cached)
         }
         Err(e) => {
-            ctx.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.jobs_failed.inc();
             Err(EngineError::Compute {
                 algo: job.key.algo,
                 message: e.to_string(),

@@ -16,6 +16,7 @@ fn concurrent_requests_coalesce_to_one_computation() {
         cache_capacity: 16,
         cache_shards: 1,
         persist_dir: None,
+        registry: Some(telemetry::Registry::new_arc()),
     }));
     let handle = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(40, 40), 5));
     let spec = AlgoSpec::Hp { parts: 16 };
@@ -62,6 +63,7 @@ fn parallel_batch_over_distinct_keys() {
         cache_capacity: 256,
         cache_shards: 4,
         persist_dir: None,
+        registry: Some(telemetry::Registry::new_arc()),
     });
     let matrices: Vec<MatrixHandle> = (0..6)
         .map(|s| MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(12, 12), s)))
@@ -102,6 +104,7 @@ fn tiny_cache_recomputes_after_eviction() {
         cache_capacity: 2,
         cache_shards: 1,
         persist_dir: None,
+        registry: Some(telemetry::Registry::new_arc()),
     });
     let handle = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(10, 10), 1));
     let suite = AlgoSpec::study_suite(2, 4);

@@ -35,6 +35,7 @@ fn test_engine() -> Engine {
         cache_capacity: 256,
         cache_shards: 4,
         persist_dir: None,
+        registry: Some(telemetry::Registry::new_arc()),
     })
 }
 

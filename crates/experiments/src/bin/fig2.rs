@@ -18,7 +18,10 @@ fn main() {
     let sweeps = sweep_corpus(&specs, &machines, &cfg, true);
 
     println!("Fig. 2: speedup of SpMV (1D algorithm) after reordering.");
-    println!("({} matrices; boxes show min |--[q1 =median= q3]--| max on a log scale)\n", specs.len());
+    println!(
+        "({} matrices; boxes show min |--[q1 =median= q3]--| max on a log scale)\n",
+        specs.len()
+    );
     for (mi, m) in machines.iter().enumerate() {
         println!("== {} ({} threads) ==", m.name, m.threads);
         let entries: Vec<(String, spfeatures::BoxStats)> = (1..ORDERINGS.len())

@@ -13,8 +13,13 @@ fn main() {
     eprintln!("sweeping {} matrices ...", specs.len());
     let sweeps = sweep_corpus(&specs, &machines, &cfg, true);
 
-    println!("Fig. 3: speedup of the nonzero-balanced CSR SpMV kernel (2D algorithm) after reordering.");
-    println!("({} matrices; boxes show min |--[q1 =median= q3]--| max on a log scale)\n", specs.len());
+    println!(
+        "Fig. 3: speedup of the nonzero-balanced CSR SpMV kernel (2D algorithm) after reordering."
+    );
+    println!(
+        "({} matrices; boxes show min |--[q1 =median= q3]--| max on a log scale)\n",
+        specs.len()
+    );
     for (mi, m) in machines.iter().enumerate() {
         println!("== {} ({} threads) ==", m.name, m.threads);
         let entries: Vec<(String, spfeatures::BoxStats)> = (1..ORDERINGS.len())

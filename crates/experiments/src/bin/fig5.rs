@@ -44,7 +44,9 @@ fn main() {
     };
     let names: Vec<&str> = ORDERINGS.to_vec();
 
-    println!("Fig. 5: performance profiles (fraction of matrices within factor t of the best method).\n");
+    println!(
+        "Fig. 5: performance profiles (fraction of matrices within factor t of the best method).\n"
+    );
 
     // Bandwidth.
     let cost: Vec<Vec<f64>> = sweeps

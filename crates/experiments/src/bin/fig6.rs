@@ -51,11 +51,7 @@ fn main() {
         .zip(ratios.iter())
         .filter_map(|(n, r)| quartiles(r).map(|b| (n.clone(), b)))
         .collect();
-    let hi = entries
-        .iter()
-        .map(|(_, b)| b.max)
-        .fold(2.0f64, f64::max)
-        * 1.1;
+    let hi = entries.iter().map(|(_, b)| b.max).fold(2.0f64, f64::max) * 1.1;
     print!("{}", render_boxplot(&entries, 0.9, hi, 57));
     println!();
     println!("(lower is better; AMD and ND are expected to produce the least fill)");

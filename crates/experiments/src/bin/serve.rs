@@ -12,14 +12,21 @@
 //! - **throughput** — requests served per second of wall-clock;
 //! - **hit rate** — fraction of requests amortised (cache hits, disk
 //!   hits, or coalesced onto an in-flight computation);
-//! - **latency** — p50/p99 of the per-request wait, microseconds.
+//! - **latency** — p50/p99 of the per-request wait, read from the
+//!   telemetry registry's `serve.request` histogram.
+//!
+//! All accounting flows through the process-wide [`telemetry`]
+//! registry — the same series the engine, the reordering algorithms
+//! and the SpMV measurement loop feed — and the run ends by emitting
+//! the full registry as a JSON snapshot and as Prometheus exposition
+//! text (stdout, or files under `--export-dir`).
 //!
 //! Usage:
 //!
 //! ```text
 //! serve [--size small|medium|large] [--requests N] [--clients N]
 //!       [--workers N] [--skew S] [--seed N] [--cache-capacity N]
-//!       [--persist-dir DIR]
+//!       [--persist-dir DIR] [--export-dir DIR]
 //! ```
 
 use corpus::CorpusSize;
@@ -27,6 +34,7 @@ use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
 use experiments::sweep::SweepConfig;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use spmv::{measure_spmv_in, Kernel, MeasureConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,6 +47,7 @@ struct ServeOptions {
     seed: u64,
     cache_capacity: usize,
     persist_dir: Option<std::path::PathBuf>,
+    export_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -52,6 +61,7 @@ impl Default for ServeOptions {
             seed: 42,
             cache_capacity: 4096,
             persist_dir: None,
+            export_dir: None,
         }
     }
 }
@@ -60,7 +70,7 @@ fn usage() -> ! {
     println!(
         "usage: serve [--size small|medium|large] [--requests N] [--clients N]\n\
          \x20            [--workers N] [--skew S] [--seed N] [--cache-capacity N]\n\
-         \x20            [--persist-dir DIR]"
+         \x20            [--persist-dir DIR] [--export-dir DIR]"
     );
     std::process::exit(0);
 }
@@ -94,8 +104,12 @@ fn parse_serve_args() -> ServeOptions {
                 };
             }
             "--requests" => opts.requests = num(value(&mut it, "--requests"), "--requests"),
-            "--clients" => opts.clients = num::<usize>(value(&mut it, "--clients"), "--clients").max(1),
-            "--workers" => opts.workers = num::<usize>(value(&mut it, "--workers"), "--workers").max(1),
+            "--clients" => {
+                opts.clients = num::<usize>(value(&mut it, "--clients"), "--clients").max(1)
+            }
+            "--workers" => {
+                opts.workers = num::<usize>(value(&mut it, "--workers"), "--workers").max(1)
+            }
             "--skew" => opts.skew = num(value(&mut it, "--skew"), "--skew"),
             "--seed" => opts.seed = num(value(&mut it, "--seed"), "--seed"),
             "--cache-capacity" => {
@@ -103,6 +117,7 @@ fn parse_serve_args() -> ServeOptions {
                     num::<usize>(value(&mut it, "--cache-capacity"), "--cache-capacity").max(1)
             }
             "--persist-dir" => opts.persist_dir = Some(value(&mut it, "--persist-dir").into()),
+            "--export-dir" => opts.export_dir = Some(value(&mut it, "--export-dir").into()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -122,17 +137,11 @@ fn sample_trace(cumulative: &[f64], n: usize, rng: &mut ChaCha8Rng) -> Vec<usize
         .map(|_| {
             let u: f64 = rng.gen::<f64>() * total;
             // First index whose cumulative weight exceeds u.
-            cumulative.partition_point(|&c| c <= u).min(cumulative.len() - 1)
+            cumulative
+                .partition_point(|&c| c <= u)
+                .min(cumulative.len() - 1)
         })
         .collect()
-}
-
-fn percentile(sorted_micros: &[u64], pct: f64) -> u64 {
-    if sorted_micros.is_empty() {
-        return 0;
-    }
-    let idx = ((pct / 100.0) * (sorted_micros.len() - 1) as f64).round() as usize;
-    sorted_micros[idx.min(sorted_micros.len() - 1)]
 }
 
 fn main() {
@@ -199,43 +208,72 @@ fn main() {
         persist_dir: opts.persist_dir.clone(),
         ..EngineConfig::default()
     }));
+    let registry = Arc::clone(engine.registry());
+    // Per-request wait lands in one registry histogram; the quantiles
+    // below come from there, not from a binary-local sample vector.
+    let request_hist = registry.histogram("serve.request");
     let replay = Instant::now();
-    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let chunk = trace.len().div_ceil(opts.clients);
-        let threads: Vec<_> = trace
-            .chunks(chunk.max(1))
-            .map(|slice| {
-                let engine = Arc::clone(&engine);
-                let handles = &handles;
-                let keys = &keys;
-                scope.spawn(move || {
-                    slice
-                        .iter()
-                        .map(|&k| {
-                            let (mi, algo) = keys[k];
-                            let t0 = Instant::now();
-                            engine
-                                .get(&handles[mi], algo)
-                                .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
-                            t0.elapsed().as_micros() as u64
-                        })
-                        .collect::<Vec<u64>>()
-                })
-            })
-            .collect();
-        threads
-            .into_iter()
-            .flat_map(|t| t.join().expect("client thread panicked"))
-            .collect()
+        for slice in trace.chunks(chunk.max(1)) {
+            let engine = Arc::clone(&engine);
+            let request_hist = Arc::clone(&request_hist);
+            let handles = &handles;
+            let keys = &keys;
+            scope.spawn(move || {
+                for &k in slice {
+                    let (mi, algo) = keys[k];
+                    let t0 = Instant::now();
+                    engine
+                        .get(&handles[mi], algo)
+                        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+                    request_hist.record_duration(t0.elapsed());
+                }
+            });
+        }
     });
     let wall = replay.elapsed().as_secs_f64();
-    latencies.sort_unstable();
 
-    // --- Report. -----------------------------------------------------
+    // --- SpMV on the hottest matrix: the downstream payoff. ----------
+    // The quantity the cache amortises is reordering time *per SpMV
+    // iteration*; measure the served RCM ordering against the original
+    // layout on the most-requested matrix, feeding the registry's
+    // `spmv.measure.rep` histogram through the shared measurement path.
+    let mut hits_per_matrix = vec![0usize; handles.len()];
+    trace.iter().for_each(|&k| hits_per_matrix[keys[k].0] += 1);
+    let hot = hits_per_matrix
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| c)
+        .map_or(0, |(i, _)| i);
+    let ordering = engine
+        .get(&handles[hot], AlgoSpec::Rcm)
+        .expect("RCM on the hot matrix");
+    let reordered = ordering
+        .apply(handles[hot].matrix())
+        .expect("applying the served ordering");
+    let mcfg = MeasureConfig {
+        repetitions: 30,
+        ..MeasureConfig::default()
+    };
+    let base = measure_spmv_in(&registry, handles[hot].matrix(), Kernel::OneD, &mcfg);
+    let rcm = measure_spmv_in(&registry, &reordered, Kernel::OneD, &mcfg);
+
+    // --- Report, from the registry. ----------------------------------
     let stats = engine.stats();
+    let snap = registry.snapshot();
+    let lat = snap
+        .histogram("serve.request")
+        .expect("every request was recorded");
     let amortised = stats.cache.hits + stats.cache.disk_hits + stats.coalesced;
     let hit_rate = amortised as f64 / stats.submitted.max(1) as f64;
-    println!("served {} requests in {:.3}s with {} clients / {} workers", trace.len(), wall, opts.clients, opts.workers);
+    println!(
+        "served {} requests in {:.3}s with {} clients / {} workers",
+        trace.len(),
+        wall,
+        opts.clients,
+        opts.workers
+    );
     println!("  throughput: {:.0} req/s", trace.len() as f64 / wall);
     println!(
         "  hit rate:   {:.1}% ({} memory + {} disk + {} coalesced of {} requests)",
@@ -246,16 +284,42 @@ fn main() {
         stats.submitted
     );
     println!(
-        "  latency:    p50 {} us | p99 {} us | max {} us",
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 99.0),
-        latencies.last().copied().unwrap_or(0)
+        "  latency:    p50 {} us | p99 {} us | max {} us ({} samples)",
+        lat.p50 / 1_000,
+        lat.p99 / 1_000,
+        lat.max / 1_000,
+        lat.count
     );
     println!(
         "  compute:    {} jobs, {:.3}s of reordering amortised over {} requests",
         stats.jobs_executed, stats.compute_seconds, stats.submitted
     );
+    println!(
+        "  spmv:       hot matrix {}: {:.2} Gflop/s original -> {:.2} Gflop/s RCM ({:.2}x)",
+        hot,
+        base.max_gflops,
+        rcm.max_gflops,
+        rcm.max_gflops / base.max_gflops.max(1e-12)
+    );
     println!("  engine:     {stats}");
+
+    // --- Export the registry: JSON + Prometheus. ---------------------
+    match &opts.export_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("creating --export-dir");
+            std::fs::write(dir.join("serve.json"), snap.to_json()).expect("writing serve.json");
+            std::fs::write(dir.join("serve.prom"), snap.to_prometheus())
+                .expect("writing serve.prom");
+            eprintln!("wrote {}/serve.{{json,prom}}", dir.display());
+        }
+        None => {
+            println!("--- telemetry snapshot (json) ---");
+            println!("{}", snap.to_json());
+            println!("--- telemetry snapshot (prometheus) ---");
+            print!("{}", snap.to_prometheus());
+        }
+    }
+
     if hit_rate < 0.5 {
         eprintln!(
             "warning: hit rate below 50% — trace too short or cache too small \

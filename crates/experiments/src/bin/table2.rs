@@ -6,8 +6,18 @@ use experiments::fmt::render_table;
 fn main() {
     let machines = archsim::machines();
     let header: Vec<String> = [
-        "", "CPUs", "Instr. set", "Microarch.", "Sockets", "Cores", "Freq [GHz]",
-        "L1D/core [KiB]", "L2/core [KiB]", "L3/socket [MiB]", "BW [GB/s]", "Threads",
+        "",
+        "CPUs",
+        "Instr. set",
+        "Microarch.",
+        "Sockets",
+        "Cores",
+        "Freq [GHz]",
+        "L1D/core [KiB]",
+        "L2/core [KiB]",
+        "L3/socket [MiB]",
+        "BW [GB/s]",
+        "Threads",
     ]
     .iter()
     .map(|s| s.to_string())

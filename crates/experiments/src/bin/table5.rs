@@ -20,19 +20,26 @@ fn main() {
     let icelake = machine_by_name("Ice Lake").unwrap();
     let specs = corpus::overhead_matrices(opts.size);
 
-    let header: Vec<String> = ["Matrix Name", "RCM", "AMD", "ND", "GP", "HP", "Gray", "SpMV"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "Matrix Name",
+        "RCM",
+        "AMD",
+        "ND",
+        "GP",
+        "HP",
+        "Gray",
+        "SpMV",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for spec in &specs {
         let a = spec.build();
         eprintln!("reordering {} ({} nnz) ...", spec.name, a.nnz());
         let mut row = vec![spec.name.clone()];
         for alg in all_algorithms(cfg.gp_parts, cfg.hp_parts) {
-            let t = alg
-                .compute_timed(&a)
-                .expect("overhead matrices are square");
+            let t = alg.compute_timed(&a).expect("overhead matrices are square");
             row.push(fmt_seconds(t.elapsed.as_secs_f64()));
         }
         let spmv = simulate_spmv_1d(&a, &icelake).seconds;

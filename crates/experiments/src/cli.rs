@@ -54,9 +54,7 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Options {
                 opts.machines.push(v);
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: <bin> [--size small|medium|large] [--machine NAME]..."
-                );
+                println!("usage: <bin> [--size small|medium|large] [--machine NAME]...");
                 std::process::exit(0);
             }
             other => {

@@ -240,6 +240,15 @@ pub fn sweep_corpus(
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<MatrixSweep>>> =
         Mutex::new((0..specs.len()).map(|_| None).collect());
+    // In verbose mode, tick a compact registry line (cache hits, queue
+    // depth, reorder histograms) to stderr while the sweep runs.
+    let reporter = verbose.then(|| {
+        telemetry::Reporter::start_with(
+            telemetry::Registry::global(),
+            std::time::Duration::from_secs(5),
+            std::io::stderr(),
+        )
+    });
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -255,6 +264,9 @@ pub fn sweep_corpus(
             });
         }
     });
+    if let Some(reporter) = reporter {
+        reporter.stop(); // emits a final line with the end-of-sweep state
+    }
     if verbose {
         log_engine_stats("sweep_corpus");
     }
@@ -268,30 +280,32 @@ pub fn sweep_corpus(
 
 /// Box statistics of the speedups of ordering `o` over all matrices on
 /// machine `m`.
-pub fn speedup_box(
-    sweeps: &[MatrixSweep],
-    o: usize,
-    m: usize,
-    two_d: bool,
-) -> Option<BoxStats> {
+pub fn speedup_box(sweeps: &[MatrixSweep], o: usize, m: usize, two_d: bool) -> Option<BoxStats> {
     let xs: Vec<f64> = sweeps
         .iter()
-        .map(|s| if two_d { s.speedup_2d(o, m) } else { s.speedup_1d(o, m) })
+        .map(|s| {
+            if two_d {
+                s.speedup_2d(o, m)
+            } else {
+                s.speedup_1d(o, m)
+            }
+        })
         .collect();
     quartiles(&xs)
 }
 
 /// Geometric-mean speedup of ordering `o` on machine `m` (the Table 3/4
 /// aggregation).
-pub fn speedup_geomean(
-    sweeps: &[MatrixSweep],
-    o: usize,
-    m: usize,
-    two_d: bool,
-) -> Option<f64> {
+pub fn speedup_geomean(sweeps: &[MatrixSweep], o: usize, m: usize, two_d: bool) -> Option<f64> {
     let xs: Vec<f64> = sweeps
         .iter()
-        .map(|s| if two_d { s.speedup_2d(o, m) } else { s.speedup_1d(o, m) })
+        .map(|s| {
+            if two_d {
+                s.speedup_2d(o, m)
+            } else {
+                s.speedup_1d(o, m)
+            }
+        })
         .collect();
     geometric_mean(&xs)
 }

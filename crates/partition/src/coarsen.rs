@@ -41,8 +41,7 @@ pub fn heavy_edge_matching(g: &Graph, rng: &mut SplitMix) -> Vec<u32> {
                 None => true,
                 Some((bu, bw)) => {
                     w > bw
-                        || (w == bw
-                            && g.vertex_weight(u as usize) < g.vertex_weight(bu as usize))
+                        || (w == bw && g.vertex_weight(u as usize) < g.vertex_weight(bu as usize))
                 }
             };
             if better {
@@ -132,8 +131,7 @@ pub fn coarsen_to(g: &Graph, target_size: usize, rng: &mut SplitMix) -> Vec<Coar
     while current.num_vertices() > target_size {
         let matching = heavy_edge_matching(&current, rng);
         let level = contract(&current, &matching);
-        let shrink =
-            level.graph.num_vertices() as f64 / current.num_vertices() as f64;
+        let shrink = level.graph.num_vertices() as f64 / current.num_vertices() as f64;
         if shrink > 0.95 {
             break; // nearly no matching possible; stop
         }
@@ -194,10 +192,7 @@ mod tests {
         let mut rng = SplitMix::new(2);
         let m = heavy_edge_matching(&g, &mut rng);
         let level = contract(&g, &m);
-        assert_eq!(
-            level.graph.total_vertex_weight(),
-            g.total_vertex_weight()
-        );
+        assert_eq!(level.graph.total_vertex_weight(), g.total_vertex_weight());
         assert!(level.graph.num_vertices() < g.num_vertices());
         // Every fine vertex maps to a valid coarse vertex.
         for v in 0..g.num_vertices() {

@@ -91,8 +91,8 @@ pub fn fm_refine(
             // unless the move strictly reduces the maximum overflow.
             let feasible_after = cur_w[to] + wv <= max_allowed[to];
             let overflow_now = (cur_w[0] - max_allowed[0]).max(cur_w[1] - max_allowed[1]);
-            let overflow_after = ((cur_w[from] - wv) - max_allowed[from])
-                .max((cur_w[to] + wv) - max_allowed[to]);
+            let overflow_after =
+                ((cur_w[from] - wv) - max_allowed[from]).max((cur_w[to] + wv) - max_allowed[to]);
             if !feasible_after && overflow_after >= overflow_now {
                 continue;
             }
@@ -215,7 +215,9 @@ mod tests {
         let n = 6;
         let g = grid(n);
         // Optimal split: top half vs bottom half, cut = 6.
-        let part_of: Vec<u8> = (0..n * n).map(|v| if v / n < n / 2 { 0 } else { 1 }).collect();
+        let part_of: Vec<u8> = (0..n * n)
+            .map(|v| if v / n < n / 2 { 0 } else { 1 })
+            .collect();
         let mut bis = Bisection::recompute(&g, part_of);
         assert_eq!(bis.cut, 6);
         fm_refine(&g, &mut bis, [18, 18], 1.05, 8);

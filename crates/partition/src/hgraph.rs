@@ -422,9 +422,7 @@ fn fm_refine_hg(
     for _ in 0..max_passes {
         let mut counts = side_counts(hg, part_of);
         let start_cut = objective_value(hg, &counts, obj);
-        let mut gain: Vec<i64> = (0..n)
-            .map(|v| move_gain(hg, &counts, part_of, v))
-            .collect();
+        let mut gain: Vec<i64> = (0..n).map(|v| move_gain(hg, &counts, part_of, v)).collect();
         let mut part_w = [0i64; 2];
         for v in 0..n {
             part_w[part_of[v] as usize] += hg.vwgt[v];
@@ -571,8 +569,13 @@ fn multilevel_bisect_hg(
         levels.push(level);
     }
     let coarsest: &WorkHg = levels.last().map(|l| &l.hg).unwrap_or(hg);
-    let mut part =
-        initial_bisection(coarsest, target, cfg.initial_trials, cfg.objective, &mut rng);
+    let mut part = initial_bisection(
+        coarsest,
+        target,
+        cfg.initial_trials,
+        cfg.objective,
+        &mut rng,
+    );
     fm_refine_hg(
         coarsest,
         &mut part,
@@ -775,7 +778,10 @@ mod tests {
         let a = banded(150, 2);
         let h = Hypergraph::column_net(&a);
         let cfg = HypergraphPartitionConfig::k(4);
-        assert_eq!(partition_hypergraph(&h, &cfg), partition_hypergraph(&h, &cfg));
+        assert_eq!(
+            partition_hypergraph(&h, &cfg),
+            partition_hypergraph(&h, &cfg)
+        );
     }
 
     #[test]
@@ -799,7 +805,10 @@ mod tests {
         let counts = side_counts(&hg, &part);
         let after = objective_value(&hg, &counts, HyperObjective::CutNet);
         assert!(after <= before, "FM worsened cut: {before} -> {after}");
-        assert!(after < before / 2, "FM should fix interleaving: {before} -> {after}");
+        assert!(
+            after < before / 2,
+            "FM should fix interleaving: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -810,10 +819,7 @@ mod tests {
         let mut rng = SplitMix::new(5);
         let m = match_vertices(&hg, &mut rng);
         let level = contract_hg(&hg, &m);
-        assert_eq!(
-            level.hg.total_vertex_weight(),
-            hg.total_vertex_weight()
-        );
+        assert_eq!(level.hg.total_vertex_weight(), hg.total_vertex_weight());
         assert!(level.hg.num_vertices() < hg.num_vertices());
         // Dual incidence is consistent.
         for v in 0..level.hg.num_vertices() {

@@ -86,15 +86,7 @@ pub fn partition_graph(g: &Graph, config: &PartitionConfig) -> Vec<u32> {
         return part_of;
     }
     let vertices: Vec<u32> = (0..n as u32).collect();
-    recurse(
-        g,
-        &vertices,
-        0,
-        k,
-        config,
-        config.seed,
-        &mut part_of,
-    );
+    recurse(g, &vertices, 0, k, config, config.seed, &mut part_of);
     part_of
 }
 
@@ -134,7 +126,15 @@ fn recurse(
             right.push(global);
         }
     }
-    recurse(g_full, &left, base, k0, config, seed.wrapping_mul(0x9E37).wrapping_add(1), part_of);
+    recurse(
+        g_full,
+        &left,
+        base,
+        k0,
+        config,
+        seed.wrapping_mul(0x9E37).wrapping_add(1),
+        part_of,
+    );
     recurse(
         g_full,
         &right,
@@ -228,7 +228,10 @@ mod tests {
         let w = part_weights(&g, &parts, 6);
         assert_eq!(w.iter().sum::<i64>(), 144);
         for &pw in &w {
-            assert!(pw >= 16 && pw <= 33, "6-way part weight {pw} out of range");
+            assert!(
+                (16..=33).contains(&pw),
+                "6-way part weight {pw} out of range"
+            );
         }
     }
 

@@ -11,8 +11,11 @@ use sparsemat::{CooMatrix, CsrMatrix};
 /// Strategy: a random connected-ish symmetric matrix (ring + chords) so
 /// partitioners always have work to do.
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (8usize..80, proptest::collection::vec((0usize..1000, 0usize..1000), 0..120)).prop_map(
-        |(n, chords)| {
+    (
+        8usize..80,
+        proptest::collection::vec((0usize..1000, 0usize..1000), 0..120),
+    )
+        .prop_map(|(n, chords)| {
             let mut coo = CooMatrix::new(n, n);
             for i in 0..n {
                 coo.push(i, i, 1.0);
@@ -25,8 +28,7 @@ fn graph_strategy() -> impl Strategy<Value = Graph> {
                 }
             }
             Graph::from_matrix(&CsrMatrix::from_coo(&coo)).unwrap()
-        },
-    )
+        })
 }
 
 proptest! {

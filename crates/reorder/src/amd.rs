@@ -90,9 +90,8 @@ pub fn amd_order(g: &Graph, aggressive: bool) -> Vec<u32> {
         merged: vec![Vec::new(); n],
     };
 
-    let mut heap: BinaryHeap<Reverse<(i64, u32)>> = (0..n)
-        .map(|v| Reverse((st.degree[v], v as u32)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(i64, u32)>> =
+        (0..n).map(|v| Reverse((st.degree[v], v as u32))).collect();
 
     // Scratch arrays reused across iterations.
     let mut mark = vec![0u64; n];
@@ -374,7 +373,11 @@ mod tests {
         }
         let a = CsrMatrix::from_coo(&coo);
         let perm = Amd::default().compute(&a).unwrap().perm;
-        assert_eq!(symbolic_fill(&a, &perm), 0, "trees must factor without fill");
+        assert_eq!(
+            symbolic_fill(&a, &perm),
+            0,
+            "trees must factor without fill"
+        );
     }
 
     #[test]

@@ -187,7 +187,11 @@ mod tests {
         }
         let a = CsrMatrix::from_coo(&coo);
         let gps = Gps::default().compute(&a).unwrap().apply(&a).unwrap();
-        let rcm = crate::Rcm::default().compute(&a).unwrap().apply(&a).unwrap();
+        let rcm = crate::Rcm::default()
+            .compute(&a)
+            .unwrap()
+            .apply(&a)
+            .unwrap();
         assert!(
             bandwidth(&gps) <= 2 * bandwidth(&rcm),
             "GPS bandwidth {} vs RCM {}",

@@ -84,9 +84,7 @@ mod tests {
     fn offdiag_nnz(a: &CsrMatrix, t: usize) -> usize {
         let n = a.nrows();
         let block = n.div_ceil(t);
-        a.iter()
-            .filter(|&(i, j, _)| i / block != j / block)
-            .count()
+        a.iter().filter(|&(i, j, _)| i / block != j / block).count()
     }
 
     #[test]

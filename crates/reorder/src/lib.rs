@@ -60,4 +60,6 @@ pub use hp::Hp;
 pub use nd::Nd;
 pub use rcm::Rcm;
 pub use sbd::Sbd;
-pub use traits::{all_algorithms, Original, ReorderAlgorithm, ReorderResult, TimedReordering};
+pub use traits::{
+    all_algorithms, timed_permutation, Original, ReorderAlgorithm, ReorderResult, TimedReordering,
+};

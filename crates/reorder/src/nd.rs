@@ -61,9 +61,8 @@ impl Nd {
             order.extend(local.iter().map(|&l| map[l as usize]));
             return;
         }
-        let to_global = |locals: &[u32]| -> Vec<u32> {
-            locals.iter().map(|&l| map[l as usize]).collect()
-        };
+        let to_global =
+            |locals: &[u32]| -> Vec<u32> { locals.iter().map(|&l| map[l as usize]).collect() };
         let left = to_global(&sep.left);
         let right = to_global(&sep.right);
         let separator = to_global(&sep.separator);

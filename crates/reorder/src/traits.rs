@@ -56,6 +56,26 @@ pub struct TimedReordering {
     pub elapsed: Duration,
 }
 
+/// Compute an ordering under telemetry: the wall-clock lands in the
+/// registry histogram `reorder.<algo>` (nanoseconds, e.g.
+/// `reorder.rcm`) via an RAII span, and failures increment
+/// `reorder.failed`. This is the one instrumented entry point every
+/// serving path computes permutations through — Table 5's per-algorithm
+/// cost ranking, as live metrics.
+pub fn timed_permutation(
+    registry: &telemetry::Registry,
+    algo: &dyn ReorderAlgorithm,
+    a: &CsrMatrix,
+) -> Result<TimedReordering, SparseError> {
+    let hist = registry.histogram(&format!("reorder.{}", algo.name().to_lowercase()));
+    let _span = registry.span_on("reorder", &hist);
+    let timed = algo.compute_timed(a);
+    if timed.is_err() {
+        registry.counter("reorder.failed").inc();
+    }
+    timed
+}
+
 /// The identity "ordering" — the baseline every speedup in the paper is
 /// measured against.
 #[derive(Debug, Clone, Copy, Default)]
@@ -132,6 +152,26 @@ mod tests {
         let t = Original.compute_timed(&a).unwrap();
         assert!(t.result.perm.is_identity());
         assert!(t.elapsed.as_nanos() > 0 || t.elapsed.is_zero());
+    }
+
+    #[test]
+    fn timed_permutation_records_per_algorithm_histograms() {
+        let registry = telemetry::Registry::new_arc();
+        let a = small();
+        let t = timed_permutation(&registry, &crate::Rcm::default(), &a).unwrap();
+        assert_eq!(t.result.perm.len(), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("reorder.rcm").unwrap().count, 1);
+        assert!(snap.histogram("reorder.rcm").unwrap().min >= 1);
+        assert!(snap.counter("reorder.failed").is_none());
+
+        // Failures are recorded too: the span still times the attempt
+        // and the failure counter increments.
+        let bad = CsrMatrix::from_coo(&CooMatrix::new(2, 3));
+        assert!(timed_permutation(&registry, &Original, &bad).is_err());
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("reorder.original").unwrap().count, 1);
+        assert_eq!(snap.counter("reorder.failed"), Some(1));
     }
 
     #[test]

@@ -9,8 +9,11 @@ use sparsemat::{is_structurally_symmetric, CooMatrix, CsrMatrix};
 /// Arbitrary square matrix with a nonzero diagonal (typical for the
 /// study's matrices) plus random entries — not necessarily symmetric.
 fn matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
-    (4usize..60, proptest::collection::vec((0usize..3600, 0usize..3600), 0..160)).prop_map(
-        |(n, entries)| {
+    (
+        4usize..60,
+        proptest::collection::vec((0usize..3600, 0usize..3600), 0..160),
+    )
+        .prop_map(|(n, entries)| {
             let mut coo = CooMatrix::new(n, n);
             for i in 0..n {
                 coo.push(i, i, 2.0);
@@ -19,8 +22,7 @@ fn matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
                 coo.push(a % n, b % n, 1.0);
             }
             CsrMatrix::from_coo(&coo)
-        },
-    )
+        })
 }
 
 proptest! {

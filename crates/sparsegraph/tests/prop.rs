@@ -5,8 +5,11 @@ use sparsegraph::{bfs_levels, connected_components, pseudo_peripheral_vertex, Gr
 use sparsemat::{CooMatrix, CsrMatrix};
 
 fn sym_matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
-    (2usize..60, proptest::collection::vec((0usize..3600, 0usize..3600), 0..150)).prop_map(
-        |(n, pairs)| {
+    (
+        2usize..60,
+        proptest::collection::vec((0usize..3600, 0usize..3600), 0..150),
+    )
+        .prop_map(|(n, pairs)| {
             let mut coo = CooMatrix::new(n, n);
             for i in 0..n {
                 coo.push(i, i, 1.0);
@@ -18,8 +21,7 @@ fn sym_matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
                 }
             }
             CsrMatrix::from_coo(&coo)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -256,9 +256,7 @@ impl CsrMatrix {
     /// Look up the value at `(row, col)` by binary search, if stored.
     pub fn get(&self, row: usize, col: usize) -> Option<f64> {
         let (cols, vals) = self.row(row);
-        cols.binary_search(&(col as ColIdx))
-            .ok()
-            .map(|k| vals[k])
+        cols.binary_search(&(col as ColIdx)).ok().map(|k| vals[k])
     }
 
     /// Sequential reference SpMV: returns `y = A * x`.
@@ -629,13 +627,9 @@ mod tests {
         // Non-monotone rowptr.
         assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).is_err());
         // Unsorted columns.
-        assert!(
-            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // Duplicate columns.
-        assert!(
-            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
         // Column out of range.
         assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // Length mismatch.

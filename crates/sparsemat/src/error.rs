@@ -49,10 +49,9 @@ impl fmt::Display for SparseError {
                 write!(f, "matrix market parse error at line {line}: {message}")
             }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
-            SparseError::TooLarge { dim } => write!(
-                f,
-                "dimension {dim} exceeds the 32-bit column index limit"
-            ),
+            SparseError::TooLarge { dim } => {
+                write!(f, "dimension {dim} exceeds the 32-bit column index limit")
+            }
         }
     }
 }

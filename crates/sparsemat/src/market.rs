@@ -82,19 +82,17 @@ fn read_matrix_market_impl<R: BufRead>(
     if banner[2] != "coordinate" {
         return Err(parse_error(
             lineno,
-            format!("unsupported format '{}': only coordinate is supported", banner[2]),
+            format!(
+                "unsupported format '{}': only coordinate is supported",
+                banner[2]
+            ),
         ));
     }
     let field = match banner[3].as_str() {
         "real" => MarketField::Real,
         "integer" => MarketField::Integer,
         "pattern" => MarketField::Pattern,
-        other => {
-            return Err(parse_error(
-                lineno,
-                format!("unsupported field '{other}'"),
-            ))
-        }
+        other => return Err(parse_error(lineno, format!("unsupported field '{other}'"))),
     };
     let symmetry = match banner[4].as_str() {
         "general" => MarketSymmetry::General,

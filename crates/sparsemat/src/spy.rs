@@ -167,6 +167,9 @@ mod tests {
         let first = s.lines().next().unwrap().chars().next().unwrap();
         assert_eq!(first, '@', "a full cell should use the densest shade");
         let last_line: Vec<char> = s.lines().last().unwrap().chars().collect();
-        assert_eq!(last_line[9], '.', "a single nonzero uses the lightest shade");
+        assert_eq!(
+            last_line[9], '.',
+            "a single nonzero uses the lightest shade"
+        );
     }
 }

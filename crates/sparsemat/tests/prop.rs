@@ -7,15 +7,13 @@ use sparsemat::{symmetrize_pattern, CooMatrix, CsrMatrix, Permutation};
 /// entries (duplicates allowed, as permitted by the builder).
 fn coo_strategy() -> impl Strategy<Value = CooMatrix> {
     (1usize..24, 1usize..24).prop_flat_map(|(nr, nc)| {
-        proptest::collection::vec((0..nr, 0..nc, -10.0f64..10.0), 0..80).prop_map(
-            move |entries| {
-                let mut coo = CooMatrix::new(nr, nc);
-                for (r, c, v) in entries {
-                    coo.push(r, c, v);
-                }
-                coo
-            },
-        )
+        proptest::collection::vec((0..nr, 0..nc, -10.0f64..10.0), 0..80).prop_map(move |entries| {
+            let mut coo = CooMatrix::new(nr, nc);
+            for (r, c, v) in entries {
+                coo.push(r, c, v);
+            }
+            coo
+        })
     })
 }
 

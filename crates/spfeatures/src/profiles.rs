@@ -32,7 +32,11 @@ impl ProfileCurve {
             return 0.0;
         }
         if tau <= self.taus[0] {
-            return if tau >= self.taus[0] { self.fractions[0] } else { 0.0 };
+            return if tau >= self.taus[0] {
+                self.fractions[0]
+            } else {
+                0.0
+            };
         }
         for w in 0..self.taus.len() - 1 {
             if tau < self.taus[w + 1] {
@@ -50,12 +54,11 @@ impl ProfileCurve {
 /// better; non-finite or non-positive costs mark failures and are
 /// treated as never within any factor of the best). `taus` is the
 /// sample grid, which must start at 1.0 and be increasing.
-pub fn performance_profile(
-    names: &[&str],
-    costs: &[Vec<f64>],
-    taus: &[f64],
-) -> Vec<ProfileCurve> {
-    assert!(!taus.is_empty() && taus[0] >= 1.0, "taus must start at >= 1");
+pub fn performance_profile(names: &[&str], costs: &[Vec<f64>], taus: &[f64]) -> Vec<ProfileCurve> {
+    assert!(
+        !taus.is_empty() && taus[0] >= 1.0,
+        "taus must start at >= 1"
+    );
     let nmethods = names.len();
     let ninstances = costs.len();
     // Best cost per instance.
@@ -107,11 +110,7 @@ mod tests {
     #[test]
     fn best_method_dominates_at_tau_one() {
         // Method 0 is best on 2 of 3 instances, method 1 on 1.
-        let costs = vec![
-            vec![1.0, 2.0],
-            vec![1.0, 3.0],
-            vec![5.0, 1.0],
-        ];
+        let costs = vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![5.0, 1.0]];
         let taus = vec![1.0, 2.0, 5.0, 10.0];
         let profiles = performance_profile(&["a", "b"], &costs, &taus);
         assert!((profiles[0].fraction_best() - 2.0 / 3.0).abs() < 1e-12);

@@ -26,7 +26,9 @@ mod plan;
 mod solvers;
 
 pub use exec::{spmv_1d, spmv_2d};
-pub use measure::{measure_spmv, Kernel, MeasureConfig, SpmvMeasurement};
+pub use measure::{
+    host_threads, measure_spmv, measure_spmv_in, Kernel, MeasureConfig, SpmvMeasurement,
+};
 pub use merge::{spmv_merge, MergeSpan, PlanMerge};
 pub use plan::{imbalance_factor, nnz_per_thread, Plan1d, Plan2d, ThreadSpan};
 pub use solvers::{conjugate_gradient, CgOptions, SolveStats};

@@ -229,7 +229,11 @@ mod tests {
         check(&a, &[1, 4, 7]);
         // Items per thread stay balanced even with empty rows.
         let plan = PlanMerge::new(&a, 8);
-        assert!(plan.imbalance() < 1.05, "merge imbalance {}", plan.imbalance());
+        assert!(
+            plan.imbalance() < 1.05,
+            "merge imbalance {}",
+            plan.imbalance()
+        );
     }
 
     #[test]

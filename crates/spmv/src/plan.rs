@@ -168,10 +168,7 @@ impl Plan2d {
     /// Nonzeros processed by each thread (equal by construction, up to
     /// rounding).
     pub fn nnz_per_thread(&self) -> Vec<usize> {
-        self.spans
-            .iter()
-            .map(|s| s.nnz_end - s.nnz_start)
-            .collect()
+        self.spans.iter().map(|s| s.nnz_end - s.nnz_start).collect()
     }
 }
 
@@ -301,7 +298,10 @@ mod tests {
         let p = Plan2d::new(&a, 4);
         assert_eq!(p.boundary_rows, vec![0]);
         for s in &p.spans {
-            assert_eq!(s.own_row_start, s.own_row_end, "no thread owns the row fully");
+            assert_eq!(
+                s.own_row_start, s.own_row_end,
+                "no thread owns the row fully"
+            );
         }
     }
 

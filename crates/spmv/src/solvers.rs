@@ -190,7 +190,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_immediately() {
         let a = spd_tridiag(10);
-        let (x, stats) = conjugate_gradient(&a, &vec![0.0; 10], &CgOptions::default());
+        let (x, stats) = conjugate_gradient(&a, &[0.0; 10], &CgOptions::default());
         assert!(stats.converged);
         assert_eq!(stats.iterations, 0);
         assert!(x.iter().all(|&v| v == 0.0));

@@ -6,7 +6,11 @@ use sparsemat::{CooMatrix, CsrMatrix};
 use spmv::{imbalance_factor, spmv_1d, spmv_2d, Plan1d, Plan2d};
 
 fn matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
-    (1usize..50, 1usize..50, proptest::collection::vec((0usize..2500, 0usize..2500, -4.0f64..4.0), 0..220))
+    (
+        1usize..50,
+        1usize..50,
+        proptest::collection::vec((0usize..2500, 0usize..2500, -4.0f64..4.0), 0..220),
+    )
         .prop_map(|(nr, nc, entries)| {
             let mut coo = CooMatrix::new(nr, nc);
             for (i, j, v) in entries {

@@ -1,0 +1,195 @@
+//! Snapshot exporters: machine-readable JSON and Prometheus text
+//! exposition.
+//!
+//! Both render a [`Snapshot`], so an export is a consistent
+//! point-in-time view regardless of how often it is taken. The JSON
+//! schema is documented in the README's "Observability" section;
+//! histograms export as Prometheus *summaries* (quantiles + `_sum` +
+//! `_count`) because the workspace extracts quantiles locally rather
+//! than shipping raw buckets.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a finite f64 the way JSON expects (no NaN/inf in our data;
+/// guard anyway).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_histogram(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        json_f64(h.mean),
+        h.p50,
+        h.p90,
+        h.p99
+    )
+}
+
+impl Snapshot {
+    /// The snapshot as a single JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,max,mean,p50,p90,p99}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), json_histogram(h));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// The snapshot in the Prometheus text exposition format. Metric
+    /// names have non-`[a-zA-Z0-9_:]` characters replaced by `_`
+    /// (`engine.cache.hits` → `engine_cache_hits`); histograms export
+    /// as summaries with `quantile` labels.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{n}{{quantile=\"0.9\"}} {}", h.p90);
+            let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("engine.cache.hits").add(12);
+        r.gauge("engine.pool.queue_depth").set(3);
+        let h = r.histogram("serve.request");
+        for v in [100u64, 200, 300, 40_000] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_has_all_sections_and_values() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"engine.cache.hits\":12"), "{j}");
+        assert!(j.contains("\"engine.pool.queue_depth\":3"), "{j}");
+        assert!(j.contains("\"serve.request\":{\"count\":4"), "{j}");
+        assert!(j.contains("\"min\":100"), "{j}");
+        assert!(j.contains("\"max\":40000"), "{j}");
+        // Balanced braces — a cheap structural sanity check given the
+        // hand-rolled writer.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let r = Registry::new();
+        r.counter("weird\"name\\with\ncontrol").inc();
+        let j = r.snapshot().to_json();
+        assert!(j.contains("weird\\\"name\\\\with\\u000acontrol"), "{j}");
+    }
+
+    #[test]
+    fn prometheus_format_is_wellformed() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE engine_cache_hits counter\nengine_cache_hits 12\n"));
+        assert!(p.contains("# TYPE engine_pool_queue_depth gauge\nengine_pool_queue_depth 3\n"));
+        assert!(p.contains("# TYPE serve_request summary"));
+        assert!(p.contains("serve_request{quantile=\"0.5\"}"));
+        assert!(p.contains("serve_request_count 4\n"));
+        assert!(p.contains("serve_request_sum 40600\n"));
+        // No unsanitized dots leak into metric names.
+        for line in p.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(&[' ', '{'][..]).next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let s = Snapshot::default();
+        assert_eq!(
+            s.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert_eq!(s.to_prometheus(), "");
+    }
+}

@@ -1,0 +1,108 @@
+//! # telemetry — the workspace's observability subsystem
+//!
+//! The paper's contribution is careful *measurement* (§4.1's 100-rep
+//! SpMV protocol, per-thread nnz imbalance, Table 5's reordering
+//! wall-clock). This crate gives every layer of the workspace one
+//! consistent instrumentation surface for the same discipline at
+//! serving time:
+//!
+//! - **Counters and gauges** ([`Counter`], [`Gauge`]) — single relaxed
+//!   atomics; a few nanoseconds per event.
+//! - **Histograms** ([`Histogram`]) — log-linear buckets (16 per power
+//!   of two, ≤ 6.25% quantisation) with exact count/sum/min/max,
+//!   lock-free concurrent recording, and shard **merging** so a
+//!   measurement loop can aggregate locally and fold into the registry
+//!   once.
+//! - **Spans** ([`Span`]) — RAII timers recording into a named
+//!   histogram on drop, nesting via a thread-local stack
+//!   (`engine.submit → reorder.rcm → spmv.measure`). With spans
+//!   disabled on a registry they never read the clock, bounding idle
+//!   overhead (asserted against a real SpMV loop in `crates/spmv`).
+//! - **Exporters** — JSON snapshots and Prometheus text exposition
+//!   ([`Snapshot::to_json`], [`Snapshot::to_prometheus`]), plus a
+//!   periodic stdout [`Reporter`] for long sweeps.
+//!
+//! Metric names are dotted lowercase paths (`engine.cache.hits`);
+//! every duration histogram records **nanoseconds**. The full naming
+//! scheme and export schemas are documented in the repository README
+//! under "Observability".
+//!
+//! ```
+//! use telemetry::Registry;
+//!
+//! let registry = Registry::new_arc();
+//! let hits = registry.counter("engine.cache.hits");
+//! hits.add(3);
+//! {
+//!     let _span = registry.span("reorder.rcm");
+//!     // ... timed work ...
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("engine.cache.hits"), Some(3));
+//! assert_eq!(snap.histogram("reorder.rcm").unwrap().count, 1);
+//! assert!(snap.to_json().contains("\"engine.cache.hits\":3"));
+//! assert!(snap.to_prometheus().contains("engine_cache_hits 3"));
+//! ```
+//!
+//! Production paths share [`Registry::global`]; tests that assert
+//! exact counts build private registries so parallel tests cannot
+//! interleave.
+
+mod export;
+mod histogram;
+mod metrics;
+mod registry;
+mod report;
+mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge};
+pub use registry::{Registry, Snapshot};
+pub use report::{compact_line, Reporter};
+pub use span::{current_depth, current_path, Span};
+
+use std::sync::Arc;
+
+/// The global registry's counter `name` (resolve once, keep the
+/// handle).
+pub fn counter(name: &str) -> Arc<Counter> {
+    Registry::global().counter(name)
+}
+
+/// The global registry's gauge `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    Registry::global().gauge(name)
+}
+
+/// The global registry's histogram `name`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    Registry::global().histogram(name)
+}
+
+/// Open a span on the global registry.
+pub fn span(name: &'static str) -> Span {
+    Registry::global().span(name)
+}
+
+/// Snapshot the global registry.
+pub fn snapshot() -> Snapshot {
+    Registry::global().snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_helpers_share_one_registry() {
+        counter("lib.test.counter").add(2);
+        gauge("lib.test.gauge").set(-1);
+        histogram("lib.test.hist").record(10);
+        drop(span("lib.test.span"));
+        let snap = snapshot();
+        assert!(snap.counter("lib.test.counter").unwrap() >= 2);
+        assert_eq!(snap.gauge("lib.test.gauge"), Some(-1));
+        assert!(snap.histogram("lib.test.hist").unwrap().count >= 1);
+        assert!(snap.histogram("lib.test.span").unwrap().count >= 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! The metrics registry: a name → metric map handing out shared
+//! handles.
+//!
+//! Callers resolve a metric once (`registry.counter("engine.cache.hits")`)
+//! and keep the `Arc` handle; the hot path then touches only that
+//! handle's atomics, never the registry lock. Names are dotted
+//! lowercase paths (see the README's "Observability" section for the
+//! scheme); resolving an existing name returns the existing metric, so
+//! independent components observing the same event share one series.
+//!
+//! [`Registry::global`] is the process-wide instance every production
+//! path uses. Tests that need exact counts construct private
+//! registries ([`Registry::new_arc`]) so parallel tests cannot
+//! interleave.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Span switch: when false, [`Registry::span`] returns inert spans
+    /// that never read the clock (the "cheap when idle" guarantee).
+    /// Counters, gauges and direct histogram recording stay live.
+    spans_enabled: AtomicBool,
+}
+
+impl Registry {
+    /// A fresh, empty registry with spans enabled.
+    pub fn new() -> Self {
+        Registry {
+            metrics: Mutex::new(BTreeMap::new()),
+            spans_enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// A fresh registry behind an `Arc` (the shape every consumer
+    /// stores).
+    pub fn new_arc() -> Arc<Registry> {
+        Arc::new(Registry::new())
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> Arc<Registry> {
+        static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(Registry::new_arc))
+    }
+
+    /// Enable or disable span timing on this registry.
+    pub fn set_spans_enabled(&self, enabled: bool) {
+        self.spans_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// True if spans on this registry time themselves.
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        self.spans_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Resolve (or create) the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type —
+    /// that is a programming error worth failing loudly on.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Resolve (or create) the gauge `name`. Panics on a type clash
+    /// like [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Resolve (or create) the histogram `name`. Panics on a type
+    /// clash like [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name (the exporters' input).
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().unwrap();
+        let mut snap = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// Everything the registry knew at one instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` for every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_metric() {
+        let r = Registry::new();
+        r.counter("a.b").add(3);
+        r.counter("a.b").add(4);
+        assert_eq!(r.counter("a.b").get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn type_clash_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z.count").inc();
+        r.gauge("m.depth").set(-2);
+        r.histogram("a.lat").record(10);
+        let s = r.snapshot();
+        assert_eq!(s.counter("z.count"), Some(1));
+        assert_eq!(s.gauge("m.depth"), Some(-2));
+        assert_eq!(s.histogram("a.lat").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn global_is_one_instance() {
+        let a = Registry::global();
+        let b = Registry::global();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

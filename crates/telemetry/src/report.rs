@@ -1,0 +1,183 @@
+//! The periodic reporter: a background thread printing compact
+//! registry summaries at a fixed interval, for watching long sweeps.
+//!
+//! One line per tick, e.g.
+//!
+//! ```text
+//! telemetry: engine.cache.hits=420 engine.pool.queue_depth=3 | reorder.rcm n=12 p50=1.2ms p99=3.4ms
+//! ```
+//!
+//! Stop it explicitly with [`Reporter::stop`] or let `Drop` do it; the
+//! final tick is always emitted on stop so short runs still produce
+//! output.
+
+use crate::registry::{Registry, Snapshot};
+use std::io::Write;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Human-scale duration formatting for nanosecond quantities.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// One compact line summarising a snapshot (no trailing newline).
+pub fn compact_line(snapshot: &Snapshot) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (name, v) in &snapshot.counters {
+        parts.push(format!("{name}={v}"));
+    }
+    for (name, v) in &snapshot.gauges {
+        parts.push(format!("{name}={v}"));
+    }
+    let mut hists: Vec<String> = Vec::new();
+    for (name, h) in &snapshot.histograms {
+        if h.count > 0 {
+            hists.push(format!(
+                "{name} n={} p50={} p99={}",
+                h.count,
+                fmt_ns(h.p50),
+                fmt_ns(h.p99)
+            ));
+        }
+    }
+    let mut line = String::from("telemetry: ");
+    line.push_str(&parts.join(" "));
+    if !hists.is_empty() {
+        if !parts.is_empty() {
+            line.push_str(" | ");
+        }
+        line.push_str(&hists.join(" | "));
+    }
+    line
+}
+
+/// A running periodic reporter. Dropping it stops the thread.
+pub struct Reporter {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Report `registry` to stdout every `interval`.
+    pub fn start(registry: Arc<Registry>, interval: Duration) -> Reporter {
+        Reporter::start_with(registry, interval, std::io::stdout())
+    }
+
+    /// Report to an arbitrary writer (tests, log files).
+    pub fn start_with<W: Write + Send + 'static>(
+        registry: Arc<Registry>,
+        interval: Duration,
+        mut writer: W,
+    ) -> Reporter {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("telemetry-reporter".to_string())
+            .spawn(move || {
+                let (lock, cv) = &*thread_stop;
+                let mut stopped = lock.lock().unwrap();
+                loop {
+                    // A spurious wakeup just prints an extra early
+                    // tick; shutdown is decided by the flag alone.
+                    let (guard, _timeout) = cv.wait_timeout(stopped, interval).unwrap();
+                    stopped = guard;
+                    let line = compact_line(&registry.snapshot());
+                    let _ = writeln!(writer, "{line}");
+                    let _ = writer.flush();
+                    if *stopped {
+                        return;
+                    }
+                }
+            })
+            .expect("spawning the telemetry reporter thread");
+        Reporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the reporter, emitting one final line first.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let (lock, cv) = &*self.stop;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer the test can inspect after the reporter stops.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn reporter_emits_lines_and_stops() {
+        let r = Registry::new_arc();
+        r.counter("tick.count").add(5);
+        r.histogram("tick.lat").record(1500);
+        let buf = SharedBuf::default();
+        let reporter = Reporter::start_with(Arc::clone(&r), Duration::from_millis(5), buf.clone());
+        std::thread::sleep(Duration::from_millis(30));
+        reporter.stop();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("tick.count=5"), "got: {text}");
+        assert!(text.contains("tick.lat n=1 p50=1.5us"), "got: {text}");
+        assert!(text.lines().count() >= 2, "expected several ticks: {text}");
+    }
+
+    #[test]
+    fn stop_is_prompt_even_with_long_interval() {
+        let r = Registry::new_arc();
+        let buf = SharedBuf::default();
+        let t0 = std::time::Instant::now();
+        let reporter = Reporter::start_with(r, Duration::from_secs(3600), buf.clone());
+        reporter.stop();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "stop must not wait out the interval"
+        );
+        // The final flush still happened.
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.starts_with("telemetry:"), "got: {text}");
+    }
+
+    #[test]
+    fn compact_line_formats_durations() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

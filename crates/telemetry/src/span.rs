@@ -1,0 +1,157 @@
+//! RAII span timers.
+//!
+//! A span reads the clock on creation, and on drop records the elapsed
+//! wall-clock into the histogram it was opened on. Spans nest: a
+//! thread-local stack tracks the active labels, so
+//! `engine.submit → reorder.rcm → spmv.measure` shows up as a path
+//! ([`current_path`]) while each level still records into its own
+//! histogram.
+//!
+//! When the owning registry has spans disabled
+//! ([`Registry::set_spans_enabled`]), opening a span costs one relaxed
+//! atomic load and records nothing — the clock is never read. That is
+//! the "cheap when idle" guarantee the SpMV overhead test pins down.
+
+use crate::histogram::Histogram;
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The dotted path of active spans on this thread, outermost first
+/// (e.g. `"engine.submit/reorder.rcm"`). Empty when no span is open.
+pub fn current_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().join("/"))
+}
+
+/// Number of spans currently open on this thread.
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// An in-progress timed section. Records on drop.
+#[must_use = "a span records when dropped; binding it to _ drops it immediately"]
+pub struct Span {
+    live: Option<SpanLive>,
+}
+
+struct SpanLive {
+    start: Instant,
+    hist: Arc<Histogram>,
+}
+
+impl Span {
+    /// An inert span: never reads the clock, records nothing.
+    pub(crate) fn disabled() -> Span {
+        Span { live: None }
+    }
+
+    pub(crate) fn enter(label: &'static str, hist: Arc<Histogram>) -> Span {
+        SPAN_STACK.with(|s| s.borrow_mut().push(label));
+        Span {
+            live: Some(SpanLive {
+                start: Instant::now(),
+                hist,
+            }),
+        }
+    }
+
+    /// True if this span is actually timing (registry had spans
+    /// enabled when it was opened).
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            live.hist.record_duration(live.start.elapsed());
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+impl Registry {
+    /// Open a span recording into the histogram named `name` on drop.
+    ///
+    /// The histogram is resolved through the registry on every call;
+    /// hot paths that care should resolve once and use
+    /// [`Registry::span_on`].
+    pub fn span(self: &Arc<Self>, name: &'static str) -> Span {
+        if !self.spans_enabled() {
+            return Span::disabled();
+        }
+        Span::enter(name, self.histogram(name))
+    }
+
+    /// Open a span on a pre-resolved histogram handle. `label` is what
+    /// shows up in [`current_path`]; the histogram keeps its registered
+    /// name.
+    pub fn span_on(&self, label: &'static str, hist: &Arc<Histogram>) -> Span {
+        if !self.spans_enabled() {
+            return Span::disabled();
+        }
+        Span::enter(label, Arc::clone(hist))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_its_histogram() {
+        let r = Registry::new_arc();
+        {
+            let _s = r.span("unit.outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let h = r.snapshot();
+        let s = h.histogram("unit.outer").unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.min >= 1_000_000, "slept ≥1ms, recorded {} ns", s.min);
+    }
+
+    #[test]
+    fn spans_nest_and_unwind() {
+        let r = Registry::new_arc();
+        assert_eq!(current_depth(), 0);
+        {
+            let _a = r.span("unit.a");
+            assert_eq!(current_path(), "unit.a");
+            {
+                let _b = r.span("unit.b");
+                assert_eq!(current_path(), "unit.a/unit.b");
+                assert_eq!(current_depth(), 2);
+            }
+            assert_eq!(current_path(), "unit.a");
+        }
+        assert_eq!(current_depth(), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("unit.a").unwrap().count, 1);
+        assert_eq!(snap.histogram("unit.b").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let r = Registry::new_arc();
+        r.set_spans_enabled(false);
+        {
+            let s = r.span("unit.off");
+            assert!(!s.is_recording());
+            assert_eq!(current_depth(), 0);
+        }
+        // The histogram was never even created.
+        assert!(r.snapshot().histogram("unit.off").is_none());
+        r.set_spans_enabled(true);
+        drop(r.span("unit.off"));
+        assert_eq!(r.snapshot().histogram("unit.off").unwrap().count, 1);
+    }
+}

@@ -18,7 +18,13 @@ use std::time::Instant;
 
 /// Conjugate gradients with a fixed iteration budget; returns
 /// (solution, iterations, seconds).
-fn cg(a: &sparsemat::CsrMatrix, b: &[f64], tol: f64, max_iter: usize, threads: usize) -> (Vec<f64>, usize, f64) {
+fn cg(
+    a: &sparsemat::CsrMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    threads: usize,
+) -> (Vec<f64>, usize, f64) {
     let n = a.nrows();
     let plan = Plan1d::new(a, threads);
     let mut x = vec![0.0; n];
@@ -57,7 +63,11 @@ fn main() {
     let n = a.nrows();
     let x_true: Vec<f64> = (0..n).map(|i| ((i % 37) as f64 - 18.0) / 18.0).collect();
     let b = a.spmv_dense(&x_true);
-    println!("Poisson system: {} unknowns, {} nnz, {threads} threads\n", n, a.nnz());
+    println!(
+        "Poisson system: {} unknowns, {} nnz, {threads} threads\n",
+        n,
+        a.nnz()
+    );
 
     // --- CG in the original (scrambled) order. ---
     let (x0, it0, t0) = cg(&a, &b, 1e-8 * norm2(&b), 2000, threads);
@@ -95,9 +105,7 @@ fn main() {
     let amd = Amd::default().compute(&a).expect("square");
     let a_amd = amd.apply(&a).expect("apply");
     let fill_amd = fill_ratio(&a_amd);
-    println!(
-        "Cholesky fill ratio nnz(L)/nnz(A): original {fill_orig:.2}, AMD {fill_amd:.2}"
-    );
+    println!("Cholesky fill ratio nnz(L)/nnz(A): original {fill_orig:.2}, AMD {fill_amd:.2}");
     let factor = cholesky_factor(&a_amd).expect("SPD");
     let b_amd = amd.perm.apply_to_slice(&b);
     let x_amd = factor.solve(&b_amd);

@@ -133,7 +133,12 @@ impl Criterion {
         group.bench_function(BenchmarkId::from_parameter(""), f);
     }
 
-    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, throughput: Option<Throughput>, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        label: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
         let mut result = None;
         let mut b = Bencher {
             samples: if self.test_mode { 1 } else { self.sample_size },

@@ -22,7 +22,10 @@
 //! - [`corpus`] — the synthetic SuiteSparse stand-in collection;
 //! - [`engine`] — reordering-as-a-service: a content-addressed
 //!   ordering cache with a batched worker pool and request coalescing
-//!   (the §4.7 amortisation argument, operationalised).
+//!   (the §4.7 amortisation argument, operationalised);
+//! - [`telemetry`] — counters, gauges, log-linear latency histograms
+//!   and RAII spans behind a process-wide registry, with JSON and
+//!   Prometheus exporters (see README § Observability).
 //!
 //! # Quickstart
 //!
@@ -57,6 +60,7 @@ pub use sparsegraph;
 pub use sparsemat;
 pub use spfeatures;
 pub use spmv;
+pub use telemetry;
 
 /// Convenience re-exports of the most used items.
 pub mod prelude {
@@ -65,8 +69,8 @@ pub mod prelude {
     pub use corpus;
     pub use engine::{AlgoSpec, Engine, EngineConfig, EngineStats, MatrixHandle};
     pub use reorder::{
-        all_algorithms, Amd, Gp, Gray, Hp, Nd, Original, Rcm, ReorderAlgorithm, ReorderResult,
-        Gps, Sbd,
+        all_algorithms, Amd, Gp, Gps, Gray, Hp, Nd, Original, Rcm, ReorderAlgorithm, ReorderResult,
+        Sbd,
     };
     pub use sparsemat::{CooMatrix, CsrMatrix, Permutation};
     pub use spfeatures::{

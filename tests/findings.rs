@@ -15,12 +15,7 @@ fn reordering_cost_ranking() {
     for alg in all_algorithms(8, 16) {
         // Median of 3 runs to de-noise the CI machine.
         let mut samples: Vec<f64> = (0..3)
-            .map(|_| {
-                alg.compute_timed(&a)
-                    .expect("square")
-                    .elapsed
-                    .as_secs_f64()
-            })
+            .map(|_| alg.compute_timed(&a).expect("square").elapsed.as_secs_f64())
             .collect();
         samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
         times.insert(alg.name().to_string(), samples[1]);
@@ -110,11 +105,8 @@ fn gp_wins_off_diagonal_nnz() {
     let seeds = [1u64, 2, 3, 4, 5];
     let mut gp_wins = 0;
     for &seed in &seeds {
-        let a = corpus::with_random_edges(
-            &corpus::scramble(&corpus::mesh2d(48, 48), seed),
-            0.02,
-            seed,
-        );
+        let a =
+            corpus::with_random_edges(&corpus::scramble(&corpus::mesh2d(48, 48), seed), 0.02, seed);
         let mut best_name = "Original";
         let mut best = off_diagonal_nnz(&a, t);
         for alg in all_algorithms(t, 16) {
@@ -157,10 +149,16 @@ fn two_d_kernel_is_always_balanced() {
     }
     let a = sparsemat::CsrMatrix::from_coo(&coo);
     let counts_1d = spmv::nnz_per_thread(&a, 8);
-    assert!(imbalance_factor(&counts_1d) > 1.3, "mix should imbalance 1D");
+    assert!(
+        imbalance_factor(&counts_1d) > 1.3,
+        "mix should imbalance 1D"
+    );
     let plan2 = Plan2d::new(&a, 8);
     let imb2 = imbalance_factor(&plan2.nnz_per_thread());
-    assert!((imb2 - 1.0).abs() < 0.01, "2D imbalance {imb2} should be ~1");
+    assert!(
+        (imb2 - 1.0).abs() < 0.01,
+        "2D imbalance {imb2} should be ~1"
+    );
 }
 
 /// Gray's dense/sparse split groups heavy rows: its 1D nnz imbalance on
