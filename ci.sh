@@ -10,8 +10,13 @@ cargo build --release
 cargo test -q --workspace
 
 # Workspace hygiene: every crate stays warning-free and canonically
-# formatted.
+# formatted, and the rendered docs build without warnings.
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Executor smoke: the scoped-spawn vs persistent-team comparison bench
+# must run end to end (single iteration; no timings recorded).
+cargo bench -p bench --bench team_overhead -- --test
 
 echo "ci: all gates passed"

@@ -1,44 +1,46 @@
 //! Real-kernel SpMV throughput per ordering — the host-scale analogue
-//! of Figs. 2 and 3. For each fixture matrix and each ordering, both
-//! kernels run at the host's thread count; Criterion reports
-//! throughput in elements (nonzeros) per second.
+//! of Figs. 2 and 3. For each fixture matrix and each ordering, all
+//! three kernels run at the host's thread count on one persistent
+//! [`ThreadTeam`]; Criterion reports throughput in elements (nonzeros)
+//! per second.
 
 use bench::{bench_matrices, host_threads};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use reorder::all_algorithms;
-use spmv::{spmv_1d, spmv_2d, Plan1d, Plan2d};
+use spmv::{KernelKind, ThreadTeam};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn spmv_by_ordering(c: &mut Criterion) {
     let threads = host_threads();
+    let team = ThreadTeam::new(threads);
     for (mat_name, a) in bench_matrices() {
         let mut group = c.benchmark_group(format!("spmv/{mat_name}"));
         group.throughput(Throughput::Elements(a.nnz() as u64));
 
         // Original + the six orderings.
-        let mut variants = vec![("Original".to_string(), a.clone())];
+        let mut variants = vec![("Original".to_string(), Arc::new(a.clone()))];
         for alg in all_algorithms(threads.max(8), 32) {
             let b = alg.compute(&a).expect("square").apply(&a).expect("apply");
-            variants.push((alg.name().to_string(), b));
+            variants.push((alg.name().to_string(), Arc::new(b)));
         }
 
         for (ord_name, b) in &variants {
             let x: Vec<f64> = (0..b.ncols()).map(|i| (i % 31) as f64).collect();
             let mut y = vec![0.0; b.nrows()];
-            let p1 = Plan1d::new(b, threads);
-            group.bench_with_input(BenchmarkId::new("1D", ord_name), b, |bench, mat| {
-                bench.iter(|| {
-                    spmv_1d(mat, &p1, black_box(&x), &mut y);
-                    black_box(&y);
-                })
-            });
-            let p2 = Plan2d::new(b, threads);
-            group.bench_with_input(BenchmarkId::new("2D", ord_name), b, |bench, mat| {
-                bench.iter(|| {
-                    spmv_2d(mat, &p2, black_box(&x), &mut y);
-                    black_box(&y);
-                })
-            });
+            for kind in KernelKind::all() {
+                let kernel = kind.plan(b, threads);
+                group.bench_with_input(
+                    BenchmarkId::new(kind.name(), ord_name),
+                    b,
+                    |bench, _mat| {
+                        bench.iter(|| {
+                            kernel.execute(&team, black_box(&x), &mut y);
+                            black_box(&y);
+                        })
+                    },
+                );
+            }
         }
         group.finish();
     }

@@ -1,0 +1,139 @@
+//! Executor comparison: per-call scoped spawning vs. the persistent
+//! [`ThreadTeam`].
+//!
+//! Before the team refactor every SpMV call paid thread creation and
+//! teardown; this bench keeps a faithful scoped-spawn reference
+//! implementation (one OS thread per plan span, created and joined per
+//! call) and races it against the same 1D kernel dispatched onto a
+//! long-lived team. The matrix is deliberately small so per-call
+//! executor overhead — not memory bandwidth — dominates.
+//!
+//! Besides the Criterion group, a normal run (no `--test` flag) times
+//! both executors directly and records the spawn-overhead ratio in
+//! `BENCH_PR3.json` at the repository root.
+
+use bench::host_threads;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use sparsemat::CsrMatrix;
+use spmv::{spmv_1d, Plan1d, ThreadTeam};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Small enough that executor overhead dominates the row loops.
+fn small_matrix() -> CsrMatrix {
+    corpus::scramble(&corpus::mesh2d(24, 24), 1)
+}
+
+/// Pre-refactor reference: the 1D kernel with every call spawning one
+/// OS thread per plan span and joining them before returning.
+fn spmv_1d_scoped(a: &CsrMatrix, plan: &Plan1d, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let rowptr = a.rowptr();
+    let colidx = a.colidx();
+    let values = a.values();
+    std::thread::scope(|scope| {
+        let mut rest: &mut [f64] = y;
+        let mut offset = 0;
+        for &(start, end) in &plan.row_ranges {
+            let (chunk, tail) = rest.split_at_mut(end - offset);
+            rest = tail;
+            offset = end;
+            scope.spawn(move || {
+                for (out, r) in chunk.iter_mut().zip(start..end) {
+                    let mut sum = 0.0;
+                    for k in rowptr[r]..rowptr[r + 1] {
+                        sum += values[k] * x[colidx[k] as usize];
+                    }
+                    *out = sum;
+                }
+            });
+        }
+    });
+}
+
+fn executor_overhead(c: &mut Criterion) {
+    let threads = host_threads();
+    let a = small_matrix();
+    let plan = Plan1d::new(&a, threads);
+    let team = ThreadTeam::new(threads);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 13) as f64).collect();
+    let mut y = vec![0.0; a.nrows()];
+
+    let mut group = c.benchmark_group("executor");
+    group.bench_with_input(BenchmarkId::new("scoped-spawn", threads), &a, |b, m| {
+        b.iter(|| spmv_1d_scoped(m, &plan, black_box(&x), &mut y))
+    });
+    group.bench_with_input(BenchmarkId::new("team", threads), &a, |b, m| {
+        b.iter(|| spmv_1d(m, &plan, &team, black_box(&x), &mut y))
+    });
+    group.finish();
+}
+
+/// Directly time `iters` calls of `f` and return seconds per call.
+fn time_per_call(iters: u32, mut f: impl FnMut()) -> f64 {
+    // Warm up: first spawns and first dispatch pay one-time costs.
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Measure the executor ratio and persist it for the PR record.
+fn write_bench_json() {
+    let threads = host_threads();
+    let a = small_matrix();
+    let plan = Plan1d::new(&a, threads);
+    let team = ThreadTeam::new(threads);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 13) as f64).collect();
+    let mut y = vec![0.0; a.nrows()];
+
+    let iters = 2_000;
+    let scoped = time_per_call(iters, || spmv_1d_scoped(&a, &plan, black_box(&x), &mut y));
+    let team_t = time_per_call(iters, || spmv_1d(&a, &plan, &team, black_box(&x), &mut y));
+    let ratio = scoped / team_t;
+
+    let json = format!(
+        "{{\n  \"bench\": \"team_overhead\",\n  \"matrix\": \"mesh2d(24,24) scrambled\",\n  \
+         \"nrows\": {},\n  \"nnz\": {},\n  \"threads\": {},\n  \"iters\": {},\n  \
+         \"scoped_spawn_us_per_call\": {:.3},\n  \"team_us_per_call\": {:.3},\n  \
+         \"spawn_overhead_ratio\": {:.3}\n}}\n",
+        a.nrows(),
+        a.nnz(),
+        threads,
+        iters,
+        scoped * 1e6,
+        team_t * 1e6,
+        ratio
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!(
+            "executor ratio: scoped-spawn is {ratio:.2}x the team's per-call cost \
+             (written to BENCH_PR3.json)"
+        ),
+        Err(e) => eprintln!("could not write BENCH_PR3.json: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(200);
+    targets = executor_overhead
+}
+
+fn main() {
+    benches();
+    // Smoke runs (`--test`, as used by ci.sh and `cargo test`) skip the
+    // JSON record: single-iteration timings would only add noise.
+    if !std::env::args().any(|arg| arg == "--test") {
+        write_bench_json();
+    }
+}

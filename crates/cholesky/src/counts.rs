@@ -1,5 +1,5 @@
 //! Column counts of the Cholesky factor via the Gilbert–Ng–Peyton
-//! algorithm [13], without forming the factor.
+//! algorithm \[13\], without forming the factor.
 //!
 //! For each column `j` of `L`, the count is derived from the *skeleton*
 //! of the matrix: an entry `a_ij` (i > j) contributes to column `j`'s

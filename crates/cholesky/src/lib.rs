@@ -5,7 +5,7 @@
 //!
 //! Section 4.6 of the paper compares reorderings by the fill they incur
 //! in the Cholesky factor `L` of `A = LLᵀ`, computed with the row/column
-//! counting algorithm of Gilbert, Ng and Peyton [13]. This crate
+//! counting algorithm of Gilbert, Ng and Peyton \[13\]. This crate
 //! implements:
 //!
 //! - the **elimination tree** of a symmetric matrix (Liu's algorithm

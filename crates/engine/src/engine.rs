@@ -2,9 +2,11 @@
 //! worker pool.
 
 use crate::cache::{CacheStats, CachedOrdering, OrderingCache, OrderingKey};
+use crate::plans::{PlanCache, PlanCacheStats, PlanKey};
 use crate::pool::{spawn_pool, InFlight, Job, PoolMetrics, WorkerContext};
 use crate::AlgoSpec;
 use sparsemat::CsrMatrix;
+use spmv::{Kernel, KernelKind};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::mpsc::SyncSender;
@@ -24,6 +26,9 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Cache shard count (lock striping).
     pub cache_shards: usize,
+    /// Capacity of the planned-kernel cache, in entries (one per
+    /// distinct (matrix, kernel, thread count)).
+    pub plan_cache_capacity: usize,
     /// Optional directory for cross-process permutation persistence
     /// (the paper's amortisation argument across artifact binaries).
     pub persist_dir: Option<PathBuf>,
@@ -45,6 +50,7 @@ impl Default for EngineConfig {
             queue_capacity: 256,
             cache_capacity: 4096,
             cache_shards: 8,
+            plan_cache_capacity: 256,
             persist_dir: None,
             registry: None,
         }
@@ -120,6 +126,8 @@ pub struct EngineStats {
     pub compute_seconds: f64,
     /// Total requests submitted.
     pub submitted: u64,
+    /// Planned-kernel cache counters.
+    pub plans: PlanCacheStats,
 }
 
 impl EngineStats {
@@ -193,6 +201,7 @@ impl Ticket {
 /// ```
 pub struct Engine {
     cache: Arc<OrderingCache>,
+    plans: PlanCache,
     inflight: Arc<Mutex<HashMap<OrderingKey, Arc<InFlight>>>>,
     registry: Arc<Registry>,
     metrics: EngineMetrics,
@@ -227,6 +236,7 @@ impl Engine {
             cache = cache.with_persist_dir(dir);
         }
         let cache = Arc::new(cache);
+        let plans = PlanCache::new_in(&registry, config.plan_cache_capacity);
         let inflight = Arc::new(Mutex::new(HashMap::new()));
         let pool_metrics = PoolMetrics::new(&registry);
         let metrics = EngineMetrics {
@@ -250,6 +260,7 @@ impl Engine {
         );
         Engine {
             cache,
+            plans,
             inflight,
             registry,
             metrics,
@@ -342,6 +353,20 @@ impl Engine {
             .collect()
     }
 
+    /// Fetch (or build and cache) the planned SpMV kernel for a
+    /// registered matrix. The plan is keyed by
+    /// `(content hash, kernel, nthreads)` and holds the matrix by
+    /// `Arc`, so repeated requests share both the plan and the payload.
+    pub fn plan(
+        &self,
+        matrix: &MatrixHandle,
+        kernel: KernelKind,
+        nthreads: usize,
+    ) -> Arc<dyn Kernel> {
+        let key = PlanKey::new(matrix.content_hash(), kernel, nthreads);
+        self.plans.get_or_plan(key, matrix.matrix())
+    }
+
     /// Submit and wait: the blocking convenience call.
     pub fn get(
         &self,
@@ -360,6 +385,7 @@ impl Engine {
             jobs_failed: self.metrics.jobs_failed.get(),
             compute_seconds: self.metrics.compute_ns.get() as f64 / 1e9,
             submitted: self.metrics.submitted.get(),
+            plans: self.plans.stats(),
         }
     }
 }
@@ -385,6 +411,7 @@ mod tests {
             queue_capacity: 8,
             cache_capacity: 64,
             cache_shards: 2,
+            plan_cache_capacity: 16,
             persist_dir: None,
             registry: Some(telemetry::Registry::new_arc()),
         })
@@ -474,6 +501,21 @@ mod tests {
         // Failures are not cached: a retry fails afresh.
         let _ = engine.get(&m, AlgoSpec::Rcm).unwrap_err();
         assert_eq!(engine.stats().jobs_failed, 2);
+    }
+
+    #[test]
+    fn plan_requests_share_cached_kernels() {
+        let engine = small_engine();
+        let m = mesh();
+        let first = engine.plan(&m, KernelKind::Merge, 4);
+        let second = engine.plan(&m, KernelKind::Merge, 4);
+        assert!(Arc::ptr_eq(&first, &second));
+        // The kernel shares the handle's payload instead of cloning it.
+        assert!(Arc::ptr_eq(first.matrix(), m.matrix()));
+        let other = engine.plan(&m, KernelKind::OneD, 4);
+        assert_eq!(other.kind(), KernelKind::OneD);
+        let s = engine.stats().plans;
+        assert_eq!((s.hits, s.misses), (1, 2));
     }
 
     #[test]

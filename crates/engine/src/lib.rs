@@ -48,9 +48,11 @@
 mod algo;
 mod cache;
 mod engine;
+mod plans;
 mod pool;
 
 pub use algo::AlgoSpec;
 pub use cache::{CacheStats, CachedOrdering, OrderingCache, OrderingKey};
 pub use engine::{Engine, EngineConfig, EngineError, EngineStats, MatrixHandle, Ticket};
+pub use plans::{PlanCache, PlanCacheStats, PlanKey};
 pub use pool::InFlight;

@@ -15,6 +15,7 @@ fn concurrent_requests_coalesce_to_one_computation() {
         queue_capacity: 4,
         cache_capacity: 16,
         cache_shards: 1,
+        plan_cache_capacity: 16,
         persist_dir: None,
         registry: Some(telemetry::Registry::new_arc()),
     }));
@@ -62,6 +63,7 @@ fn parallel_batch_over_distinct_keys() {
         queue_capacity: 8, // smaller than the batch: exercises back-pressure
         cache_capacity: 256,
         cache_shards: 4,
+        plan_cache_capacity: 16,
         persist_dir: None,
         registry: Some(telemetry::Registry::new_arc()),
     });
@@ -103,6 +105,7 @@ fn tiny_cache_recomputes_after_eviction() {
         queue_capacity: 8,
         cache_capacity: 2,
         cache_shards: 1,
+        plan_cache_capacity: 16,
         persist_dir: None,
         registry: Some(telemetry::Registry::new_arc()),
     });

@@ -34,6 +34,7 @@ fn test_engine() -> Engine {
         queue_capacity: 16,
         cache_capacity: 256,
         cache_shards: 4,
+        plan_cache_capacity: 16,
         persist_dir: None,
         registry: Some(telemetry::Registry::new_arc()),
     })

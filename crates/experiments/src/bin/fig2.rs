@@ -4,6 +4,7 @@
 use experiments::cli::parse_args;
 use experiments::fmt::render_boxplot;
 use experiments::sweep::{speedup_box, sweep_corpus, SweepConfig, ORDERINGS};
+use spmv::KernelKind;
 
 fn main() {
     let opts = parse_args();
@@ -26,7 +27,7 @@ fn main() {
         println!("== {} ({} threads) ==", m.name, m.threads);
         let entries: Vec<(String, spfeatures::BoxStats)> = (1..ORDERINGS.len())
             .filter_map(|o| {
-                speedup_box(&sweeps, o, mi, false).map(|b| (ORDERINGS[o].to_string(), b))
+                speedup_box(&sweeps, o, mi, KernelKind::OneD).map(|b| (ORDERINGS[o].to_string(), b))
             })
             .collect();
         print!("{}", render_boxplot(&entries, 0.125, 8.0, 57));

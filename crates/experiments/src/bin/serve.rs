@@ -26,7 +26,7 @@
 //! ```text
 //! serve [--size small|medium|large] [--requests N] [--clients N]
 //!       [--workers N] [--skew S] [--seed N] [--cache-capacity N]
-//!       [--persist-dir DIR] [--export-dir DIR]
+//!       [--kernel 1d|2d|merge] [--persist-dir DIR] [--export-dir DIR]
 //! ```
 
 use corpus::CorpusSize;
@@ -34,7 +34,7 @@ use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
 use experiments::sweep::SweepConfig;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use spmv::{measure_spmv_in, Kernel, MeasureConfig};
+use spmv::{measure_spmv_in, KernelKind, MeasureConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -46,6 +46,7 @@ struct ServeOptions {
     skew: f64,
     seed: u64,
     cache_capacity: usize,
+    kernel: KernelKind,
     persist_dir: Option<std::path::PathBuf>,
     export_dir: Option<std::path::PathBuf>,
 }
@@ -60,6 +61,7 @@ impl Default for ServeOptions {
             skew: 1.1,
             seed: 42,
             cache_capacity: 4096,
+            kernel: KernelKind::OneD,
             persist_dir: None,
             export_dir: None,
         }
@@ -70,7 +72,7 @@ fn usage() -> ! {
     println!(
         "usage: serve [--size small|medium|large] [--requests N] [--clients N]\n\
          \x20            [--workers N] [--skew S] [--seed N] [--cache-capacity N]\n\
-         \x20            [--persist-dir DIR] [--export-dir DIR]"
+         \x20            [--kernel 1d|2d|merge] [--persist-dir DIR] [--export-dir DIR]"
     );
     std::process::exit(0);
 }
@@ -115,6 +117,13 @@ fn parse_serve_args() -> ServeOptions {
             "--cache-capacity" => {
                 opts.cache_capacity =
                     num::<usize>(value(&mut it, "--cache-capacity"), "--cache-capacity").max(1)
+            }
+            "--kernel" => {
+                let v = value(&mut it, "--kernel");
+                opts.kernel = KernelKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown --kernel '{v}' (1d|2d|merge)");
+                    std::process::exit(2);
+                });
             }
             "--persist-dir" => opts.persist_dir = Some(value(&mut it, "--persist-dir").into()),
             "--export-dir" => opts.export_dir = Some(value(&mut it, "--export-dir").into()),
@@ -249,15 +258,17 @@ fn main() {
     let ordering = engine
         .get(&handles[hot], AlgoSpec::Rcm)
         .expect("RCM on the hot matrix");
-    let reordered = ordering
-        .apply(handles[hot].matrix())
-        .expect("applying the served ordering");
+    let reordered = Arc::new(
+        ordering
+            .apply(handles[hot].matrix())
+            .expect("applying the served ordering"),
+    );
     let mcfg = MeasureConfig {
         repetitions: 30,
         ..MeasureConfig::default()
     };
-    let base = measure_spmv_in(&registry, handles[hot].matrix(), Kernel::OneD, &mcfg);
-    let rcm = measure_spmv_in(&registry, &reordered, Kernel::OneD, &mcfg);
+    let base = measure_spmv_in(&registry, handles[hot].matrix(), opts.kernel, &mcfg);
+    let rcm = measure_spmv_in(&registry, &reordered, opts.kernel, &mcfg);
 
     // --- Report, from the registry. ----------------------------------
     let stats = engine.stats();
@@ -295,8 +306,9 @@ fn main() {
         stats.jobs_executed, stats.compute_seconds, stats.submitted
     );
     println!(
-        "  spmv:       hot matrix {}: {:.2} Gflop/s original -> {:.2} Gflop/s RCM ({:.2}x)",
+        "  spmv:       hot matrix {} ({} kernel): {:.2} Gflop/s original -> {:.2} Gflop/s RCM ({:.2}x)",
         hot,
+        opts.kernel,
         base.max_gflops,
         rcm.max_gflops,
         rcm.max_gflops / base.max_gflops.max(1e-12)

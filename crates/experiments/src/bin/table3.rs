@@ -5,6 +5,7 @@ use experiments::cli::parse_args;
 use experiments::fmt::render_table;
 use experiments::sweep::{speedup_geomean, sweep_corpus, SweepConfig, ORDERINGS};
 use spfeatures::geometric_mean;
+use spmv::KernelKind;
 
 fn main() {
     let opts = parse_args();
@@ -23,7 +24,7 @@ fn main() {
         let mut row = vec![m.name.clone()];
         let mut vals = Vec::new();
         for o in 1..ORDERINGS.len() {
-            let g = speedup_geomean(&sweeps, o, mi, false).unwrap_or(f64::NAN);
+            let g = speedup_geomean(&sweeps, o, mi, KernelKind::OneD).unwrap_or(f64::NAN);
             col_values[o - 1].push(g);
             vals.push(g);
             row.push(format!("{g:.3}"));

@@ -12,6 +12,7 @@ use archsim::{simulate_spmv_1d_opt, simulate_spmv_2d_opt, Machine, SimOptions};
 use corpus::{CorpusSize, MatrixSpec};
 use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
 use spfeatures::{geometric_mean, matrix_features, quartiles, BoxStats, MatrixFeatures};
+use spmv::KernelKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -90,6 +91,28 @@ pub struct MachineCell {
     pub seconds_2d: f64,
 }
 
+impl MachineCell {
+    /// Modelled Gflop/s for a kernel selected by the shared enum. The
+    /// machine model simulates the 1D and 2D algorithms; the merge
+    /// kernel — whose simplified form *is* the 2D algorithm — maps to
+    /// the 2D model.
+    pub fn gflops(&self, kernel: KernelKind) -> f64 {
+        match kernel {
+            KernelKind::OneD => self.gflops_1d,
+            KernelKind::TwoD | KernelKind::Merge => self.gflops_2d,
+        }
+    }
+
+    /// Modelled seconds for a kernel (same mapping as
+    /// [`MachineCell::gflops`]).
+    pub fn seconds(&self, kernel: KernelKind) -> f64 {
+        match kernel {
+            KernelKind::OneD => self.seconds_1d,
+            KernelKind::TwoD | KernelKind::Merge => self.seconds_2d,
+        }
+    }
+}
+
 /// All orderings on one corpus matrix.
 #[derive(Debug, Clone)]
 pub struct MatrixSweep {
@@ -106,14 +129,20 @@ pub struct MatrixSweep {
 }
 
 impl MatrixSweep {
+    /// Speedup of ordering `o` over Original on machine `m` for the
+    /// given kernel.
+    pub fn speedup(&self, o: usize, m: usize, kernel: KernelKind) -> f64 {
+        self.runs[o].per_machine[m].gflops(kernel) / self.runs[0].per_machine[m].gflops(kernel)
+    }
+
     /// Speedup of ordering `o` over Original on machine `m`.
     pub fn speedup_1d(&self, o: usize, m: usize) -> f64 {
-        self.runs[o].per_machine[m].gflops_1d / self.runs[0].per_machine[m].gflops_1d
+        self.speedup(o, m, KernelKind::OneD)
     }
 
     /// 2D speedup of ordering `o` over Original on machine `m`.
     pub fn speedup_2d(&self, o: usize, m: usize) -> f64 {
-        self.runs[o].per_machine[m].gflops_2d / self.runs[0].per_machine[m].gflops_2d
+        self.speedup(o, m, KernelKind::TwoD)
     }
 }
 
@@ -152,10 +181,14 @@ pub fn log_engine_stats(context: &str) {
 /// original computation paid, not the (near-zero) cost this call paid —
 /// callers reporting amortisation should consult [`sweep_engine`]'s
 /// stats.
+///
+/// Matrices come back as `Arc`s: the Original entry shares `a`'s
+/// storage outright (no payload clone for the identity ordering), and
+/// reordered matrices are shareable with downstream plan caches.
 pub fn apply_all_orderings(
     a: &Arc<sparsemat::CsrMatrix>,
     cfg: &SweepConfig,
-) -> Vec<(String, f64, sparsemat::CsrMatrix)> {
+) -> Vec<(String, f64, Arc<sparsemat::CsrMatrix>)> {
     let engine = sweep_engine();
     let handle = MatrixHandle::new(Arc::clone(a));
     let mut specs = vec![AlgoSpec::Original];
@@ -169,12 +202,14 @@ pub fn apply_all_orderings(
                 .wait()
                 .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name()));
             let b = if matches!(spec, AlgoSpec::Original) {
-                // The identity ordering: skip the no-op permutation.
-                a.as_ref().clone()
+                // The identity ordering: share the input, don't copy it.
+                Arc::clone(a)
             } else {
-                cached
-                    .apply(a)
-                    .unwrap_or_else(|e| panic!("{} apply failed: {e}", spec.name()))
+                Arc::new(
+                    cached
+                        .apply(a)
+                        .unwrap_or_else(|e| panic!("{} apply failed: {e}", spec.name())),
+                )
             };
             (spec.name().to_string(), cached.compute_seconds, b)
         })
@@ -279,34 +314,26 @@ pub fn sweep_corpus(
 }
 
 /// Box statistics of the speedups of ordering `o` over all matrices on
-/// machine `m`.
-pub fn speedup_box(sweeps: &[MatrixSweep], o: usize, m: usize, two_d: bool) -> Option<BoxStats> {
-    let xs: Vec<f64> = sweeps
-        .iter()
-        .map(|s| {
-            if two_d {
-                s.speedup_2d(o, m)
-            } else {
-                s.speedup_1d(o, m)
-            }
-        })
-        .collect();
+/// machine `m` for the given kernel.
+pub fn speedup_box(
+    sweeps: &[MatrixSweep],
+    o: usize,
+    m: usize,
+    kernel: KernelKind,
+) -> Option<BoxStats> {
+    let xs: Vec<f64> = sweeps.iter().map(|s| s.speedup(o, m, kernel)).collect();
     quartiles(&xs)
 }
 
 /// Geometric-mean speedup of ordering `o` on machine `m` (the Table 3/4
-/// aggregation).
-pub fn speedup_geomean(sweeps: &[MatrixSweep], o: usize, m: usize, two_d: bool) -> Option<f64> {
-    let xs: Vec<f64> = sweeps
-        .iter()
-        .map(|s| {
-            if two_d {
-                s.speedup_2d(o, m)
-            } else {
-                s.speedup_1d(o, m)
-            }
-        })
-        .collect();
+/// aggregation) for the given kernel.
+pub fn speedup_geomean(
+    sweeps: &[MatrixSweep],
+    o: usize,
+    m: usize,
+    kernel: KernelKind,
+) -> Option<f64> {
+    let xs: Vec<f64> = sweeps.iter().map(|s| s.speedup(o, m, kernel)).collect();
     geometric_mean(&xs)
 }
 
@@ -416,9 +443,13 @@ mod tests {
         let cfg = SweepConfig::for_size(CorpusSize::Small);
         let sweeps = sweep_corpus(&specs, &machines, &cfg, false);
         assert_eq!(sweeps.len(), 3);
-        let b = speedup_box(&sweeps, 1, 0, false).unwrap();
+        let b = speedup_box(&sweeps, 1, 0, KernelKind::OneD).unwrap();
         assert!(b.min <= b.median && b.median <= b.max);
-        let g = speedup_geomean(&sweeps, 1, 0, false).unwrap();
+        let g = speedup_geomean(&sweeps, 1, 0, KernelKind::OneD).unwrap();
         assert!(g > 0.0);
+        // The merge kernel maps onto the 2D machine model.
+        let g2 = speedup_geomean(&sweeps, 1, 0, KernelKind::TwoD).unwrap();
+        let gm = speedup_geomean(&sweeps, 1, 0, KernelKind::Merge).unwrap();
+        assert_eq!(g2, gm);
     }
 }

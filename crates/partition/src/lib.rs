@@ -2,7 +2,7 @@
 
 //! Multilevel graph and hypergraph partitioning.
 //!
-//! This crate is the from-scratch stand-in for METIS [18] and PaToH [3]
+//! This crate is the from-scratch stand-in for METIS \[18\] and PaToH \[3\]
 //! used by the GP, HP and ND reorderings of the paper. It implements the
 //! classic multilevel paradigm:
 //!

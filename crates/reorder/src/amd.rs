@@ -1,5 +1,5 @@
 //! Approximate Minimum Degree (AMD) ordering, after Amestoy, Davis and
-//! Duff [1].
+//! Duff \[1\].
 //!
 //! AMD simulates symbolic Cholesky elimination on a *quotient graph*: an
 //! eliminated pivot is retained as an *element* whose variable list

@@ -1,4 +1,4 @@
-//! Gibbs–Poole–Stockmeyer (GPS) bandwidth/profile reduction [12] —
+//! Gibbs–Poole–Stockmeyer (GPS) bandwidth/profile reduction \[12\] —
 //! the second classic bandwidth-reducing ordering the paper's §2.1.1
 //! cites alongside Cuthill–McKee.
 //!

@@ -1,4 +1,4 @@
-//! Gray code ordering, after Zhao et al. [28].
+//! Gray code ordering, after Zhao et al. \[28\].
 //!
 //! The ordering is motivated by microarchitectural concerns: grouping
 //! rows with similar nonzero counts improves branch prediction in the

@@ -1,5 +1,5 @@
 //! Separated block diagonal (SBD) ordering, after Yzelman and
-//! Bisseling [27] (§2.1.3 of the paper).
+//! Bisseling \[27\] (§2.1.3 of the paper).
 //!
 //! The column-net hypergraph of the matrix is bisected recursively;
 //! at each level the rows incident to *cut* nets form a separator block

@@ -1,7 +1,7 @@
 use crate::{bfs_levels, Graph};
 
 /// Find a pseudo-peripheral vertex of the component containing `start`,
-/// using the George–Liu algorithm [10].
+/// using the George–Liu algorithm \[10\].
 ///
 /// Starting from `start`, repeatedly build a rooted level structure and
 /// restart from a minimum-degree vertex of the last (deepest) level,

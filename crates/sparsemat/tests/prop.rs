@@ -42,6 +42,24 @@ fn permutation_strategy(n: usize) -> impl Strategy<Value = Permutation> {
     })
 }
 
+/// Strategy: a random square COO matrix together with a random
+/// permutation of matching dimension.
+fn square_coo_with_permutation() -> impl Strategy<Value = (CooMatrix, Permutation)> {
+    (2usize..24).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..80),
+            permutation_strategy(n),
+        )
+            .prop_map(move |(entries, p)| {
+                let mut coo = CooMatrix::new(n, n);
+                for (r, c, v) in entries {
+                    coo.push(r, c, v);
+                }
+                (coo, p)
+            })
+    })
+}
+
 proptest! {
     #[test]
     fn csr_from_coo_is_valid(coo in coo_strategy()) {
@@ -128,6 +146,43 @@ proptest! {
         }
         prop_assert!(s.nnz() >= a.nnz());
         prop_assert!(s.nnz() <= 2 * a.nnz());
+    }
+
+    #[test]
+    fn row_then_col_permutation_equals_symmetric(
+        (coo, p) in square_coo_with_permutation(),
+    ) {
+        let a = CsrMatrix::from_coo(&coo);
+        // P A Pᵀ factors into row and column moves: the symmetric
+        // permutation is exactly a row permutation followed by a column
+        // permutation by the same P (in either order).
+        let sym = a.permute_symmetric(&p).unwrap();
+        prop_assert_eq!(&a.permute_rows(&p).permute_cols(&p), &sym);
+        prop_assert_eq!(&a.permute_cols(&p).permute_rows(&p), &sym);
+    }
+
+    #[test]
+    fn permutation_inverse_round_trips_matrices(
+        coo in square_coo_strategy(),
+        seed in 0usize..1000,
+    ) {
+        let a = CsrMatrix::from_coo(&coo);
+        let n = a.nrows();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed as u64 + 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let p = Permutation::from_new_to_old(order).unwrap();
+        let inv = p.inverse();
+        // Applying P then P⁻¹ restores the original matrix exactly, for
+        // all three permutation flavours.
+        let b = a.permute_symmetric(&p).unwrap();
+        prop_assert_eq!(&b.permute_symmetric(&inv).unwrap(), &a);
+        prop_assert_eq!(&a.permute_rows(&p).permute_rows(&inv), &a);
+        prop_assert_eq!(&a.permute_cols(&p).permute_cols(&inv), &a);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub fn bandwidth(a: &CsrMatrix) -> usize {
 
 /// Profile of a square matrix: `Σ_i (i − min{ j : a_ij ≠ 0 })`, summing
 /// only rows whose leftmost entry lies at or left of the diagonal
-/// (Gibbs et al. [12], as defined in §3.2). Rows with no entry left of
+/// (Gibbs et al. \[12\], as defined in §3.2). Rows with no entry left of
 /// the diagonal contribute zero.
 pub fn profile(a: &CsrMatrix) -> u64 {
     let mut total = 0u64;

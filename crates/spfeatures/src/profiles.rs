@@ -1,4 +1,4 @@
-//! Dolan–Moré performance profiles [7], the comparison device of
+//! Dolan–Moré performance profiles \[7\], the comparison device of
 //! Fig. 5.
 //!
 //! Given a cost matrix (one row per problem instance, one column per

@@ -1,107 +1,137 @@
+//! The 1D and 2D parallel SpMV kernels, executing on a persistent
+//! [`ThreadTeam`] (§3.1).
+//!
+//! Each kernel distributes its plan's spans over the team's lanes
+//! round-robin, so a plan built for `p` threads runs correctly on a
+//! team of any size (a lane simply processes every `team.size()`-th
+//! span). Matching the plan's thread count to the team size gives the
+//! measurement-faithful one-span-per-lane execution.
+
 use crate::plan::{Plan1d, Plan2d};
+use crate::team::ThreadTeam;
 use sparsemat::CsrMatrix;
 
-/// 1D parallel SpMV: `y = A x` with rows statically split into equal
-/// contiguous blocks, one per thread (§3.1).
+/// Raw pointer wrapper allowing team lanes to write disjoint,
+/// pre-validated parts of shared output storage.
 ///
-/// `y` is fully overwritten. Threads write disjoint row slices, so the
+/// SAFETY invariant (the disjoint-write invariant the kernel trait's
+/// implementations rely on): every lane writes only the elements it
+/// exclusively owns — contiguous row ranges for the 1D kernel
+/// (`Plan1d` ranges partition the rows), fully-owned rows for the 2D
+/// kernel (`own_row_start..own_row_end` are disjoint across spans, an
+/// invariant established by `Plan2d::new` and checked by its tests),
+/// and per-span output slots indexed by span id for the partial-sum
+/// buffers. Boundary rows are only written after the parallel region.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Accessing it through a method (rather than
+    /// the field) makes closures capture the whole `SendPtr` — whose
+    /// `Sync` impl carries the disjoint-write invariant — instead of
+    /// precise-capturing the bare raw pointer, which is not `Sync`.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+// SAFETY: see the struct docs — all concurrent writes through the
+// pointer target disjoint elements.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// 1D parallel SpMV: `y = A x` with rows statically split into equal
+/// contiguous blocks, one per plan span (§3.1), executed on `team`.
+///
+/// `y` is fully overwritten. Spans write disjoint row slices, so the
 /// kernel is race-free by construction.
-pub fn spmv_1d(a: &CsrMatrix, plan: &Plan1d, x: &[f64], y: &mut [f64]) {
+pub fn spmv_1d(a: &CsrMatrix, plan: &Plan1d, team: &ThreadTeam, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols(), "x length mismatch");
     assert_eq!(y.len(), a.nrows(), "y length mismatch");
     let rowptr = a.rowptr();
     let colidx = a.colidx();
     let values = a.values();
+    let ranges = &plan.row_ranges;
+    let y_ptr = SendPtr(y.as_mut_ptr());
+    let lanes = team.size();
 
-    std::thread::scope(|scope| {
-        let mut rest: &mut [f64] = y;
-        let mut offset = 0usize;
-        for &(start, end) in &plan.row_ranges {
-            debug_assert_eq!(start, offset);
-            let (chunk, tail) = rest.split_at_mut(end - start);
-            rest = tail;
-            offset = end;
-            scope.spawn(move || {
-                for (yi, r) in chunk.iter_mut().zip(start..end) {
-                    let lo = rowptr[r];
-                    let hi = rowptr[r + 1];
-                    let mut sum = 0.0;
-                    for k in lo..hi {
-                        sum += values[k] * x[colidx[k] as usize];
-                    }
-                    *yi = sum;
+    team.run(&|lane| {
+        for &(start, end) in ranges.iter().skip(lane).step_by(lanes) {
+            for r in start..end {
+                let lo = rowptr[r];
+                let hi = rowptr[r + 1];
+                let mut sum = 0.0;
+                for k in lo..hi {
+                    sum += values[k] * x[colidx[k] as usize];
                 }
-            });
+                // SAFETY: row ranges partition `0..nrows` disjointly
+                // (see `SendPtr`).
+                unsafe { *y_ptr.get().add(r) = sum };
+            }
         }
     });
 }
 
-/// Raw pointer wrapper allowing scoped threads to write disjoint,
-/// pre-validated row sets of the output vector.
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f64);
-// SAFETY: every thread writes only rows it exclusively owns
-// (`own_row_start..own_row_end` are disjoint across spans, an invariant
-// established by `Plan2d::new` and checked by its tests); boundary rows
-// are only written after the parallel region.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
-
 /// 2D parallel SpMV: `y = A x` with nonzeros statically split into
-/// equal blocks (§3.1).
+/// equal blocks (§3.1), executed on `team`.
 ///
-/// Rows fully inside a thread's nonzero range are written directly;
-/// rows straddling a range boundary are accumulated as partial sums and
+/// Rows fully inside a span's nonzero range are written directly; rows
+/// straddling a range boundary are accumulated as partial sums and
 /// combined sequentially after the parallel region, avoiding races on
 /// `y` exactly as the paper describes.
-pub fn spmv_2d(a: &CsrMatrix, plan: &Plan2d, x: &[f64], y: &mut [f64]) {
+pub fn spmv_2d(a: &CsrMatrix, plan: &Plan2d, team: &ThreadTeam, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols(), "x length mismatch");
     assert_eq!(y.len(), a.nrows(), "y length mismatch");
     let rowptr = a.rowptr();
     let colidx = a.colidx();
     let values = a.values();
     let y_ptr = SendPtr(y.as_mut_ptr());
+    let lanes = team.size();
 
-    // Partial sums for boundary rows: (row, value) pairs per thread.
-    let mut partials: Vec<Vec<(usize, f64)>> = Vec::with_capacity(plan.spans.len());
+    // Partial sums for boundary rows: (row, value) pairs per span,
+    // each slot written only by the lane owning that span.
+    let mut partials: Vec<Vec<(usize, f64)>> = vec![Vec::new(); plan.spans.len()];
+    let partials_ptr = SendPtr(partials.as_mut_ptr());
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(plan.spans.len());
-        for span in &plan.spans {
-            let span = *span;
-            let yp = y_ptr;
-            handles.push(scope.spawn(move || {
-                // Capture the wrapper itself, not its raw-pointer field
-                // (disjoint closure capture would otherwise move the
-                // non-Send `*mut f64` directly).
-                let yp = yp;
-                let mut local: Vec<(usize, f64)> = Vec::with_capacity(2);
-                if span.is_empty() {
-                    return local;
+    team.run(&|lane| {
+        for (idx, span) in plan
+            .spans
+            .iter()
+            .enumerate()
+            .skip(lane)
+            .step_by(lanes.max(1))
+        {
+            if span.is_empty() {
+                continue;
+            }
+            let mut local: Vec<(usize, f64)> = Vec::with_capacity(2);
+            for r in span.row_start..=span.row_end {
+                let lo = rowptr[r].max(span.nnz_start);
+                let hi = rowptr[r + 1].min(span.nnz_end);
+                if lo >= hi {
+                    continue;
                 }
-                for r in span.row_start..=span.row_end {
-                    let lo = rowptr[r].max(span.nnz_start);
-                    let hi = rowptr[r + 1].min(span.nnz_end);
-                    if lo >= hi {
-                        continue;
-                    }
-                    let mut sum = 0.0;
-                    for k in lo..hi {
-                        sum += values[k] * x[colidx[k] as usize];
-                    }
-                    if r >= span.own_row_start && r < span.own_row_end {
-                        // Fully owned: direct write.
-                        // SAFETY: see `SendPtr`.
-                        unsafe { *yp.0.add(r) = sum };
-                    } else {
-                        local.push((r, sum));
-                    }
+                let mut sum = 0.0;
+                for k in lo..hi {
+                    sum += values[k] * x[colidx[k] as usize];
                 }
-                local
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("SpMV worker panicked"));
+                if r >= span.own_row_start && r < span.own_row_end {
+                    // Fully owned: direct write. SAFETY: see `SendPtr`.
+                    unsafe { *y_ptr.get().add(r) = sum };
+                } else {
+                    local.push((r, sum));
+                }
+            }
+            if !local.is_empty() {
+                // SAFETY: slot `idx` belongs exclusively to the lane
+                // processing span `idx` (see `SendPtr`).
+                unsafe { *partials_ptr.get().add(idx) = local };
+            }
         }
     });
 
@@ -109,12 +139,12 @@ pub fn spmv_2d(a: &CsrMatrix, plan: &Plan2d, x: &[f64], y: &mut [f64]) {
     for &r in &plan.boundary_rows {
         y[r] = 0.0;
     }
-    for thread_partials in &partials {
-        for &(r, v) in thread_partials {
+    for span_partials in &partials {
+        for &(r, v) in span_partials {
             y[r] += v;
         }
     }
-    // Rows with no nonzeros are skipped by every thread (their nnz
+    // Rows with no nonzeros are skipped by every span (their nnz
     // ranges are empty); clear them so y is fully defined.
     for r in 0..a.nrows() {
         if a.row_nnz(r) == 0 {
@@ -161,9 +191,10 @@ mod tests {
         let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 7 + 1) as f64).sin()).collect();
         let want = a.spmv_dense(&x);
         for &t in threads {
+            let team = ThreadTeam::new(t);
             let p1 = Plan1d::new(a, t);
             let mut y1 = vec![f64::NAN; a.nrows()];
-            spmv_1d(a, &p1, &x, &mut y1);
+            spmv_1d(a, &p1, &team, &x, &mut y1);
             for (i, (&got, &exp)) in y1.iter().zip(want.iter()).enumerate() {
                 assert!(
                     (got - exp).abs() < 1e-9 * (1.0 + exp.abs()),
@@ -172,7 +203,7 @@ mod tests {
             }
             let p2 = Plan2d::new(a, t);
             let mut y2 = vec![f64::NAN; a.nrows()];
-            spmv_2d(a, &p2, &x, &mut y2);
+            spmv_2d(a, &p2, &team, &x, &mut y2);
             for (i, (&got, &exp)) in y2.iter().zip(want.iter()).enumerate() {
                 assert!(
                     (got - exp).abs() < 1e-9 * (1.0 + exp.abs()),
@@ -222,11 +253,40 @@ mod tests {
     fn empty_matrix_yields_zero() {
         let a = CsrMatrix::from_coo(&CooMatrix::new(6, 6));
         let x = vec![1.0; 6];
+        let team = ThreadTeam::new(2);
         let mut y = vec![f64::NAN; 6];
-        spmv_1d(&a, &Plan1d::new(&a, 2), &x, &mut y);
+        spmv_1d(&a, &Plan1d::new(&a, 2), &team, &x, &mut y);
         assert!(y.iter().all(|&v| v == 0.0));
         let mut y2 = vec![f64::NAN; 6];
-        spmv_2d(&a, &Plan2d::new(&a, 2), &x, &mut y2);
+        spmv_2d(&a, &Plan2d::new(&a, 2), &team, &x, &mut y2);
         assert!(y2.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn plan_and_team_sizes_may_differ() {
+        // Round-robin span assignment: an 8-span plan on a 3-lane team
+        // and a 2-span plan on an 8-lane team both stay correct.
+        let a = random_matrix(120, 5, 7);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).cos()).collect();
+        let want = a.spmv_dense(&x);
+        for (plan_t, team_t) in [(8, 3), (2, 8), (5, 1), (1, 4)] {
+            let team = ThreadTeam::new(team_t);
+            let p1 = Plan1d::new(&a, plan_t);
+            let mut y = vec![f64::NAN; a.nrows()];
+            spmv_1d(&a, &p1, &team, &x, &mut y);
+            let p2 = Plan2d::new(&a, plan_t);
+            let mut y2 = vec![f64::NAN; a.nrows()];
+            spmv_2d(&a, &p2, &team, &x, &mut y2);
+            for i in 0..a.nrows() {
+                assert!(
+                    (y[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
+                    "1D plan={plan_t} team={team_t} row {i}"
+                );
+                assert!(
+                    (y2[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
+                    "2D plan={plan_t} team={team_t} row {i}"
+                );
+            }
+        }
     }
 }

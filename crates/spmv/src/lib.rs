@@ -15,20 +15,31 @@
 //!   region) to avoid write races on `y`. This is a simplified form of
 //!   merge-based SpMV (Merrill & Garland).
 //!
-//! Plans ([`Plan1d`], [`Plan2d`]) precompute the partition for a given
-//! matrix and thread count; the paper likewise treats partitioning as a
-//! one-time preprocessing cost excluded from measurements.
+//! A third kernel, **merge-based SpMV** (the full Merrill & Garland
+//! formulation), splits *rows + nonzeros* evenly and serves as the
+//! baseline the 2D algorithm simplifies.
+//!
+//! Plans ([`Plan1d`], [`Plan2d`], [`PlanMerge`]) precompute the
+//! partition for a given matrix and thread count; the paper likewise
+//! treats partitioning as a one-time preprocessing cost excluded from
+//! measurements. All three kernels are unified behind the object-safe
+//! [`Kernel`] trait (selected via [`KernelKind`]) and execute on a
+//! persistent [`ThreadTeam`] — long-lived workers dispatched through a
+//! spin-then-park barrier — so repeated SpMV calls pay zero
+//! thread-spawn overhead.
 
 mod exec;
+mod kernel;
 mod measure;
 mod merge;
 mod plan;
 mod solvers;
+mod team;
 
 pub use exec::{spmv_1d, spmv_2d};
-pub use measure::{
-    host_threads, measure_spmv, measure_spmv_in, Kernel, MeasureConfig, SpmvMeasurement,
-};
+pub use kernel::{Kernel, KernelKind};
+pub use measure::{host_threads, measure_spmv, measure_spmv_in, MeasureConfig, SpmvMeasurement};
 pub use merge::{spmv_merge, MergeSpan, PlanMerge};
 pub use plan::{imbalance_factor, nnz_per_thread, Plan1d, Plan2d, ThreadSpan};
 pub use solvers::{conjugate_gradient, CgOptions, SolveStats};
+pub use team::ThreadTeam;

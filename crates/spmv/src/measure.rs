@@ -1,6 +1,8 @@
-use crate::exec::{spmv_1d, spmv_2d};
-use crate::plan::{imbalance_factor, Plan1d, Plan2d};
+use crate::kernel::KernelKind;
+use crate::plan::imbalance_factor;
+use crate::team::ThreadTeam;
 use sparsemat::CsrMatrix;
+use std::sync::Arc;
 use std::time::Instant;
 use telemetry::{Histogram, Registry};
 
@@ -113,21 +115,16 @@ fn summarize(
     }
 }
 
-/// Which SpMV kernel to measure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Kernel {
-    /// 1D row-split kernel.
-    OneD,
-    /// 2D nonzero-split kernel.
-    TwoD,
-}
-
 /// Measure a kernel on a matrix following the paper's protocol: run
 /// `repetitions` iterations with a deterministic non-constant `x`, take
 /// the minimum time (peak performance) and the mean over the steady
 /// iterations. Reports into the global telemetry registry; see
 /// [`measure_spmv_in`].
-pub fn measure_spmv(a: &CsrMatrix, kernel: Kernel, cfg: &MeasureConfig) -> SpmvMeasurement {
+pub fn measure_spmv(
+    a: &Arc<CsrMatrix>,
+    kernel: KernelKind,
+    cfg: &MeasureConfig,
+) -> SpmvMeasurement {
     measure_spmv_in(&Registry::global(), a, kernel, cfg)
 }
 
@@ -136,10 +133,15 @@ pub fn measure_spmv(a: &CsrMatrix, kernel: Kernel, cfg: &MeasureConfig) -> SpmvM
 /// (nanoseconds), and the whole measurement runs under a
 /// `spmv.measure` span, so the summary statistics and the exported
 /// quantiles come from the same recorded samples.
+///
+/// The plan is built once and every repetition executes on one
+/// persistent [`ThreadTeam`], so the timings contain zero per-iteration
+/// thread-spawn overhead — the substrate the measurement protocol
+/// assumes (§4.1).
 pub fn measure_spmv_in(
-    registry: &std::sync::Arc<Registry>,
-    a: &CsrMatrix,
-    kernel: Kernel,
+    registry: &Arc<Registry>,
+    a: &Arc<CsrMatrix>,
+    kernel: KernelKind,
     cfg: &MeasureConfig,
 ) -> SpmvMeasurement {
     let _span = registry.span("spmv.measure");
@@ -154,28 +156,15 @@ pub fn measure_spmv_in(
     let steady_start = cfg.warmup.min(reps - 1);
     let warm = Histogram::new();
     let steady = Histogram::new();
-    let result = match kernel {
-        Kernel::OneD => {
-            let plan = Plan1d::new(a, cfg.nthreads);
-            for rep in 0..reps {
-                let t0 = Instant::now();
-                spmv_1d(a, &plan, &x, &mut y);
-                let shard = if rep < steady_start { &warm } else { &steady };
-                shard.record_duration(t0.elapsed());
-            }
-            summarize(&plan.nnz_per_thread(a), a.nnz(), &warm, &steady)
-        }
-        Kernel::TwoD => {
-            let plan = Plan2d::new(a, cfg.nthreads);
-            for rep in 0..reps {
-                let t0 = Instant::now();
-                spmv_2d(a, &plan, &x, &mut y);
-                let shard = if rep < steady_start { &warm } else { &steady };
-                shard.record_duration(t0.elapsed());
-            }
-            summarize(&plan.nnz_per_thread(), a.nnz(), &warm, &steady)
-        }
-    };
+    let planned = kernel.plan(a, cfg.nthreads);
+    let team = ThreadTeam::new_in(registry, cfg.nthreads);
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        planned.execute(&team, &x, &mut y);
+        let shard = if rep < steady_start { &warm } else { &steady };
+        shard.record_duration(t0.elapsed());
+    }
+    let result = summarize(&planned.nnz_per_thread(), a.nnz(), &warm, &steady);
     // Publish the per-repetition samples: shard histograms merge into
     // the registry's cumulative series.
     let rep_hist = registry.histogram("spmv.measure.rep");
@@ -189,14 +178,14 @@ mod tests {
     use super::*;
     use sparsemat::CooMatrix;
 
-    fn banded(n: usize, half_bw: usize) -> CsrMatrix {
+    fn banded(n: usize, half_bw: usize) -> Arc<CsrMatrix> {
         let mut coo = CooMatrix::new(n, n);
         for i in 0..n {
             for j in i.saturating_sub(half_bw)..(i + half_bw + 1).min(n) {
                 coo.push(i, j, 1.0);
             }
         }
-        CsrMatrix::from_coo(&coo)
+        Arc::new(CsrMatrix::from_coo(&coo))
     }
 
     #[test]
@@ -207,13 +196,15 @@ mod tests {
             warmup: 2,
             nthreads: 2,
         };
-        let m = measure_spmv(&a, Kernel::OneD, &cfg);
-        assert!(m.min_time > 0.0);
-        assert!(m.max_gflops > 0.0);
-        assert!(m.mean_gflops > 0.0);
-        assert!(m.max_gflops >= m.mean_gflops * 0.5);
-        assert!(m.nnz_min <= m.nnz_max);
-        assert!(m.imbalance >= 1.0);
+        for kernel in KernelKind::all() {
+            let m = measure_spmv(&a, kernel, &cfg);
+            assert!(m.min_time > 0.0);
+            assert!(m.max_gflops > 0.0);
+            assert!(m.mean_gflops > 0.0);
+            assert!(m.max_gflops >= m.mean_gflops * 0.5);
+            assert!(m.nnz_min <= m.nnz_max);
+            assert!(m.imbalance >= 1.0);
+        }
     }
 
     #[test]
@@ -227,14 +218,14 @@ mod tests {
         for i in 1..n {
             coo.push(i, i, 1.0);
         }
-        let a = CsrMatrix::from_coo(&coo);
+        let a = Arc::new(CsrMatrix::from_coo(&coo));
         let cfg = MeasureConfig {
             repetitions: 5,
             warmup: 1,
             nthreads: 4,
         };
-        let m1 = measure_spmv(&a, Kernel::OneD, &cfg);
-        let m2 = measure_spmv(&a, Kernel::TwoD, &cfg);
+        let m1 = measure_spmv(&a, KernelKind::OneD, &cfg);
+        let m2 = measure_spmv(&a, KernelKind::TwoD, &cfg);
         assert!(
             m1.imbalance > 1.5,
             "1D should be imbalanced: {}",
@@ -276,7 +267,7 @@ mod tests {
             warmup: 2,
             nthreads: 2,
         };
-        let m = measure_spmv_in(&registry, &a, Kernel::OneD, &cfg);
+        let m = measure_spmv_in(&registry, &a, KernelKind::OneD, &cfg);
         let snap = registry.snapshot();
         let rep = snap.histogram("spmv.measure.rep").unwrap();
         assert_eq!(rep.count, 12, "every repetition lands in the registry");
@@ -313,7 +304,7 @@ mod tests {
             warmup: 2,
             nthreads: 1,
         };
-        let m = measure_spmv_in(&registry, &a, Kernel::OneD, &cfg);
+        let m = measure_spmv_in(&registry, &a, KernelKind::OneD, &cfg);
         let iter_ns = m.min_time * 1e9;
         assert!(
             span_ns < 0.02 * iter_ns,

@@ -1,4 +1,4 @@
-//! Merge-based CSR SpMV (Merrill & Garland [20]) — the kernel the
+//! Merge-based CSR SpMV (Merrill & Garland \[20\]) — the kernel the
 //! paper's 2D algorithm is a simplified version of (§3.1).
 //!
 //! The merge formulation views SpMV as a 2D merge of the row-pointer
@@ -10,14 +10,18 @@
 //!
 //! Implemented here as a third kernel for baseline comparisons; its
 //! results are bit-identical to the other kernels' (same sums, same
-//! order of additions within each row).
+//! order of additions within each row). Like the other kernels it
+//! executes on the persistent [`ThreadTeam`], with spans assigned to
+//! lanes round-robin.
 
+use crate::exec::SendPtr;
 use crate::plan::imbalance_factor;
+use crate::team::ThreadTeam;
 use sparsemat::CsrMatrix;
 
-/// Per-thread output of the merge kernel: rows finished by this thread
-/// and carried partial sums for rows that continue into later threads.
-type ThreadOutput = (Vec<(usize, f64)>, Vec<(usize, f64)>);
+/// Per-span output of the merge kernel: rows finished in this span and
+/// carried partial sums for rows that continue into later spans.
+type SpanOutput = (Vec<(usize, f64)>, Vec<(usize, f64)>);
 
 /// One thread's merge-path coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,10 +69,14 @@ fn merge_path_search(rowptr: &[usize], nrows: usize, d: usize) -> (usize, usize)
 
 impl PlanMerge {
     /// Build a merge plan for `nthreads` threads.
+    ///
+    /// The thread count is clamped to the merge-grid diagonal length
+    /// `nrows + nnz` (each span must consume at least one merge item),
+    /// so a plan never carries empty trailing spans.
     pub fn new(a: &CsrMatrix, nthreads: usize) -> PlanMerge {
-        let t = nthreads.max(1);
         let nrows = a.nrows();
         let total = nrows + a.nnz(); // merge-grid diagonal length
+        let t = nthreads.max(1).min(total.max(1));
         let rowptr = a.rowptr();
         let mut spans = Vec::with_capacity(t);
         let mut prev = merge_path_search(rowptr, nrows, 0);
@@ -86,6 +94,11 @@ impl PlanMerge {
         PlanMerge { spans }
     }
 
+    /// Number of spans (= effective threads) in the plan.
+    pub fn num_threads(&self) -> usize {
+        self.spans.len()
+    }
+
     /// Merge items (rows + nonzeros) per thread; the quantity the merge
     /// split equalises.
     pub fn items_per_thread(&self) -> Vec<usize> {
@@ -95,63 +108,71 @@ impl PlanMerge {
             .collect()
     }
 
+    /// Nonzeros consumed per thread — the cross-kernel balance metric
+    /// shared with [`Plan1d`](crate::Plan1d) and
+    /// [`Plan2d`](crate::Plan2d).
+    pub fn nnz_per_thread(&self) -> Vec<usize> {
+        self.spans.iter().map(|s| s.nnz_end - s.nnz_start).collect()
+    }
+
     /// Imbalance of merge items across threads (≈1 by construction).
     pub fn imbalance(&self) -> f64 {
         imbalance_factor(&self.items_per_thread())
     }
 }
 
-/// Merge-based parallel SpMV: `y = A x`.
-pub fn spmv_merge(a: &CsrMatrix, plan: &PlanMerge, x: &[f64], y: &mut [f64]) {
+/// Merge-based parallel SpMV: `y = A x`, executed on `team`.
+pub fn spmv_merge(a: &CsrMatrix, plan: &PlanMerge, team: &ThreadTeam, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols(), "x length mismatch");
     assert_eq!(y.len(), a.nrows(), "y length mismatch");
     let rowptr = a.rowptr();
     let colidx = a.colidx();
     let values = a.values();
+    let lanes = team.size();
 
-    // Each thread produces (carry_row, carry_value) for its trailing
-    // partial row plus direct writes for rows it finishes.
-    let results: Vec<ThreadOutput> = std::thread::scope(|scope| {
-        let handles: Vec<_> = plan
+    // Each span produces (finished rows, carried partial row) into its
+    // exclusively-owned output slot; slots are reduced sequentially
+    // afterwards.
+    let mut results: Vec<SpanOutput> = vec![(Vec::new(), Vec::new()); plan.spans.len()];
+    let results_ptr = SendPtr(results.as_mut_ptr());
+
+    team.run(&|lane| {
+        for (idx, span) in plan
             .spans
             .iter()
-            .map(|span| {
-                let span = *span;
-                scope.spawn(move || {
-                    let mut finished: Vec<(usize, f64)> = Vec::new();
-                    let mut carry: Vec<(usize, f64)> = Vec::new();
-                    let mut k = span.nnz_start;
-                    // Consume rows [row_start, row_end): each such row END
-                    // belongs to this thread, so the row's remaining
-                    // nonzeros complete here.
-                    for r in span.row_start..span.row_end {
-                        let hi = rowptr[r + 1];
-                        let mut sum = 0.0;
-                        while k < hi {
-                            sum += values[k] * x[colidx[k] as usize];
-                            k += 1;
-                        }
-                        finished.push((r, sum));
-                    }
-                    // Trailing partial row (its end belongs to a later
-                    // thread).
-                    if k < span.nnz_end {
-                        let r = span.row_end;
-                        let mut sum = 0.0;
-                        while k < span.nnz_end {
-                            sum += values[k] * x[colidx[k] as usize];
-                            k += 1;
-                        }
-                        carry.push((r, sum));
-                    }
-                    (finished, carry)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("merge SpMV worker panicked"))
-            .collect()
+            .enumerate()
+            .skip(lane)
+            .step_by(lanes.max(1))
+        {
+            let mut finished: Vec<(usize, f64)> = Vec::new();
+            let mut carry: Vec<(usize, f64)> = Vec::new();
+            let mut k = span.nnz_start;
+            // Consume rows [row_start, row_end): each such row END
+            // belongs to this span, so the row's remaining nonzeros
+            // complete here.
+            for r in span.row_start..span.row_end {
+                let hi = rowptr[r + 1];
+                let mut sum = 0.0;
+                while k < hi {
+                    sum += values[k] * x[colidx[k] as usize];
+                    k += 1;
+                }
+                finished.push((r, sum));
+            }
+            // Trailing partial row (its end belongs to a later span).
+            if k < span.nnz_end {
+                let r = span.row_end;
+                let mut sum = 0.0;
+                while k < span.nnz_end {
+                    sum += values[k] * x[colidx[k] as usize];
+                    k += 1;
+                }
+                carry.push((r, sum));
+            }
+            // SAFETY: slot `idx` belongs exclusively to the lane
+            // processing span `idx` (see `SendPtr`).
+            unsafe { *results_ptr.get().add(idx) = (finished, carry) };
+        }
     });
 
     // Sequential reduction: finished rows overwrite, carries accumulate.
@@ -177,9 +198,10 @@ mod tests {
         let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 7 + 1) as f64).cos()).collect();
         let want = a.spmv_dense(&x);
         for &t in threads {
+            let team = ThreadTeam::new(t);
             let plan = PlanMerge::new(a, t);
             let mut y = vec![f64::NAN; a.nrows()];
-            spmv_merge(a, &plan, &x, &mut y);
+            spmv_merge(a, &plan, &team, &x, &mut y);
             for i in 0..a.nrows() {
                 assert!(
                     (y[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
@@ -250,5 +272,28 @@ mod tests {
     fn empty_matrix() {
         let a = CsrMatrix::from_coo(&CooMatrix::new(5, 5));
         check(&a, &[1, 4]);
+    }
+
+    #[test]
+    fn clamps_threads_to_merge_items() {
+        // 2x2 with 1 nnz: diagonal length 3, so at most 3 spans.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        let a = CsrMatrix::from_coo(&coo);
+        let plan = PlanMerge::new(&a, 64);
+        assert!(plan.num_threads() <= 3, "spans: {:?}", plan.spans);
+        assert!(plan.items_per_thread().iter().all(|&n| n > 0));
+        check(&a, &[64]);
+    }
+
+    #[test]
+    fn nnz_per_thread_sums_to_total() {
+        let mut coo = CooMatrix::new(40, 40);
+        for i in 0..40 {
+            coo.push(i, (i * 3) % 40, 1.0);
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let plan = PlanMerge::new(&a, 6);
+        assert_eq!(plan.nnz_per_thread().iter().sum::<usize>(), a.nnz());
     }
 }

@@ -13,10 +13,25 @@ pub struct Plan1d {
 
 impl Plan1d {
     /// Build the plan for `nthreads` threads over `a`'s rows.
+    ///
+    /// The thread count is clamped to the *effective* parallelism: the
+    /// chunk size is `ceil(nrows / nthreads)` (OpenMP static
+    /// semantics), and only as many ranges are emitted as non-empty
+    /// chunks exist. Requesting more threads than rows therefore no
+    /// longer produces trailing empty `(n, n)` ranges, so
+    /// [`nnz_per_thread`] and [`imbalance_factor`] average over threads
+    /// that actually work, not idle phantoms.
     pub fn new(a: &CsrMatrix, nthreads: usize) -> Plan1d {
-        let t = nthreads.max(1);
         let n = a.nrows();
-        let chunk = n.div_ceil(t);
+        if n == 0 {
+            // A single empty range keeps downstream statistics defined.
+            return Plan1d {
+                row_ranges: vec![(0, 0)],
+            };
+        }
+        let chunk = n.div_ceil(nthreads.max(1)).max(1);
+        // Effective thread count: the number of non-empty chunks.
+        let t = n.div_ceil(chunk);
         let row_ranges = (0..t)
             .map(|i| {
                 let start = (i * chunk).min(n);
@@ -27,8 +42,15 @@ impl Plan1d {
         Plan1d { row_ranges }
     }
 
-    /// Number of threads the plan was built for.
+    /// Number of threads the plan actually uses (≤ the requested
+    /// count; see [`Plan1d::new`]).
     pub fn num_threads(&self) -> usize {
+        self.row_ranges.len()
+    }
+
+    /// Alias for [`Plan1d::num_threads`], named for call sites that
+    /// care about the requested-vs-effective distinction.
+    pub fn effective_threads(&self) -> usize {
         self.row_ranges.len()
     }
 
@@ -79,8 +101,12 @@ pub struct Plan2d {
 
 impl Plan2d {
     /// Build the plan for `nthreads` threads over `a`'s nonzeros.
+    ///
+    /// Like [`Plan1d::new`], the thread count is clamped to the
+    /// effective parallelism (at most one thread per nonzero), so no
+    /// empty spans are emitted for oversubscribed requests.
     pub fn new(a: &CsrMatrix, nthreads: usize) -> Plan2d {
-        let t = nthreads.max(1);
+        let t = nthreads.max(1).min(a.nnz().max(1));
         let k = a.nnz();
         let n = a.nrows();
         let rowptr = a.rowptr();
@@ -220,11 +246,43 @@ mod tests {
 
     #[test]
     fn plan1d_more_threads_than_rows() {
+        // Oversubscription clamps to one row per thread: no empty
+        // trailing ranges, so the imbalance factor sees two busy
+        // threads rather than two busy plus two phantom ones.
         let a = matrix_with_row_nnz(&[2, 2]);
         let p = Plan1d::new(&a, 4);
-        assert_eq!(p.num_threads(), 4);
-        let total: usize = p.nnz_per_thread(&a).iter().sum();
-        assert_eq!(total, 4);
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.effective_threads(), 2);
+        assert_eq!(p.row_ranges, vec![(0, 1), (1, 2)]);
+        assert_eq!(p.nnz_per_thread(&a), vec![2, 2]);
+        assert!((imbalance_factor(&p.nnz_per_thread(&a)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan1d_never_emits_empty_ranges() {
+        // div_ceil chunking can strand threads even when nthreads <
+        // nrows (e.g. 5 rows / 4 threads -> chunks of 2 -> 3 busy
+        // threads); every emitted range must be non-empty.
+        for nrows in 1..20usize {
+            let a = matrix_with_row_nnz(&vec![1; nrows]);
+            for t in 1..25usize {
+                let p = Plan1d::new(&a, t);
+                assert!(p.num_threads() <= t.min(nrows), "rows={nrows} t={t}");
+                for &(s, e) in &p.row_ranges {
+                    assert!(s < e, "rows={nrows} t={t}: empty range ({s},{e})");
+                }
+                let covered: usize = p.row_ranges.iter().map(|&(s, e)| e - s).sum();
+                assert_eq!(covered, nrows);
+            }
+        }
+    }
+
+    #[test]
+    fn plan2d_clamps_to_nnz() {
+        let a = matrix_with_row_nnz(&[1, 1]);
+        let p = Plan2d::new(&a, 8);
+        assert_eq!(p.num_threads(), 2);
+        assert!(p.spans.iter().all(|s| !s.is_empty()));
     }
 
     #[test]

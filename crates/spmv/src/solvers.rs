@@ -8,6 +8,7 @@
 
 use crate::exec::spmv_1d;
 use crate::plan::Plan1d;
+use crate::team::ThreadTeam;
 use sparsemat::CsrMatrix;
 
 /// Convergence/iteration report from a solver run.
@@ -60,7 +61,11 @@ pub fn conjugate_gradient(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> (Vec<f6
     assert!(a.is_square(), "CG requires a square matrix");
     assert_eq!(b.len(), a.nrows(), "rhs length mismatch");
     let n = a.nrows();
+    // One plan, one persistent team: every iteration's SpMV dispatches
+    // to already-running workers instead of spawning threads (§4.7's
+    // amortisation argument applies to the executor too).
     let plan = Plan1d::new(a, opts.threads);
+    let team = ThreadTeam::new(opts.threads);
 
     let inv_diag: Option<Vec<f64>> = if opts.jacobi {
         Some(
@@ -94,7 +99,7 @@ pub fn conjugate_gradient(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> (Vec<f6
         return (x, stats);
     }
     for k in 0..opts.max_iterations {
-        spmv_1d(a, &plan, &p, &mut ap);
+        spmv_1d(a, &plan, &team, &p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 {
             break; // not SPD (or numerical breakdown)

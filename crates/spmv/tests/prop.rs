@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use sparsemat::{CooMatrix, CsrMatrix};
-use spmv::{imbalance_factor, spmv_1d, spmv_2d, Plan1d, Plan2d};
+use spmv::{host_threads, imbalance_factor, KernelKind, Plan1d, Plan2d, ThreadTeam};
+use std::sync::Arc;
 
 fn matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
     (
@@ -20,29 +21,44 @@ fn matrix_strategy() -> impl Strategy<Value = CsrMatrix> {
         })
 }
 
+/// Assert all three kernels match `spmv_dense` on `a` for each thread
+/// count, running through the unified trait on a matching team.
+fn assert_kernels_match(a: &Arc<CsrMatrix>, threads: &[usize]) {
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|i| ((i * 31 % 17) as f64) - 8.0)
+        .collect();
+    let want = a.spmv_dense(&x);
+    for &t in threads {
+        let team = ThreadTeam::new(t);
+        for kind in KernelKind::all() {
+            let kernel = kind.plan(a, t);
+            let mut y = vec![f64::NAN; a.nrows()];
+            kernel.execute(&team, &x, &mut y);
+            for i in 0..a.nrows() {
+                assert!(
+                    (y[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
+                    "{} t={} row {}: {} vs {}",
+                    kind,
+                    t,
+                    i,
+                    y[i],
+                    want[i]
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// The satellite property: 1D, 2D, and merge kernels agree with
+    /// the dense reference across thread counts 1, 3, the host's
+    /// parallelism, and oversubscription (nrows + 1).
     #[test]
-    fn kernels_match_reference(a in matrix_strategy(), t in 1usize..12) {
-        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
-        let want = a.spmv_dense(&x);
-
-        let p1 = Plan1d::new(&a, t);
-        let mut y1 = vec![f64::NAN; a.nrows()];
-        spmv_1d(&a, &p1, &x, &mut y1);
-        for i in 0..a.nrows() {
-            prop_assert!((y1[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
-                "1D t={} row {}: {} vs {}", t, i, y1[i], want[i]);
-        }
-
-        let p2 = Plan2d::new(&a, t);
-        let mut y2 = vec![f64::NAN; a.nrows()];
-        spmv_2d(&a, &p2, &x, &mut y2);
-        for i in 0..a.nrows() {
-            prop_assert!((y2[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
-                "2D t={} row {}: {} vs {}", t, i, y2[i], want[i]);
-        }
+    fn kernels_match_reference(a in matrix_strategy()) {
+        let threads = [1, 3, host_threads(), a.nrows() + 1];
+        assert_kernels_match(&Arc::new(a), &threads);
     }
 
     #[test]
@@ -79,5 +95,30 @@ proptest! {
         if counts.iter().all(|&c| c == counts[0]) && counts[0] > 0 {
             prop_assert!((f - 1.0).abs() < 1e-12);
         }
+    }
+}
+
+/// Degenerate shapes the strategy rarely produces, pinned explicitly:
+/// empty matrix, single row, and rows with no nonzeros at all.
+#[test]
+fn kernels_match_reference_on_edge_matrices() {
+    // Empty matrix.
+    let empty = Arc::new(CsrMatrix::from_coo(&CooMatrix::new(7, 7)));
+    // Single-row matrix.
+    let mut coo = CooMatrix::new(1, 9);
+    for j in 0..9 {
+        coo.push(0, j, j as f64 - 4.0);
+    }
+    let single_row = Arc::new(CsrMatrix::from_coo(&coo));
+    // Mostly-empty rows.
+    let mut coo = CooMatrix::new(25, 25);
+    coo.push(3, 4, 2.5);
+    coo.push(17, 0, -1.0);
+    coo.push(24, 24, 4.0);
+    let sparse_rows = Arc::new(CsrMatrix::from_coo(&coo));
+
+    for a in [&empty, &single_row, &sparse_rows] {
+        let threads = [1, 3, host_threads(), a.nrows() + 1];
+        assert_kernels_match(a, &threads);
     }
 }

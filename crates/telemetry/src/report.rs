@@ -84,10 +84,16 @@ impl Reporter {
                 let (lock, cv) = &*thread_stop;
                 let mut stopped = lock.lock().unwrap();
                 loop {
-                    // A spurious wakeup just prints an extra early
-                    // tick; shutdown is decided by the flag alone.
-                    let (guard, _timeout) = cv.wait_timeout(stopped, interval).unwrap();
-                    stopped = guard;
+                    // Re-check the flag before every wait: a stop that
+                    // lands before this thread first parks would have
+                    // its notification lost, and the wait would then
+                    // sit out the whole interval. A spurious wakeup
+                    // just prints an extra early tick; shutdown is
+                    // decided by the flag alone.
+                    if !*stopped {
+                        let (guard, _timeout) = cv.wait_timeout(stopped, interval).unwrap();
+                        stopped = guard;
+                    }
                     let line = compact_line(&registry.snapshot());
                     let _ = writeln!(writer, "{line}");
                     let _ = writer.flush();

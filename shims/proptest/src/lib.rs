@@ -192,7 +192,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Sizes accepted by [`vec`]: an exact count or a half-open range.
+    /// Sizes accepted by [`vec()`]: an exact count or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -12,8 +12,10 @@
 //!   (METIS / PaToH stand-ins) and vertex separators;
 //! - [`reorder`] — the six orderings of the study: RCM, AMD, ND, GP,
 //!   HP and Gray;
-//! - [`spmv`] — the 1D (row-split) and 2D (nonzero-split) parallel CSR
-//!   SpMV kernels and the measurement harness;
+//! - [`spmv`] — the 1D (row-split), 2D (nonzero-split) and merge-based
+//!   parallel CSR SpMV kernels behind a unified [`spmv::Kernel`] trait,
+//!   the persistent [`spmv::ThreadTeam`] executor and the measurement
+//!   harness;
 //! - [`spfeatures`] — bandwidth, profile, off-diagonal nonzero count,
 //!   imbalance factor, performance profiles and summary statistics;
 //! - [`cholesky`] — elimination trees, Gilbert–Ng–Peyton fill counts
@@ -43,11 +45,12 @@
 //! // predictive of SpMV performance — drops sharply.
 //! assert!(off_diagonal_nnz(&b, 8) < off_diagonal_nnz(&a, 8) / 2);
 //!
-//! // And SpMV still computes the same thing.
+//! // And SpMV still computes the same thing, on a persistent team.
 //! let x = vec![1.0; a.ncols()];
+//! let team = ThreadTeam::new(4);
 //! let plan = Plan1d::new(&b, 4);
 //! let mut y = vec![0.0; b.nrows()];
-//! spmv_1d(&b, &plan, &x, &mut y);
+//! spmv_1d(&b, &plan, &team, &x, &mut y);
 //! ```
 
 pub use archsim;
@@ -79,6 +82,6 @@ pub mod prelude {
     };
     pub use spmv::{
         conjugate_gradient, measure_spmv, spmv_1d, spmv_2d, spmv_merge, CgOptions, Kernel,
-        MeasureConfig, Plan1d, Plan2d, PlanMerge,
+        KernelKind, MeasureConfig, Plan1d, Plan2d, PlanMerge, ThreadTeam,
     };
 }

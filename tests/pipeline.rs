@@ -13,6 +13,7 @@ fn reordered_spmv_is_equivalent_for_every_algorithm() {
     let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 101) as f64) / 100.0).collect();
     let y_ref = a.spmv_dense(&x);
 
+    let team = ThreadTeam::new(3);
     for alg in all_algorithms(8, 16) {
         let r = alg.compute(&a).expect("square");
         let b = r.apply(&a).expect("apply");
@@ -21,11 +22,11 @@ fn reordered_spmv_is_equivalent_for_every_algorithm() {
         } else {
             (x.clone(), r.perm.apply_to_slice(&y_ref))
         };
-        // Exercise both parallel kernels.
+        // Exercise both parallel kernels on the shared team.
         let mut y1 = vec![0.0; n];
-        spmv_1d(&b, &Plan1d::new(&b, 3), &x_in, &mut y1);
+        spmv_1d(&b, &Plan1d::new(&b, 3), &team, &x_in, &mut y1);
         let mut y2 = vec![0.0; n];
-        spmv_2d(&b, &Plan2d::new(&b, 3), &x_in, &mut y2);
+        spmv_2d(&b, &Plan2d::new(&b, 3), &team, &x_in, &mut y2);
         for i in 0..n {
             assert!(
                 (y1[i] - expect[i]).abs() < 1e-9,
@@ -82,16 +83,16 @@ fn machine_model_rewards_locality_everywhere() {
 /// reordering a scrambled mesh with RCM — the end-to-end story.
 #[test]
 fn real_measurement_pipeline_runs() {
-    let a = corpus::scramble(&corpus::mesh2d(50, 50), 1);
+    let a = std::sync::Arc::new(corpus::scramble(&corpus::mesh2d(50, 50), 1));
     let cfg = MeasureConfig {
         repetitions: 5,
         warmup: 1,
         nthreads: 2,
     };
-    let before = measure_spmv(&a, Kernel::OneD, &cfg);
+    let before = measure_spmv(&a, KernelKind::OneD, &cfg);
     let r = Rcm::default().compute(&a).unwrap();
-    let b = r.apply(&a).unwrap();
-    let after = measure_spmv(&b, Kernel::OneD, &cfg);
+    let b = std::sync::Arc::new(r.apply(&a).unwrap());
+    let after = measure_spmv(&b, KernelKind::OneD, &cfg);
     // No performance assertion (CI noise); both must simply produce
     // valid measurements on the same nonzero count.
     assert!(before.max_gflops > 0.0 && after.max_gflops > 0.0);
