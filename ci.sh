@@ -19,4 +19,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # must run end to end (single iteration; no timings recorded).
 cargo bench -p bench --bench team_overhead -- --test
 
+# Flight-recorder smoke: a traced serve replay must dump Chrome-trace
+# files that pass the validator (parse, balanced B/E pairs, every
+# pipeline stage covered, >= 2 per-worker timeline lanes).
+TRACE_DIR="$(mktemp -d)"
+./target/release/serve --size small --requests 400 --clients 2 \
+    --trace-dir "$TRACE_DIR" --trace-sample-rate 0.05 --seed 7 > /dev/null
+./target/release/tracecheck "$TRACE_DIR"
+rm -rf "$TRACE_DIR"
+
 echo "ci: all gates passed"

@@ -35,5 +35,5 @@ pub use cache::CacheSim;
 pub use machines::{machine_by_name, machines, Machine};
 pub use model::{
     simulate_spmv_1d, simulate_spmv_1d_opt, simulate_spmv_2d, simulate_spmv_2d_opt, SimOptions,
-    SimResult,
+    SimResult, BYTES_PER_NNZ, BYTES_PER_ROW,
 };

@@ -9,11 +9,11 @@ const X_CACHE_FRACTION: f64 = 0.5;
 
 /// Bytes streamed per nonzero: an 8-byte value plus a 4-byte column
 /// index (§4.1's storage convention).
-const BYTES_PER_NNZ: f64 = 12.0;
+pub const BYTES_PER_NNZ: f64 = 12.0;
 
 /// Bytes streamed per row: the row pointer (8) plus the `y` write,
 /// which costs a write-allocate read + writeback (16).
-const BYTES_PER_ROW: f64 = 24.0;
+pub const BYTES_PER_ROW: f64 = 24.0;
 
 /// Result of simulating one SpMV execution.
 #[derive(Debug, Clone)]

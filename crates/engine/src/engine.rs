@@ -3,16 +3,24 @@
 
 use crate::cache::{CacheStats, CachedOrdering, OrderingCache, OrderingKey};
 use crate::plans::{PlanCache, PlanCacheStats, PlanKey};
-use crate::pool::{spawn_pool, InFlight, Job, PoolMetrics, WorkerContext};
+use crate::pool::{spawn_pool, InFlight, Job, JobTrace, PoolMetrics, WorkerContext};
 use crate::AlgoSpec;
 use sparsemat::CsrMatrix;
 use spmv::{Kernel, KernelKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+use telemetry::trace::{FlightRecorder, TraceCtx, TraceSpan};
 use telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// How many (request id → trace id) pairs the engine remembers for
+/// [`Engine::trace_summary`]. Old sampled requests age out of the
+/// index alongside their events aging out of the rings.
+const TRACED_INDEX_CAP: usize = 128;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -37,6 +45,13 @@ pub struct EngineConfig {
     /// [`Registry::global`]; tests that assert exact counts pass a
     /// private registry.
     pub registry: Option<Arc<Registry>>,
+    /// Flight recorder for request-scoped tracing. `None` disables
+    /// tracing entirely (the submit path pays nothing).
+    pub recorder: Option<Arc<FlightRecorder>>,
+    /// Sample stride for tracing: request `n` is traced when
+    /// `(n - 1) % trace_sample_every == 0`. `0` traces nothing (even
+    /// with a recorder attached); `1` traces every request.
+    pub trace_sample_every: u64,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +68,8 @@ impl Default for EngineConfig {
             plan_cache_capacity: 256,
             persist_dir: None,
             registry: None,
+            recorder: None,
+            trace_sample_every: 0,
         }
     }
 }
@@ -162,8 +179,14 @@ impl std::fmt::Display for EngineStats {
 }
 
 /// A pending (or already satisfied) reordering request.
+///
+/// For sampled requests the ticket carries the request's root
+/// `engine.request` span: it ends when the ticket is waited on (or
+/// dropped), so the span covers the full submit-to-result interval.
 pub struct Ticket {
     inner: TicketInner,
+    request_id: u64,
+    root: TraceSpan,
 }
 
 enum TicketInner {
@@ -174,15 +197,35 @@ enum TicketInner {
 impl Ticket {
     /// Block until the ordering is available.
     pub fn wait(self) -> Result<Arc<CachedOrdering>, EngineError> {
-        match self.inner {
+        let Ticket { inner, root, .. } = self;
+        match inner {
             TicketInner::Ready(r) => r,
-            TicketInner::Pending(slot) => slot.wait(),
+            TicketInner::Pending(slot) => {
+                // The blocking interval, distinct from the queue/compute
+                // spans the worker records into the same trace.
+                let _wait = root.ctx().span("engine.wait");
+                slot.wait()
+            }
         }
     }
 
     /// True if the result was served without waiting (cache hit).
     pub fn is_ready(&self) -> bool {
         matches!(self.inner, TicketInner::Ready(_))
+    }
+
+    /// The engine-assigned request ID (1-based submission order); pass
+    /// it to [`Engine::trace_summary`] / [`Engine::trace_chrome_json`].
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// A trace context parented at this request's root span (disabled
+    /// unless the request was sampled). Stages that happen outside the
+    /// engine — applying the ordering, measuring SpMV — record under
+    /// the request with this handle.
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.root.ctx()
     }
 }
 
@@ -207,6 +250,12 @@ pub struct Engine {
     metrics: EngineMetrics,
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    recorder: Option<Arc<FlightRecorder>>,
+    sample_every: u64,
+    /// Monotonic request IDs (1-based).
+    next_request: AtomicU64,
+    /// Recent sampled requests: (request id, trace id), oldest first.
+    traced: Mutex<VecDeque<(u64, u64)>>,
 }
 
 /// The facade's registry metrics, resolved once at construction.
@@ -266,6 +315,10 @@ impl Engine {
             metrics,
             tx: Some(tx),
             workers,
+            recorder: config.recorder,
+            sample_every: config.trace_sample_every,
+            next_request: AtomicU64::new(0),
+            traced: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -282,12 +335,22 @@ impl Engine {
             .registry
             .span_on("engine.submit", &self.metrics.submit_span);
         self.metrics.submitted.inc();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+        let root = self.start_request_trace(request_id, algo);
         let key = OrderingKey::new(matrix.content_hash(), algo);
 
-        if let Some(v) = self.cache.get(&key) {
-            return Ticket {
-                inner: TicketInner::Ready(Ok(v)),
-            };
+        {
+            let mut lookup = root.ctx().span("engine.cache.lookup");
+            if let Some(v) = self.cache.get(&key) {
+                lookup.arg("outcome", "hit");
+                drop(lookup);
+                return Ticket {
+                    inner: TicketInner::Ready(Ok(v)),
+                    request_id,
+                    root,
+                };
+            }
+            lookup.arg("outcome", "miss");
         }
 
         // Miss: coalesce onto in-flight work for the same key, or
@@ -296,8 +359,11 @@ impl Engine {
             let mut inflight = self.inflight.lock().unwrap();
             if let Some(existing) = inflight.get(&key) {
                 self.metrics.coalesced.inc();
+                root.ctx().instant("engine.coalesced");
                 return Ticket {
                     inner: TicketInner::Pending(Arc::clone(existing)),
+                    request_id,
+                    root,
                 };
             }
             // The computation may have completed between the cache
@@ -307,6 +373,8 @@ impl Engine {
             if let Some(v) = self.cache.get_uncounted(&key) {
                 return Ticket {
                     inner: TicketInner::Ready(Ok(v)),
+                    request_id,
+                    root,
                 };
             }
             let slot = Arc::new(InFlight::new());
@@ -320,6 +388,10 @@ impl Engine {
             key,
             matrix: Arc::clone(matrix.matrix()),
             slot: Arc::clone(&slot),
+            trace: root.is_recording().then(|| JobTrace {
+                ctx: root.ctx(),
+                enqueued: Instant::now(),
+            }),
         };
         match &self.tx {
             Some(tx) => {
@@ -339,7 +411,35 @@ impl Engine {
         }
         Ticket {
             inner: TicketInner::Pending(slot),
+            request_id,
+            root,
         }
+    }
+
+    /// Open the root `engine.request` span when `request_id` falls on
+    /// the sample stride; a disabled span otherwise. Sampled requests
+    /// are remembered in the bounded (request → trace) index that backs
+    /// [`Engine::trace_summary`].
+    fn start_request_trace(&self, request_id: u64, algo: AlgoSpec) -> TraceSpan {
+        let Some(recorder) = &self.recorder else {
+            return TraceSpan::disabled();
+        };
+        if self.sample_every == 0 || !(request_id - 1).is_multiple_of(self.sample_every) {
+            return TraceSpan::disabled();
+        }
+        let ctx = recorder.start_trace();
+        let Some(trace_id) = ctx.trace_id() else {
+            return TraceSpan::disabled();
+        };
+        let mut root = ctx.span("engine.request");
+        root.arg("request", request_id);
+        root.arg("algo", algo.name());
+        let mut traced = self.traced.lock().unwrap();
+        if traced.len() >= TRACED_INDEX_CAP {
+            traced.pop_front();
+        }
+        traced.push_back((request_id, trace_id));
+        root
     }
 
     /// Submit a batch; tickets come back in request order.
@@ -363,8 +463,25 @@ impl Engine {
         kernel: KernelKind,
         nthreads: usize,
     ) -> Arc<dyn Kernel> {
+        self.plan_traced(matrix, kernel, nthreads, &TraceCtx::disabled())
+    }
+
+    /// [`Engine::plan`] recording an `engine.plan` span (kernel kind +
+    /// cache outcome) under `ctx` — pass a [`Ticket::trace_ctx`] to
+    /// attach the plan stage to its request's trace.
+    pub fn plan_traced(
+        &self,
+        matrix: &MatrixHandle,
+        kernel: KernelKind,
+        nthreads: usize,
+        ctx: &TraceCtx,
+    ) -> Arc<dyn Kernel> {
+        let mut span = ctx.span("engine.plan");
+        span.arg("kernel", kernel.name());
         let key = PlanKey::new(matrix.content_hash(), kernel, nthreads);
-        self.plans.get_or_plan(key, matrix.matrix())
+        let (planned, hit) = self.plans.get_or_plan_with_status(key, matrix.matrix());
+        span.arg("outcome", if hit { "hit" } else { "miss" });
+        planned
     }
 
     /// Submit and wait: the blocking convenience call.
@@ -374,6 +491,43 @@ impl Engine {
         algo: AlgoSpec,
     ) -> Result<Arc<CachedOrdering>, EngineError> {
         self.submit(matrix, algo).wait()
+    }
+
+    /// The flight recorder tracing sampled requests, if configured.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The trace ID a sampled request recorded under, if it was
+    /// sampled and is still in the bounded trace index.
+    pub fn trace_id_for(&self, request_id: u64) -> Option<u64> {
+        self.traced
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(r, _)| *r == request_id)
+            .map(|(_, t)| *t)
+    }
+
+    /// Plain-text stage breakdown for a sampled request: per-stage
+    /// counts and durations, worker compute imbalance, drop count.
+    /// `None` if the request was not sampled (or its events aged out).
+    pub fn trace_summary(&self, request_id: u64) -> Option<String> {
+        self.request_trace(request_id).map(|snap| snap.summary())
+    }
+
+    /// Chrome-trace/Perfetto JSON for a sampled request. `None` if the
+    /// request was not sampled (or its events aged out).
+    pub fn trace_chrome_json(&self, request_id: u64) -> Option<String> {
+        self.request_trace(request_id)
+            .map(|snap| snap.to_chrome_json())
+    }
+
+    fn request_trace(&self, request_id: u64) -> Option<telemetry::TraceSnapshot> {
+        let recorder = self.recorder.as_ref()?;
+        let trace_id = self.trace_id_for(request_id)?;
+        let snap = recorder.snapshot().filter_trace(trace_id);
+        (!snap.is_empty()).then_some(snap)
     }
 
     /// Statistics snapshot.
@@ -414,6 +568,22 @@ mod tests {
             plan_cache_capacity: 16,
             persist_dir: None,
             registry: Some(telemetry::Registry::new_arc()),
+            recorder: None,
+            trace_sample_every: 0,
+        })
+    }
+
+    fn traced_engine(sample_every: u64) -> Engine {
+        Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 64,
+            cache_shards: 2,
+            plan_cache_capacity: 16,
+            persist_dir: None,
+            registry: Some(telemetry::Registry::new_arc()),
+            recorder: Some(telemetry::FlightRecorder::new(8192)),
+            trace_sample_every: sample_every,
         })
     }
 
@@ -516,6 +686,111 @@ mod tests {
         assert_eq!(other.kind(), KernelKind::OneD);
         let s = engine.stats().plans;
         assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn traced_request_records_every_pipeline_stage() {
+        use telemetry::trace::EventKind;
+        let engine = traced_engine(1);
+        let m = mesh();
+        let ticket = engine.submit(&m, AlgoSpec::Rcm);
+        let request_id = ticket.request_id();
+        assert_eq!(request_id, 1);
+        let plan_ctx = ticket.trace_ctx();
+        ticket.wait().unwrap();
+        let _planned = engine.plan_traced(&m, KernelKind::OneD, 2, &plan_ctx);
+        let trace_id = engine.trace_id_for(request_id).expect("request sampled");
+        let snap = engine.recorder().unwrap().snapshot().filter_trace(trace_id);
+        let names: Vec<&str> = snap
+            .events()
+            .filter(|e| e.kind == EventKind::Begin || e.kind == EventKind::Instant)
+            .map(|e| e.name)
+            .collect();
+        for stage in [
+            "engine.request",
+            "engine.cache.lookup",
+            "engine.wait",
+            "engine.queue.wait",
+            "engine.reorder",
+            "engine.plan",
+        ] {
+            assert!(names.contains(&stage), "missing {stage} in {names:?}");
+        }
+        // Worker-side stages attach under this trace, not as orphans.
+        let root_id = snap
+            .events()
+            .find(|e| e.name == "engine.request")
+            .unwrap()
+            .span_id;
+        let reorder = snap
+            .events()
+            .find(|e| e.name == "engine.reorder" && e.kind == EventKind::Begin)
+            .unwrap();
+        assert_eq!(reorder.parent_id, root_id);
+        assert_eq!(reorder.trace_id, trace_id);
+        // And the human-readable summary resolves by request ID.
+        let summary = engine.trace_summary(request_id).unwrap();
+        assert!(summary.contains("engine.reorder"), "{summary}");
+        let json = engine.trace_chrome_json(request_id).unwrap();
+        assert!(json.contains("\"engine.queue.wait\""), "{json}");
+    }
+
+    #[test]
+    fn sample_stride_traces_only_matching_requests() {
+        let engine = traced_engine(2);
+        let m = mesh();
+        // Requests 1..=4 over distinct algorithms (no cache hits):
+        // stride 2 samples requests 1 and 3.
+        for algo in [
+            AlgoSpec::Rcm,
+            AlgoSpec::Amd,
+            AlgoSpec::Gray,
+            AlgoSpec::Original,
+        ] {
+            engine.get(&m, algo).unwrap();
+        }
+        assert!(engine.trace_id_for(1).is_some());
+        assert!(engine.trace_id_for(2).is_none());
+        assert!(engine.trace_id_for(3).is_some());
+        assert!(engine.trace_id_for(4).is_none());
+        assert!(engine.trace_summary(2).is_none());
+    }
+
+    #[test]
+    fn cache_hit_trace_has_lookup_but_no_queue_span() {
+        let engine = traced_engine(1);
+        let m = mesh();
+        engine.get(&m, AlgoSpec::Rcm).unwrap(); // request 1: miss
+        engine.get(&m, AlgoSpec::Rcm).unwrap(); // request 2: hit
+        let trace_id = engine.trace_id_for(2).unwrap();
+        let snap = engine.recorder().unwrap().snapshot().filter_trace(trace_id);
+        let names: Vec<&str> = snap.events().map(|e| e.name).collect();
+        assert!(names.contains(&"engine.cache.lookup"));
+        assert!(
+            !names.contains(&"engine.queue.wait"),
+            "a cache hit never touches the queue: {names:?}"
+        );
+        let lookup_end = snap
+            .events()
+            .find(|e| e.name == "engine.cache.lookup" && e.kind == telemetry::trace::EventKind::End)
+            .unwrap();
+        assert!(lookup_end
+            .args
+            .iter()
+            .any(|(k, v)| *k == "outcome" && matches!(v, telemetry::ArgValue::Str("hit"))));
+    }
+
+    #[test]
+    fn untraced_engine_records_nothing_and_has_no_summaries() {
+        let engine = small_engine();
+        let m = mesh();
+        let ticket = engine.submit(&m, AlgoSpec::Rcm);
+        assert!(!ticket.trace_ctx().is_recording());
+        let id = ticket.request_id();
+        ticket.wait().unwrap();
+        assert!(engine.recorder().is_none());
+        assert!(engine.trace_summary(id).is_none());
+        assert!(engine.trace_chrome_json(id).is_none());
     }
 
     #[test]

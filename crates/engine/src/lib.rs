@@ -25,6 +25,14 @@
 //!    this API, and `experiments --bin serve` replays a Zipf request
 //!    trace against it.
 //!
+//! With a flight recorder attached ([`EngineConfig::recorder`] +
+//! [`EngineConfig::trace_sample_every`]), sampled requests record a
+//! request-scoped trace across all three layers — cache lookup, queue
+//! wait, reorder compute, plan build — retrievable as a plain-text
+//! stage breakdown ([`Engine::trace_summary`]) or Chrome-trace JSON
+//! ([`Engine::trace_chrome_json`]), and extendable past the engine via
+//! [`Ticket::trace_ctx`].
+//!
 //! ```
 //! use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
 //!

@@ -108,6 +108,17 @@ impl PlanCache {
     /// Fetch the plan for `key`, building it from `matrix` on a miss.
     /// The returned kernel shares `matrix`'s storage by `Arc`.
     pub fn get_or_plan(&self, key: PlanKey, matrix: &Arc<CsrMatrix>) -> Arc<dyn Kernel> {
+        self.get_or_plan_with_status(key, matrix).0
+    }
+
+    /// Like [`PlanCache::get_or_plan`], also reporting whether the plan
+    /// was served from cache (`true`) or built (`false`) — tracing
+    /// wants the outcome without a second counter read.
+    pub fn get_or_plan_with_status(
+        &self,
+        key: PlanKey,
+        matrix: &Arc<CsrMatrix>,
+    ) -> (Arc<dyn Kernel>, bool) {
         let mut s = self.state.lock().unwrap();
         s.tick += 1;
         let tick = s.tick;
@@ -117,7 +128,7 @@ impl PlanCache {
             s.recency.remove(&old);
             s.recency.insert(tick, key);
             self.metrics.hits.inc();
-            return kernel;
+            return (kernel, true);
         }
         self.metrics.misses.inc();
         // Planning is O(nnz) at worst but lock-held build keeps the
@@ -134,7 +145,7 @@ impl PlanCache {
             self.metrics.evictions.inc();
             self.metrics.resident.set(s.map.len() as i64);
         }
-        kernel
+        (kernel, false)
     }
 
     /// Counter snapshot.

@@ -21,13 +21,25 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use telemetry::trace::{TraceCtx, TraceSpan};
 use telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Trace propagation for a sampled request's job: the request's
+/// context plus the enqueue instant, so the worker can backdate the
+/// `engine.queue.wait` span to cover the time the job sat in the
+/// channel.
+pub(crate) struct JobTrace {
+    pub ctx: TraceCtx,
+    pub enqueued: Instant,
+}
 
 /// One queued reordering computation.
 pub(crate) struct Job {
     pub key: OrderingKey,
     pub matrix: Arc<CsrMatrix>,
     pub slot: Arc<InFlight>,
+    /// Present only for sampled (traced) requests.
+    pub trace: Option<JobTrace>,
 }
 
 /// The rendezvous for one in-flight computation: the first requester
@@ -137,11 +149,27 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
 
 fn process(job: Job, ctx: &WorkerContext) {
     let start = Instant::now();
+    // The queue wait ends where the compute begins: backdated to the
+    // enqueue instant so the trace shows the gap, not just the work.
+    if let Some(t) = &job.trace {
+        t.ctx
+            .complete("engine.queue.wait", t.enqueued, start, Vec::new());
+    }
+    let mut reorder_span = match &job.trace {
+        Some(t) => {
+            let mut s = t.ctx.span("engine.reorder");
+            s.arg("algo", job.key.algo.name());
+            s
+        }
+        None => TraceSpan::disabled(),
+    };
     let computed = reorder::timed_permutation(
         &ctx.registry,
         job.key.algo.instantiate().as_ref(),
         &job.matrix,
     );
+    reorder_span.arg("ok", if computed.is_ok() { "true" } else { "false" });
+    drop(reorder_span);
     let elapsed = start.elapsed();
     ctx.metrics.job_duration.record_duration(elapsed);
 

@@ -18,6 +18,7 @@ fn concurrent_requests_coalesce_to_one_computation() {
         plan_cache_capacity: 16,
         persist_dir: None,
         registry: Some(telemetry::Registry::new_arc()),
+        ..EngineConfig::default()
     }));
     let handle = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(40, 40), 5));
     let spec = AlgoSpec::Hp { parts: 16 };
@@ -66,6 +67,7 @@ fn parallel_batch_over_distinct_keys() {
         plan_cache_capacity: 16,
         persist_dir: None,
         registry: Some(telemetry::Registry::new_arc()),
+        ..EngineConfig::default()
     });
     let matrices: Vec<MatrixHandle> = (0..6)
         .map(|s| MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(12, 12), s)))
@@ -108,6 +110,7 @@ fn tiny_cache_recomputes_after_eviction() {
         plan_cache_capacity: 16,
         persist_dir: None,
         registry: Some(telemetry::Registry::new_arc()),
+        ..EngineConfig::default()
     });
     let handle = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(10, 10), 1));
     let suite = AlgoSpec::study_suite(2, 4);

@@ -37,6 +37,7 @@ fn test_engine() -> Engine {
         plan_cache_capacity: 16,
         persist_dir: None,
         registry: Some(telemetry::Registry::new_arc()),
+        ..EngineConfig::default()
     })
 }
 

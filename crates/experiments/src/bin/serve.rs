@@ -21,22 +21,45 @@
 //! the full registry as a JSON snapshot and as Prometheus exposition
 //! text (stdout, or files under `--export-dir`).
 //!
+//! With `--trace-dir` a flight recorder is attached to the engine and
+//! a sampled subset of requests (`--trace-sample-rate`) records a
+//! request-scoped trace across the whole serving path: cache lookup,
+//! queue wait, reorder compute, plan build, and a downstream SpMV
+//! measurement whose `ThreadTeam` contributes one timeline lane per
+//! worker. Each dumped request yields `trace-<id>.json` (Chrome
+//! trace-event format: load in Perfetto / `chrome://tracing`) and
+//! `trace-<id>.txt` (the plain-text stage breakdown). The SpMV stage
+//! also attaches the [`archsim`] cost model's verdict on the served
+//! ordering — modelled Gflop/s, DRAM traffic and `x`-vector hit rate —
+//! as span arguments, so a trace shows *why* the layout performs the
+//! way it does next to how long each stage took.
+//!
 //! Usage:
 //!
 //! ```text
 //! serve [--size small|medium|large] [--requests N] [--clients N]
 //!       [--workers N] [--skew S] [--seed N] [--cache-capacity N]
 //!       [--kernel 1d|2d|merge] [--persist-dir DIR] [--export-dir DIR]
+//!       [--trace-dir DIR] [--trace-sample-rate R]
 //! ```
 
 use corpus::CorpusSize;
-use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
+use engine::{AlgoSpec, CachedOrdering, Engine, EngineConfig, MatrixHandle};
 use experiments::sweep::SweepConfig;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use spmv::{measure_spmv_in, KernelKind, MeasureConfig};
+use spmv::{host_threads, measure_spmv_in, measure_spmv_traced, KernelKind, MeasureConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use telemetry::{FlightRecorder, TraceCtx};
+
+/// At most this many sampled requests run the downstream SpMV stage
+/// and write trace files — tracing is a magnifier, not a census.
+const TRACE_DUMP_CAP: usize = 16;
+
+/// Flight-recorder ring capacity (events per thread).
+const TRACE_RING_CAPACITY: usize = 1 << 14;
 
 struct ServeOptions {
     size: CorpusSize,
@@ -49,6 +72,8 @@ struct ServeOptions {
     kernel: KernelKind,
     persist_dir: Option<std::path::PathBuf>,
     export_dir: Option<std::path::PathBuf>,
+    trace_dir: Option<std::path::PathBuf>,
+    trace_sample_rate: f64,
 }
 
 impl Default for ServeOptions {
@@ -64,6 +89,23 @@ impl Default for ServeOptions {
             kernel: KernelKind::OneD,
             persist_dir: None,
             export_dir: None,
+            trace_dir: None,
+            trace_sample_rate: 1.0,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The engine's sampling stride: trace every N-th request. A rate
+    /// of 1.0 traces everything, 0.01 every hundredth request, 0 (or a
+    /// missing `--trace-dir`) nothing.
+    fn trace_stride(&self) -> u64 {
+        if self.trace_dir.is_none() || self.trace_sample_rate <= 0.0 {
+            0
+        } else if self.trace_sample_rate >= 1.0 {
+            1
+        } else {
+            (1.0 / self.trace_sample_rate).round() as u64
         }
     }
 }
@@ -72,7 +114,8 @@ fn usage() -> ! {
     println!(
         "usage: serve [--size small|medium|large] [--requests N] [--clients N]\n\
          \x20            [--workers N] [--skew S] [--seed N] [--cache-capacity N]\n\
-         \x20            [--kernel 1d|2d|merge] [--persist-dir DIR] [--export-dir DIR]"
+         \x20            [--kernel 1d|2d|merge] [--persist-dir DIR] [--export-dir DIR]\n\
+         \x20            [--trace-dir DIR] [--trace-sample-rate R]"
     );
     std::process::exit(0);
 }
@@ -127,6 +170,12 @@ fn parse_serve_args() -> ServeOptions {
             }
             "--persist-dir" => opts.persist_dir = Some(value(&mut it, "--persist-dir").into()),
             "--export-dir" => opts.export_dir = Some(value(&mut it, "--export-dir").into()),
+            "--trace-dir" => opts.trace_dir = Some(value(&mut it, "--trace-dir").into()),
+            "--trace-sample-rate" => {
+                opts.trace_sample_rate =
+                    num::<f64>(value(&mut it, "--trace-sample-rate"), "--trace-sample-rate")
+                        .clamp(0.0, 1.0)
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -151,6 +200,69 @@ fn sample_trace(cumulative: &[f64], n: usize, rng: &mut ChaCha8Rng) -> Vec<usize
                 .min(cumulative.len() - 1)
         })
         .collect()
+}
+
+/// The downstream stage of one sampled request: apply the served
+/// ordering, plan and measure SpMV under the request's trace, attach
+/// the [`archsim`] cost model's verdict on the layout as span
+/// arguments, and write the request's Chrome-trace JSON and text
+/// summary into `dir`.
+#[allow(clippy::too_many_arguments)]
+fn trace_spmv_and_dump(
+    engine: &Engine,
+    registry: &Arc<telemetry::Registry>,
+    handle: &MatrixHandle,
+    ordering: &Arc<CachedOrdering>,
+    kernel: KernelKind,
+    request_id: u64,
+    ctx: &TraceCtx,
+    dir: &std::path::Path,
+) {
+    let reordered = Arc::new(
+        ordering
+            .apply(handle.matrix())
+            .expect("applying the served ordering"),
+    );
+    let mut span = ctx.span("serve.spmv");
+    span.arg("kernel", kernel.name());
+    span.arg("nnz", reordered.nnz());
+    // The cost model's verdict on this layout. DRAM bytes beyond the
+    // compulsory CSR stream are x-vector line fetches (at most
+    // 8 bytes/nnz of useful demand), so their shortfall is the
+    // fraction of x reads served on-chip.
+    let sim = archsim::simulate_spmv_1d(&reordered, &archsim::machines()[0]);
+    let streamed = archsim::BYTES_PER_NNZ * reordered.nnz() as f64
+        + archsim::BYTES_PER_ROW * reordered.nrows() as f64;
+    let x_hit =
+        1.0 - ((sim.dram_bytes - streamed) / (8.0 * reordered.nnz() as f64)).clamp(0.0, 1.0);
+    span.arg("model_gflops", sim.gflops);
+    span.arg("model_dram_bytes", sim.dram_bytes as u64);
+    span.arg("model_imbalance", sim.imbalance);
+    span.arg("model_x_hit_rate", x_hit);
+
+    // Plan through the engine's plan cache (records `engine.plan`),
+    // then measure on the persistent team (records `spmv.measure` plus
+    // one dispatch/compute/park timeline lane per worker).
+    let nthreads = host_threads().clamp(2, 4);
+    let reordered_handle = MatrixHandle::new(Arc::clone(&reordered));
+    let _plan = engine.plan_traced(&reordered_handle, kernel, nthreads, &span.ctx());
+    let mcfg = MeasureConfig {
+        repetitions: 4,
+        warmup: 1,
+        nthreads,
+    };
+    let measured = measure_spmv_traced(registry, &span.ctx(), &reordered, kernel, &mcfg);
+    span.arg("measured_gflops", measured.max_gflops);
+    drop(span);
+
+    if let Some(json) = engine.trace_chrome_json(request_id) {
+        std::fs::write(dir.join(format!("trace-{request_id}.json")), json)
+            .expect("writing trace JSON");
+    }
+    if let Some(text) = engine.trace_summary(request_id) {
+        std::fs::write(dir.join(format!("trace-{request_id}.txt")), text)
+            .expect("writing trace summary");
+    }
 }
 
 fn main() {
@@ -211,37 +323,86 @@ fn main() {
     );
 
     // --- Replay through the engine. ----------------------------------
+    let recorder = opts
+        .trace_dir
+        .as_ref()
+        .map(|_| FlightRecorder::new(TRACE_RING_CAPACITY));
     let engine = Arc::new(Engine::new(EngineConfig {
         workers: opts.workers,
         cache_capacity: opts.cache_capacity,
         persist_dir: opts.persist_dir.clone(),
+        recorder: recorder.clone(),
+        trace_sample_every: opts.trace_stride(),
         ..EngineConfig::default()
     }));
+    if let Some(dir) = &opts.trace_dir {
+        std::fs::create_dir_all(dir).expect("creating --trace-dir");
+        eprintln!(
+            "tracing: every {} request(s), dumping up to {} to {}",
+            opts.trace_stride().max(1),
+            TRACE_DUMP_CAP,
+            dir.display()
+        );
+    }
     let registry = Arc::clone(engine.registry());
     // Per-request wait lands in one registry histogram; the quantiles
     // below come from there, not from a binary-local sample vector.
     let request_hist = registry.histogram("serve.request");
+    let traced_requests = AtomicUsize::new(0);
+    let dump_slots = AtomicUsize::new(0);
     let replay = Instant::now();
     std::thread::scope(|scope| {
         let chunk = trace.len().div_ceil(opts.clients);
         for slice in trace.chunks(chunk.max(1)) {
             let engine = Arc::clone(&engine);
+            let registry = Arc::clone(&registry);
             let request_hist = Arc::clone(&request_hist);
             let handles = &handles;
             let keys = &keys;
+            let trace_dir = opts.trace_dir.as_deref();
+            let kernel = opts.kernel;
+            let traced_requests = &traced_requests;
+            let dump_slots = &dump_slots;
             scope.spawn(move || {
                 for &k in slice {
                     let (mi, algo) = keys[k];
                     let t0 = Instant::now();
-                    engine
-                        .get(&handles[mi], algo)
+                    let ticket = engine.submit(&handles[mi], algo);
+                    let request_id = ticket.request_id();
+                    let tctx = ticket.trace_ctx();
+                    let ordering = ticket
+                        .wait()
                         .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
                     request_hist.record_duration(t0.elapsed());
+                    if tctx.is_recording() {
+                        traced_requests.fetch_add(1, Ordering::Relaxed);
+                        if let Some(dir) = trace_dir {
+                            if dump_slots.fetch_add(1, Ordering::Relaxed) < TRACE_DUMP_CAP {
+                                trace_spmv_and_dump(
+                                    &engine,
+                                    &registry,
+                                    &handles[mi],
+                                    &ordering,
+                                    kernel,
+                                    request_id,
+                                    &tctx,
+                                    dir,
+                                );
+                            }
+                        }
+                    }
                 }
             });
         }
     });
     let wall = replay.elapsed().as_secs_f64();
+    if opts.trace_dir.is_some() {
+        eprintln!(
+            "tracing: {} request(s) recorded, {} dumped",
+            traced_requests.load(Ordering::Relaxed),
+            dump_slots.load(Ordering::Relaxed).min(TRACE_DUMP_CAP)
+        );
+    }
 
     // --- SpMV on the hottest matrix: the downstream payoff. ----------
     // The quantity the cache amortises is reordering time *per SpMV

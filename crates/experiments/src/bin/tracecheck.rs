@@ -1,0 +1,207 @@
+//! `tracecheck`: validate a directory of flight-recorder dumps.
+//!
+//! `serve --trace-dir DIR` writes one `trace-<id>.json` (Chrome
+//! trace-event format) per dumped request. This binary is the CI gate
+//! on those artefacts: it proves the trace files a run produces are
+//! loadable by the tools they target (Perfetto, `chrome://tracing`)
+//! and that the instrumentation actually covered the serving path.
+//!
+//! Checks, in order:
+//!
+//! 1. the directory contains at least one `trace-*.json`;
+//! 2. every file parses as JSON and has a non-empty `traceEvents`
+//!    array;
+//! 3. in every file, `B`/`E` duration events are balanced per
+//!    `(pid, tid)` lane with matching names — the invariant Chrome's
+//!    viewer needs to reconstruct the span stack;
+//! 4. at least one file contains a span for **every** pipeline stage
+//!    (request, cache lookup, queue wait, reorder, plan, SpMV
+//!    measure, team compute, serve-level SpMV);
+//! 5. at least one file shows `spmv.team.compute` on two or more
+//!    distinct lanes — the per-worker timelines, not a single merged
+//!    track.
+//!
+//! Exits 0 and prints a per-file event census on success; exits 1
+//! with a diagnostic on the first violated check.
+//!
+//! Usage: `tracecheck DIR`
+
+use serde_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Every stage of the serving path; at least one dumped trace must
+/// contain all of them.
+const REQUIRED_STAGES: &[&str] = &[
+    "engine.request",
+    "engine.cache.lookup",
+    "engine.queue.wait",
+    "engine.reorder",
+    "engine.plan",
+    "serve.spmv",
+    "spmv.measure",
+    "spmv.team.compute",
+];
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("tracecheck: {msg}");
+    std::process::exit(1);
+}
+
+/// Validate one Chrome-trace file; returns the set of span names it
+/// contains and the number of distinct lanes carrying
+/// `spmv.team.compute`.
+fn check_file(path: &Path) -> (BTreeSet<String>, usize) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("{}: {e}", path.display())));
+    let doc = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(format_args!("{}: not valid JSON: {e:?}", path.display())));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(format_args!("{}: no traceEvents array", path.display())));
+    if events.is_empty() {
+        fail(format_args!("{}: traceEvents is empty", path.display()));
+    }
+
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    let mut compute_lanes: BTreeSet<(u64, u64)> = BTreeSet::new();
+    // Per-lane open-span stack: Chrome matches each E against the most
+    // recent unmatched B on the same (pid, tid).
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let field = |key: &str| {
+            ev.get(key)
+                .unwrap_or_else(|| fail(format_args!("{}: event {i} lacks {key}", path.display())))
+        };
+        let ph = field("ph")
+            .as_str()
+            .unwrap_or_else(|| {
+                fail(format_args!(
+                    "{}: event {i}: ph not a string",
+                    path.display()
+                ))
+            })
+            .to_string();
+        let name = field("name")
+            .as_str()
+            .unwrap_or_else(|| {
+                fail(format_args!(
+                    "{}: event {i}: name not a string",
+                    path.display()
+                ))
+            })
+            .to_string();
+        let lane = (
+            field("pid").as_u64().unwrap_or(0),
+            field("tid").as_u64().unwrap_or(0),
+        );
+        match ph.as_str() {
+            "B" => {
+                names.insert(name.clone());
+                if name == "spmv.team.compute" {
+                    compute_lanes.insert(lane);
+                }
+                stacks.entry(lane).or_default().push(name);
+            }
+            "E" => {
+                let open = stacks.entry(lane).or_default().pop().unwrap_or_else(|| {
+                    fail(format_args!(
+                        "{}: event {i}: E '{name}' on lane {lane:?} with no open span",
+                        path.display()
+                    ))
+                });
+                if open != name {
+                    fail(format_args!(
+                        "{}: event {i}: E '{name}' closes open span '{open}' on lane {lane:?}",
+                        path.display()
+                    ));
+                }
+            }
+            "i" => {
+                names.insert(name);
+            }
+            "M" => {}
+            other => fail(format_args!(
+                "{}: event {i}: unexpected phase '{other}'",
+                path.display()
+            )),
+        }
+    }
+    for (lane, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            fail(format_args!(
+                "{}: lane {lane:?} ends with unclosed span '{open}'",
+                path.display()
+            ));
+        }
+    }
+    (names, compute_lanes.len())
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: tracecheck DIR");
+        std::process::exit(2);
+    });
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| fail(format_args!("{dir}: {e}")))
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("trace-") && name.ends_with(".json")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        fail(format_args!("{dir}: no trace-*.json files"));
+    }
+
+    let mut best_missing: Option<Vec<&str>> = None;
+    let mut max_compute_lanes = 0usize;
+    for path in &files {
+        let (names, compute_lanes) = check_file(path);
+        max_compute_lanes = max_compute_lanes.max(compute_lanes);
+        let missing: Vec<&str> = REQUIRED_STAGES
+            .iter()
+            .copied()
+            .filter(|s| !names.contains(*s))
+            .collect();
+        println!(
+            "{}: {} span name(s), {} compute lane(s){}",
+            path.display(),
+            names.len(),
+            compute_lanes,
+            if missing.is_empty() {
+                " — all stages present".to_string()
+            } else {
+                format!(" — missing: {}", missing.join(", "))
+            }
+        );
+        if best_missing
+            .as_ref()
+            .is_none_or(|b| missing.len() < b.len())
+        {
+            best_missing = Some(missing);
+        }
+    }
+    match best_missing {
+        Some(missing) if missing.is_empty() => {}
+        Some(missing) => fail(format_args!(
+            "no trace contains every pipeline stage; best file still missing: {}",
+            missing.join(", ")
+        )),
+        None => unreachable!("files is non-empty"),
+    }
+    if max_compute_lanes < 2 {
+        fail(format_args!(
+            "no trace shows spmv.team.compute on >= 2 lanes (max seen: {max_compute_lanes})"
+        ));
+    }
+    println!(
+        "tracecheck: {} file(s) ok — balanced B/E, all {} stages covered, {} worker lane(s)",
+        files.len(),
+        REQUIRED_STAGES.len(),
+        max_compute_lanes
+    );
+}

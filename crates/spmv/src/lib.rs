@@ -38,8 +38,11 @@ mod team;
 
 pub use exec::{spmv_1d, spmv_2d};
 pub use kernel::{Kernel, KernelKind};
-pub use measure::{host_threads, measure_spmv, measure_spmv_in, MeasureConfig, SpmvMeasurement};
+pub use measure::{
+    host_threads, measure_spmv, measure_spmv_in, measure_spmv_traced, MeasureConfig,
+    SpmvMeasurement,
+};
 pub use merge::{spmv_merge, MergeSpan, PlanMerge};
 pub use plan::{imbalance_factor, nnz_per_thread, Plan1d, Plan2d, ThreadSpan};
 pub use solvers::{conjugate_gradient, CgOptions, SolveStats};
-pub use team::ThreadTeam;
+pub use team::{TeamTraceGuard, ThreadTeam};

@@ -41,6 +41,15 @@
 //! exists to minimise), and `spmv.team.compute` records per-lane
 //! kernel time. Comparing the two shows exactly how much of a
 //! parallel region is coordination versus work.
+//!
+//! On top of the aggregate histograms, a team can record into the
+//! flight recorder: [`ThreadTeam::trace_scope`] attaches a
+//! [`TraceCtx`], and every epoch dispatched while the scope is live
+//! emits per-lane `spmv.team.park` / `spmv.team.dispatch` /
+//! `spmv.team.compute` segments — one Perfetto timeline lane per
+//! worker, making load imbalance visible per call rather than only as
+//! a histogram. With no context attached, `run` pays a single relaxed
+//! atomic load.
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,6 +57,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{JoinHandle, Thread};
 use std::time::Instant;
+use telemetry::trace::{ArgValue, TraceCtx};
 use telemetry::{Histogram, Registry};
 
 /// Spins on the epoch before parking. Small: on an oversubscribed
@@ -55,9 +65,18 @@ use telemetry::{Histogram, Registry};
 /// workers that hold the actual work.
 const SPIN_BUDGET: u32 = 128;
 
-/// The job slot: a type-erased pointer to the closure of the current
-/// dispatch plus the instant it was published.
-type JobSlot = Option<(*const (dyn Fn(usize) + Sync), Instant)>;
+/// The current dispatch: a type-erased pointer to the region closure,
+/// the instant it was published, the epoch number, and the trace
+/// context (if the epoch is being recorded).
+struct JobMsg {
+    ptr: *const (dyn Fn(usize) + Sync),
+    published: Instant,
+    epoch_no: u64,
+    trace: Option<TraceCtx>,
+}
+
+/// The job slot the leader hands to workers.
+type JobSlot = Option<JobMsg>;
 
 /// State shared between the leader and the workers.
 struct Shared {
@@ -104,6 +123,11 @@ pub struct ThreadTeam {
     dispatch: Mutex<()>,
     size: usize,
     dispatches: Arc<telemetry::Counter>,
+    /// Fast gate for the tracing path: `run` reads this once (relaxed)
+    /// and only touches `trace_ctx` when it is set.
+    trace_on: AtomicBool,
+    /// The context epochs record under while a trace scope is live.
+    trace_ctx: Mutex<TraceCtx>,
 }
 
 impl std::fmt::Debug for ThreadTeam {
@@ -154,12 +178,37 @@ impl ThreadTeam {
             dispatch: Mutex::new(()),
             size,
             dispatches: registry.counter("spmv.team.dispatches"),
+            trace_on: AtomicBool::new(false),
+            trace_ctx: Mutex::new(TraceCtx::disabled()),
         }
     }
 
     /// Number of lanes (the caller's lane plus the worker threads).
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Attach a trace context: every epoch dispatched until
+    /// [`ThreadTeam::clear_trace`] records per-lane park/dispatch/
+    /// compute segments under `ctx`'s parent span. A disabled context
+    /// leaves tracing off. Prefer [`ThreadTeam::trace_scope`], which
+    /// detaches automatically.
+    pub fn set_trace(&self, ctx: &TraceCtx) {
+        *self.trace_ctx.lock().unwrap() = ctx.clone();
+        self.trace_on.store(ctx.is_recording(), Ordering::Relaxed);
+    }
+
+    /// Detach the trace context; subsequent epochs record nothing.
+    pub fn clear_trace(&self) {
+        self.trace_on.store(false, Ordering::Relaxed);
+        *self.trace_ctx.lock().unwrap() = TraceCtx::disabled();
+    }
+
+    /// RAII form of [`ThreadTeam::set_trace`]: tracing stays attached
+    /// while the guard lives and detaches on drop.
+    pub fn trace_scope<'a>(&'a self, ctx: &TraceCtx) -> TeamTraceGuard<'a> {
+        self.set_trace(ctx);
+        TeamTraceGuard { team: self }
     }
 
     /// Execute one parallel region: `f(lane)` runs exactly once per
@@ -172,9 +221,28 @@ impl ThreadTeam {
     /// Propagates a panic from any lane (after the barrier completes,
     /// so the team stays usable).
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        // One relaxed load when tracing is off — the whole cost of the
+        // instrumentation on the untraced path.
+        let trace = if self.trace_on.load(Ordering::Relaxed) {
+            let ctx = self.trace_ctx.lock().unwrap().clone();
+            ctx.is_recording().then_some(ctx)
+        } else {
+            None
+        };
         if self.size == 1 {
             // Degenerate team: no workers, no dispatch, no barrier.
-            f(0);
+            if let Some(ctx) = &trace {
+                let t0 = Instant::now();
+                f(0);
+                ctx.complete(
+                    "spmv.team.compute",
+                    t0,
+                    Instant::now(),
+                    vec![("lane", ArgValue::U64(0))],
+                );
+            } else {
+                f(0);
+            }
             return;
         }
         // A propagated lane panic unwinds `run` with this guard held,
@@ -195,7 +263,15 @@ impl ThreadTeam {
         let ptr: *const (dyn Fn(usize) + Sync) = unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
         };
-        unsafe { *shared.job.get() = Some((ptr, Instant::now())) };
+        let epoch_no = shared.epoch.load(Ordering::Relaxed) + 1;
+        unsafe {
+            *shared.job.get() = Some(JobMsg {
+                ptr,
+                published: Instant::now(),
+                epoch_no,
+                trace: trace.clone(),
+            })
+        };
         shared.epoch.fetch_add(1, Ordering::Release);
         for w in &self.workers {
             w.thread().unpark();
@@ -203,7 +279,19 @@ impl ThreadTeam {
 
         // Lane 0 runs on the caller. Catch a leader panic so the
         // barrier still completes (workers hold the erased borrow).
+        let leader_t0 = trace.as_ref().map(|_| Instant::now());
         let leader_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+        if let (Some(ctx), Some(t0)) = (&trace, leader_t0) {
+            ctx.complete(
+                "spmv.team.compute",
+                t0,
+                Instant::now(),
+                vec![
+                    ("lane", ArgValue::U64(0)),
+                    ("epoch", ArgValue::U64(epoch_no)),
+                ],
+            );
+        }
 
         // Completion barrier: spin, then park until the last worker's
         // unpark token arrives.
@@ -229,6 +317,19 @@ impl ThreadTeam {
     }
 }
 
+/// Detaches a team's trace context on drop (see
+/// [`ThreadTeam::trace_scope`]).
+#[must_use = "dropping the guard immediately detaches tracing"]
+pub struct TeamTraceGuard<'a> {
+    team: &'a ThreadTeam,
+}
+
+impl Drop for TeamTraceGuard<'_> {
+    fn drop(&mut self) {
+        self.team.clear_trace();
+    }
+}
+
 impl Drop for ThreadTeam {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
@@ -244,6 +345,11 @@ impl Drop for ThreadTeam {
 
 fn worker_loop(shared: &Shared, lane: usize, dispatch_wait: &Histogram, compute: &Histogram) {
     let mut seen = 0u64;
+    // When the previous epoch finished on this lane, and under which
+    // trace — the park segment between two epochs of the *same* trace
+    // is idle time worth showing; gaps across unrelated requests are
+    // not.
+    let mut last_done: Option<(Instant, Option<u64>)> = None;
     loop {
         // Wait for a new epoch: spin briefly, then park. A stale
         // unpark token at worst costs one extra loop iteration.
@@ -267,8 +373,35 @@ fn worker_loop(shared: &Shared, lane: usize, dispatch_wait: &Histogram, compute:
         // SAFETY: the epoch acquire above pairs with the leader's
         // release bump, which happens-after the job write; the leader
         // cannot reclaim the slot before this lane increments `done`.
-        let (ptr, published) = unsafe { (*shared.job.get()).expect("epoch bump implies a job") };
-        dispatch_wait.record_duration(published.elapsed());
+        let (ptr, published, epoch_no, trace) = unsafe {
+            let msg = (*shared.job.get())
+                .as_ref()
+                .expect("epoch bump implies a job");
+            (msg.ptr, msg.published, msg.epoch_no, msg.trace.clone())
+        };
+        let pickup = Instant::now();
+        dispatch_wait.record_duration(pickup.saturating_duration_since(published));
+        if let Some(ctx) = &trace {
+            if let Some((prev_end, prev_trace)) = last_done {
+                if prev_trace.is_some() && prev_trace == ctx.trace_id() {
+                    ctx.complete(
+                        "spmv.team.park",
+                        prev_end,
+                        published,
+                        vec![("lane", ArgValue::U64(lane as u64))],
+                    );
+                }
+            }
+            ctx.complete(
+                "spmv.team.dispatch",
+                published,
+                pickup,
+                vec![
+                    ("lane", ArgValue::U64(lane as u64)),
+                    ("epoch", ArgValue::U64(epoch_no)),
+                ],
+            );
+        }
         let t0 = Instant::now();
         // SAFETY: see `Shared::job` — the referent outlives the
         // barrier this lane is part of.
@@ -276,7 +409,20 @@ fn worker_loop(shared: &Shared, lane: usize, dispatch_wait: &Histogram, compute:
         if catch_unwind(AssertUnwindSafe(|| job(lane))).is_err() {
             shared.panicked.store(true, Ordering::Release);
         }
-        compute.record_duration(t0.elapsed());
+        let done_t = Instant::now();
+        compute.record_duration(done_t.saturating_duration_since(t0));
+        if let Some(ctx) = &trace {
+            ctx.complete(
+                "spmv.team.compute",
+                t0,
+                done_t,
+                vec![
+                    ("lane", ArgValue::U64(lane as u64)),
+                    ("epoch", ArgValue::U64(epoch_no)),
+                ],
+            );
+        }
+        last_done = Some((done_t, trace.as_ref().and_then(|c| c.trace_id())));
         // Last lane out wakes the (possibly parked) leader.
         if shared.done.fetch_add(1, Ordering::AcqRel) + 1 == shared.nworkers {
             if let Some(leader) = shared.leader.lock().unwrap().as_ref() {
@@ -374,6 +520,63 @@ mod tests {
         assert_eq!(snap.histogram("spmv.team.dispatch_wait").unwrap().count, 20);
         assert_eq!(snap.histogram("spmv.team.compute").unwrap().count, 20);
         assert_eq!(snap.counter("spmv.team.dispatches"), Some(10));
+    }
+
+    #[test]
+    fn traced_epochs_record_per_lane_segments() {
+        use telemetry::trace::{EventKind, FlightRecorder};
+        const EPOCHS: usize = 5;
+        let team = ThreadTeam::new_in(&Registry::new_arc(), 3);
+        let rec = FlightRecorder::new(4096);
+        let ctx = rec.start_trace();
+        {
+            let _scope = team.trace_scope(&ctx);
+            for _ in 0..EPOCHS {
+                team.run(&|_| std::hint::black_box(()));
+            }
+        }
+        // After the scope drops, epochs record nothing.
+        team.run(&|_| std::hint::black_box(()));
+        let snap = rec.snapshot();
+        let count = |name: &str| {
+            snap.events()
+                .filter(|e| e.name == name && e.kind == EventKind::Begin)
+                .count()
+        };
+        // 3 lanes × EPOCHS compute segments; dispatch only on the 2
+        // worker lanes; park between consecutive same-trace epochs
+        // (EPOCHS - 1 gaps × 2 worker lanes).
+        assert_eq!(count("spmv.team.compute"), 3 * EPOCHS);
+        assert_eq!(count("spmv.team.dispatch"), 2 * EPOCHS);
+        assert_eq!(count("spmv.team.park"), 2 * (EPOCHS - 1));
+        // One timeline lane per participating thread: leader + 2
+        // workers all carry compute segments.
+        let lanes_with_compute = snap
+            .threads
+            .iter()
+            .filter(|t| t.events.iter().any(|e| e.name == "spmv.team.compute"))
+            .count();
+        assert_eq!(lanes_with_compute, 3);
+    }
+
+    #[test]
+    fn untraced_team_records_no_events_and_size_one_traces_inline() {
+        use telemetry::trace::FlightRecorder;
+        let rec = FlightRecorder::new(256);
+        let team = ThreadTeam::new_in(&Registry::new_arc(), 2);
+        team.run(&|_| {});
+        assert!(
+            rec.snapshot().is_empty(),
+            "a team with no trace scope must record nothing"
+        );
+        // The size-1 inline fast path still records its compute span.
+        let solo = ThreadTeam::new_in(&Registry::new_arc(), 1);
+        let ctx = rec.start_trace();
+        let _scope = solo.trace_scope(&ctx);
+        solo.run(&|_| {});
+        let snap = rec.snapshot();
+        assert_eq!(snap.total_events(), 2);
+        assert!(snap.events().all(|e| e.name == "spmv.team.compute"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::registry::Snapshot;
 use std::fmt::Write;
 
 /// Escape a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -40,7 +40,7 @@ fn json_f64(v: f64) -> String {
 
 fn json_histogram(h: &HistogramSnapshot) -> String {
     format!(
-        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
         h.count,
         h.sum,
         h.min,
@@ -48,7 +48,8 @@ fn json_histogram(h: &HistogramSnapshot) -> String {
         json_f64(h.mean),
         h.p50,
         h.p90,
-        h.p99
+        h.p99,
+        h.p999
     )
 }
 
@@ -114,6 +115,7 @@ impl Snapshot {
             let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.p50);
             let _ = writeln!(out, "{n}{{quantile=\"0.9\"}} {}", h.p90);
             let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{n}{{quantile=\"0.999\"}} {}", h.p999);
             let _ = writeln!(out, "{n}_sum {}", h.sum);
             let _ = writeln!(out, "{n}_count {}", h.count);
         }
@@ -146,6 +148,7 @@ mod tests {
         assert!(j.contains("\"serve.request\":{\"count\":4"), "{j}");
         assert!(j.contains("\"min\":100"), "{j}");
         assert!(j.contains("\"max\":40000"), "{j}");
+        assert!(j.contains("\"p999\":"), "{j}");
         // Balanced braces — a cheap structural sanity check given the
         // hand-rolled writer.
         assert_eq!(
@@ -170,6 +173,7 @@ mod tests {
         assert!(p.contains("# TYPE engine_pool_queue_depth gauge\nengine_pool_queue_depth 3\n"));
         assert!(p.contains("# TYPE serve_request summary"));
         assert!(p.contains("serve_request{quantile=\"0.5\"}"));
+        assert!(p.contains("serve_request{quantile=\"0.999\"}"));
         assert!(p.contains("serve_request_count 4\n"));
         assert!(p.contains("serve_request_sum 40600\n"));
         // No unsanitized dots leak into metric names.

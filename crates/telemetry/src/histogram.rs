@@ -194,6 +194,11 @@ impl Histogram {
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// The 99.9th percentile (see [`Histogram::quantile`]).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// A consistent point-in-time summary.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -205,6 +210,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
         }
     }
 }
@@ -228,6 +234,8 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// 99th percentile, accurate to one bucket.
     pub p99: u64,
+    /// 99.9th percentile, accurate to one bucket.
+    pub p999: u64,
 }
 
 #[cfg(test)]
@@ -270,10 +278,24 @@ mod tests {
         let h = Histogram::new();
         let s = h.snapshot();
         assert_eq!(
-            (s.count, s.sum, s.min, s.max, s.p50, s.p99),
-            (0, 0, 0, 0, 0, 0)
+            (s.count, s.sum, s.min, s.max, s.p50, s.p99, s.p999),
+            (0, 0, 0, 0, 0, 0, 0)
         );
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn p999_tracks_the_tail() {
+        let h = Histogram::new();
+        // 99 fast events and one 100x outlier: p99 must stay near the
+        // bulk (rank 99 of 100) while p999 (rank 100) reaches the tail.
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(100_000);
+        assert!(h.quantile(0.99) < 2_000, "p99 {}", h.quantile(0.99));
+        assert!(h.p999() >= 90_000, "p999 {}", h.p999());
+        assert_eq!(h.snapshot().p999, h.p999());
     }
 
     #[test]
@@ -341,7 +363,7 @@ mod tests {
             }
             let mut sorted = values.clone();
             sorted.sort_unstable();
-            for q in [0.5, 0.9, 0.99] {
+            for q in [0.5, 0.9, 0.99, 0.999] {
                 let exact = exact_quantile(&sorted, q);
                 let est = h.quantile(q);
                 let (be, bq) = (bucket_index(exact), bucket_index(est));

@@ -21,6 +21,11 @@
 //! - **Exporters** — JSON snapshots and Prometheus text exposition
 //!   ([`Snapshot::to_json`], [`Snapshot::to_prometheus`]), plus a
 //!   periodic stdout [`Reporter`] for long sweeps.
+//! - **Flight recorder** ([`trace`]) — request-scoped tracing: per-
+//!   thread drop-oldest event rings, a [`TraceCtx`] propagation handle
+//!   that crosses threads with explicit parenting, and Chrome-trace/
+//!   Perfetto JSON plus plain-text summary exporters
+//!   ([`TraceSnapshot::to_chrome_json`], [`TraceSnapshot::summary`]).
 //!
 //! Metric names are dotted lowercase paths (`engine.cache.hits`);
 //! every duration histogram records **nanoseconds**. The full naming
@@ -48,18 +53,21 @@
 //! exact counts build private registries so parallel tests cannot
 //! interleave.
 
+mod chrome;
 mod export;
 mod histogram;
 mod metrics;
 mod registry;
 mod report;
 mod span;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
 pub use registry::{Registry, Snapshot};
 pub use report::{compact_line, Reporter};
 pub use span::{current_depth, current_path, Span};
+pub use trace::{ArgValue, FlightRecorder, TraceCtx, TraceSnapshot, TraceSpan};
 
 use std::sync::Arc;
 

@@ -6,6 +6,15 @@
 //! metrics is explicitly not promised (nor needed for reporting).
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide `telemetry.underflow` counter, bumped whenever a
+/// [`Gauge::dec`] would have taken the gauge negative. Resolved lazily
+/// so creating gauges never touches the global registry.
+fn underflow_counter() -> &'static Arc<Counter> {
+    static UNDERFLOW: OnceLock<Arc<Counter>> = OnceLock::new();
+    UNDERFLOW.get_or_init(|| crate::Registry::global().counter("telemetry.underflow"))
+}
 
 /// A monotonically increasing event counter.
 #[derive(Debug, Default)]
@@ -62,10 +71,27 @@ impl Gauge {
         self.add(1);
     }
 
-    /// Subtract one.
+    /// Subtract one, saturating at zero. A `dec` that would have taken
+    /// the gauge negative is an instrumentation bug (a release without
+    /// a matching acquire), so instead of corrupting the reading it
+    /// leaves the gauge untouched and bumps the global
+    /// `telemetry.underflow` counter. Signed values remain reachable
+    /// through [`Gauge::add`] / [`Gauge::set`] for gauges that are
+    /// legitimately bidirectional.
     #[inline]
     pub fn dec(&self) {
-        self.add(-1);
+        let res = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                if v > 0 {
+                    Some(v - 1)
+                } else {
+                    None
+                }
+            });
+        if res.is_err() {
+            underflow_counter().inc();
+        }
     }
 
     /// Overwrite the value.
@@ -104,6 +130,33 @@ mod tests {
         assert_eq!(g.get(), -4);
         g.set(7);
         assert_eq!(g.get(), 7);
+    }
+
+    /// Regression: `dec` below zero saturates instead of going
+    /// negative, and each refused decrement is counted in the global
+    /// `telemetry.underflow` counter.
+    #[test]
+    fn dec_saturates_at_zero_and_counts_underflow() {
+        let g = Gauge::new();
+        let before = underflow_counter().get();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 0);
+        for _ in 0..3 {
+            g.dec();
+        }
+        assert_eq!(g.get(), 0, "dec must never take a gauge negative");
+        // ≥ rather than == : the underflow counter is process-global
+        // and other parallel tests may also bump it.
+        assert!(
+            underflow_counter().get() >= before + 3,
+            "underflow counter must record refused decrements"
+        );
+        // A gauge made negative explicitly stays pinned there by dec
+        // (dec only moves positive values), still counting underflows.
+        g.set(-2);
+        g.dec();
+        assert_eq!(g.get(), -2);
     }
 
     /// Satellite requirement: concurrent increments from ≥8 threads
