@@ -19,6 +19,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # must run end to end (single iteration; no timings recorded).
 cargo bench -p bench --bench team_overhead -- --test
 
+# Reordering-pipeline smoke: the sequential vs team-parallel stage
+# scaling bench must run end to end (it also asserts parallel RCM is
+# byte-identical to sequential before timing anything).
+cargo bench -p bench --bench reorder_scaling -- --test
+
 # Flight-recorder smoke: a traced serve replay must dump Chrome-trace
 # files that pass the validator (parse, balanced B/E pairs, every
 # pipeline stage covered, >= 2 per-worker timeline lanes).

@@ -1,0 +1,176 @@
+//! Reordering pipeline scaling: sequential vs. team-parallel stage
+//! timings.
+//!
+//! The ordering hot path has three data-parallel stages — pattern
+//! symmetrisation (`symmetrize_pattern_on`), level-set BFS expansion
+//! (`cuthill_mckee_order_on`), and permutation application
+//! (`permute_symmetric_on`) — all dispatching on the same
+//! [`ThreadTeam`] the SpMV kernels use. This bench times each stage
+//! (plus the end-to-end RCM compute) sequentially and on teams of
+//! 1/2/4 lanes on an R-MAT matrix, whose wide BFS frontiers exercise
+//! the two-phase parallel expansion.
+//!
+//! Every parallel stage is byte-identical to its sequential
+//! counterpart (asserted here before timing), so the *only* thing that
+//! varies is wall-clock.
+//!
+//! Besides the Criterion group, a normal run (no `--test` flag)
+//! records per-stage sequential/parallel timings and ratios in
+//! `BENCH_PR5.json` at the repository root, along with the host's
+//! available parallelism — on a single-core host the team cannot beat
+//! the sequential path, and the JSON says so honestly.
+
+use bench::host_threads;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use reorder::{Rcm, ReorderAlgorithm, ReorderExec};
+use sparsemat::{symmetrize_pattern_on, CsrMatrix};
+use spmv::ThreadTeam;
+use std::hint::black_box;
+use std::time::Instant;
+use team::Exec;
+
+/// Team sizes the scaling record covers.
+const LANES: [usize; 3] = [1, 2, 4];
+
+/// An R-MAT graph: wide, skewed BFS frontiers — the case level-set
+/// parallelism is for.
+fn bench_matrix() -> CsrMatrix {
+    corpus::rmat(14, 8, 42)
+}
+
+/// One timing subject: a named closure over (matrix, executor).
+type Stage = (&'static str, fn(&CsrMatrix, Exec<'_>));
+
+fn stage_symmetrize(a: &CsrMatrix, exec: Exec<'_>) {
+    black_box(symmetrize_pattern_on(a, exec).expect("square input"));
+}
+
+fn stage_levels(a: &CsrMatrix, exec: Exec<'_>) {
+    let g = sparsegraph::Graph::from_matrix(a).expect("ordering graph");
+    black_box(Rcm::cuthill_mckee_order_on(&g, exec));
+}
+
+fn stage_permute(a: &CsrMatrix, exec: Exec<'_>) {
+    let r = Rcm::default().compute(a).expect("RCM");
+    black_box(a.permute_symmetric_on(&r.perm, exec).expect("applying RCM"));
+}
+
+fn stage_end_to_end(a: &CsrMatrix, exec: Exec<'_>) {
+    let rx = ReorderExec::on_exec(exec);
+    black_box(Rcm::default().compute_on(a, &rx).expect("RCM"));
+}
+
+const STAGES: [Stage; 4] = [
+    ("symmetrize", stage_symmetrize),
+    ("levels", stage_levels),
+    ("permute", stage_permute),
+    ("rcm_end_to_end", stage_end_to_end),
+];
+
+fn reorder_scaling(c: &mut Criterion) {
+    let a = bench_matrix();
+    let mut group = c.benchmark_group("reorder_scaling");
+    for (name, stage) in STAGES {
+        group.bench_with_input(BenchmarkId::new(name, "seq"), &a, |b, m| {
+            b.iter(|| stage(m, Exec::Sequential))
+        });
+        for lanes in LANES {
+            let team = ThreadTeam::new(lanes);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("team{lanes}")),
+                &a,
+                |b, m| b.iter(|| stage(m, Exec::Team(&team))),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Median-of-`reps` wall time of one call, seconds.
+fn time_stage(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: first dispatch pays one-time costs
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Record per-stage sequential vs. team timings in `BENCH_PR5.json`.
+fn write_bench_json() {
+    let a = bench_matrix();
+
+    // Determinism first: the numbers below are only comparable because
+    // the outputs are identical.
+    let seq_perm = Rcm::default().compute(&a).expect("RCM").perm;
+    for lanes in LANES {
+        let team = ThreadTeam::new(lanes);
+        let par = Rcm::default()
+            .compute_on(&a, &ReorderExec::on_team(&team))
+            .expect("RCM")
+            .perm;
+        assert_eq!(seq_perm, par, "parallel RCM diverged at {lanes} lanes");
+    }
+
+    let reps = 5;
+    let mut stage_json = Vec::new();
+    for (name, stage) in STAGES {
+        let seq = time_stage(reps, || stage(&a, Exec::Sequential));
+        let mut team_entries = Vec::new();
+        for lanes in LANES {
+            let team = ThreadTeam::new(lanes);
+            let t = time_stage(reps, || stage(&a, Exec::Team(&team)));
+            team_entries.push(format!(
+                "{{ \"lanes\": {lanes}, \"ms\": {:.3}, \"speedup_vs_seq\": {:.3} }}",
+                t * 1e3,
+                seq / t
+            ));
+        }
+        stage_json.push(format!(
+            "    {{\n      \"stage\": \"{name}\",\n      \"sequential_ms\": {:.3},\n      \
+             \"team\": [{}]\n    }}",
+            seq * 1e3,
+            team_entries.join(", ")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"reorder_scaling\",\n  \"matrix\": \"rmat(14, 8, 42)\",\n  \
+         \"nrows\": {},\n  \"nnz\": {},\n  \"host_threads\": {},\n  \"reps\": {},\n  \
+         \"note\": \"median of reps; team sizes above host_threads oversubscribe the \
+         host, so speedup_vs_seq > 1 is only expected when host_threads > 1\",\n  \
+         \"stages\": [\n{}\n  ]\n}}\n",
+        a.nrows(),
+        a.nnz(),
+        host_threads(),
+        reps,
+        stage_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("reorder scaling recorded to BENCH_PR5.json"),
+        Err(e) => eprintln!("could not write BENCH_PR5.json: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = reorder_scaling
+}
+
+fn main() {
+    benches();
+    // Smoke runs (`--test`, as used by ci.sh) skip the JSON record:
+    // single-iteration timings would only add noise.
+    if !std::env::args().any(|arg| arg == "--test") {
+        write_bench_json();
+    }
+}

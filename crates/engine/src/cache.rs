@@ -67,6 +67,17 @@ impl CachedOrdering {
     ) -> Result<sparsemat::CsrMatrix, sparsemat::SparseError> {
         self.to_reorder_result().apply(a)
     }
+
+    /// [`CachedOrdering::apply`] on an executor: the row copy runs in
+    /// parallel after a prefix sum (byte-identical output — see
+    /// [`reorder::ReorderResult::apply_on`]).
+    pub fn apply_on(
+        &self,
+        a: &sparsemat::CsrMatrix,
+        exec: team::Exec<'_>,
+    ) -> Result<sparsemat::CsrMatrix, sparsemat::SparseError> {
+        self.to_reorder_result().apply_on(a, exec)
+    }
 }
 
 /// The cache's registry metrics (`engine.cache.*`), resolved once at

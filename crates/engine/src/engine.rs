@@ -27,6 +27,12 @@ const TRACED_INDEX_CAP: usize = 128;
 pub struct EngineConfig {
     /// Worker threads computing reorderings.
     pub workers: usize,
+    /// Lanes of the shared reordering [`ThreadTeam`](team::ThreadTeam):
+    /// the parallel stages of each ordering (symmetrisation, level-set
+    /// expansion, permutation application) dispatch on this team. `1`
+    /// keeps every ordering inline on its worker thread (the
+    /// sequential path; permutations are byte-identical either way).
+    pub reorder_threads: usize,
     /// Bounded job-queue capacity; submissions past this block (back-
     /// pressure).
     pub queue_capacity: usize,
@@ -62,6 +68,7 @@ impl Default for EngineConfig {
             .min(8);
         EngineConfig {
             workers,
+            reorder_threads: 1,
             queue_capacity: 256,
             cache_capacity: 4096,
             cache_shards: 8,
@@ -247,6 +254,7 @@ pub struct Engine {
     plans: PlanCache,
     inflight: Arc<Mutex<HashMap<OrderingKey, Arc<InFlight>>>>,
     registry: Arc<Registry>,
+    reorder_team: Arc<team::ThreadTeam>,
     metrics: EngineMetrics,
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
@@ -297,6 +305,10 @@ impl Engine {
             compute_ns: Arc::clone(&pool_metrics.compute_ns),
             queue_depth: Arc::clone(&pool_metrics.queue_depth),
         };
+        let reorder_team = Arc::new(team::ThreadTeam::new_in(
+            &registry,
+            config.reorder_threads.max(1),
+        ));
         let (tx, workers) = spawn_pool(
             config.workers,
             config.queue_capacity,
@@ -305,6 +317,7 @@ impl Engine {
                 inflight: Arc::clone(&inflight),
                 registry: Arc::clone(&registry),
                 metrics: pool_metrics,
+                reorder_team: Arc::clone(&reorder_team),
             },
         );
         Engine {
@@ -312,6 +325,7 @@ impl Engine {
             plans,
             inflight,
             registry,
+            reorder_team,
             metrics,
             tx: Some(tx),
             workers,
@@ -325,6 +339,14 @@ impl Engine {
     /// The registry this engine reports into.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The shared reordering team (sized by
+    /// [`EngineConfig::reorder_threads`]). Serving paths reuse it to
+    /// apply cached orderings in parallel
+    /// ([`CachedOrdering::apply_on`]).
+    pub fn reorder_team(&self) -> &Arc<team::ThreadTeam> {
+        &self.reorder_team
     }
 
     /// Submit one reordering request. Returns immediately with a
@@ -562,6 +584,7 @@ mod tests {
     fn small_engine() -> Engine {
         Engine::new(EngineConfig {
             workers: 2,
+            reorder_threads: 2,
             queue_capacity: 8,
             cache_capacity: 64,
             cache_shards: 2,
@@ -576,6 +599,7 @@ mod tests {
     fn traced_engine(sample_every: u64) -> Engine {
         Engine::new(EngineConfig {
             workers: 2,
+            reorder_threads: 2,
             queue_capacity: 8,
             cache_capacity: 64,
             cache_shards: 2,

@@ -11,8 +11,11 @@
 //! a queue-depth gauge (incremented by the submitter, decremented at
 //! dequeue), a per-job wall-clock histogram, and executed/failed
 //! counters. The reordering itself runs under
-//! [`reorder::timed_permutation`], so per-algorithm compute histograms
-//! (`reorder.rcm`, ...) accumulate in the same registry.
+//! [`reorder::timed_permutation_on`] with the engine's shared reorder
+//! team, so per-algorithm compute histograms (`reorder.rcm`, ...) and
+//! throughput gauges (`reorder.rcm.nnz_per_s`) accumulate in the same
+//! registry, and sampled jobs record `reorder.symmetrize` /
+//! `reorder.levels` sub-stage spans under their `engine.reorder` span.
 
 use crate::cache::{CachedOrdering, OrderingKey};
 use crate::EngineError;
@@ -108,6 +111,11 @@ pub(crate) struct WorkerContext {
     pub inflight: Arc<Mutex<std::collections::HashMap<OrderingKey, Arc<InFlight>>>>,
     pub registry: Arc<Registry>,
     pub metrics: PoolMetrics,
+    /// Shared team the parallel ordering stages dispatch on (size 1
+    /// keeps every stage inline on the worker thread). The team's
+    /// dispatch mutex serialises regions, so concurrent workers simply
+    /// take turns using it.
+    pub reorder_team: Arc<team::ThreadTeam>,
 }
 
 /// Spawn `workers` threads consuming from a bounded channel of
@@ -163,10 +171,12 @@ fn process(job: Job, ctx: &WorkerContext) {
         }
         None => TraceSpan::disabled(),
     };
-    let computed = reorder::timed_permutation(
+    let rexec = reorder::ReorderExec::on_team(&ctx.reorder_team).with_trace(reorder_span.ctx());
+    let computed = reorder::timed_permutation_on(
         &ctx.registry,
         job.key.algo.instantiate().as_ref(),
         &job.matrix,
+        &rexec,
     );
     reorder_span.arg("ok", if computed.is_ok() { "true" } else { "false" });
     drop(reorder_span);

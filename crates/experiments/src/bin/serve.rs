@@ -38,10 +38,16 @@
 //!
 //! ```text
 //! serve [--size small|medium|large] [--requests N] [--clients N]
-//!       [--workers N] [--skew S] [--seed N] [--cache-capacity N]
-//!       [--kernel 1d|2d|merge] [--persist-dir DIR] [--export-dir DIR]
-//!       [--trace-dir DIR] [--trace-sample-rate R]
+//!       [--workers N] [--reorder-threads N] [--skew S] [--seed N]
+//!       [--cache-capacity N] [--kernel 1d|2d|merge] [--persist-dir DIR]
+//!       [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]
 //! ```
+//!
+//! `--reorder-threads N` sizes the engine's shared reordering team:
+//! the symmetrisation, level-set and permutation stages of each
+//! ordering dispatch on that team (permutations are byte-identical at
+//! every size), and sampled traces gain `reorder.symmetrize` /
+//! `reorder.levels` / `reorder.permute` sub-stage spans.
 
 use corpus::CorpusSize;
 use engine::{AlgoSpec, CachedOrdering, Engine, EngineConfig, MatrixHandle};
@@ -66,6 +72,7 @@ struct ServeOptions {
     requests: usize,
     clients: usize,
     workers: usize,
+    reorder_threads: usize,
     skew: f64,
     seed: u64,
     cache_capacity: usize,
@@ -83,6 +90,7 @@ impl Default for ServeOptions {
             requests: 2000,
             clients: 4,
             workers: EngineConfig::default().workers,
+            reorder_threads: EngineConfig::default().reorder_threads,
             skew: 1.1,
             seed: 42,
             cache_capacity: 4096,
@@ -113,9 +121,9 @@ impl ServeOptions {
 fn usage() -> ! {
     println!(
         "usage: serve [--size small|medium|large] [--requests N] [--clients N]\n\
-         \x20            [--workers N] [--skew S] [--seed N] [--cache-capacity N]\n\
-         \x20            [--kernel 1d|2d|merge] [--persist-dir DIR] [--export-dir DIR]\n\
-         \x20            [--trace-dir DIR] [--trace-sample-rate R]"
+         \x20            [--workers N] [--reorder-threads N] [--skew S] [--seed N]\n\
+         \x20            [--cache-capacity N] [--kernel 1d|2d|merge] [--persist-dir DIR]\n\
+         \x20            [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]"
     );
     std::process::exit(0);
 }
@@ -154,6 +162,10 @@ fn parse_serve_args() -> ServeOptions {
             }
             "--workers" => {
                 opts.workers = num::<usize>(value(&mut it, "--workers"), "--workers").max(1)
+            }
+            "--reorder-threads" => {
+                opts.reorder_threads =
+                    num::<usize>(value(&mut it, "--reorder-threads"), "--reorder-threads").max(1)
             }
             "--skew" => opts.skew = num(value(&mut it, "--skew"), "--skew"),
             "--seed" => opts.seed = num(value(&mut it, "--seed"), "--seed"),
@@ -218,13 +230,20 @@ fn trace_spmv_and_dump(
     ctx: &TraceCtx,
     dir: &std::path::Path,
 ) {
-    let reordered = Arc::new(
-        ordering
-            .apply(handle.matrix())
-            .expect("applying the served ordering"),
-    );
     let mut span = ctx.span("serve.spmv");
     span.arg("kernel", kernel.name());
+    // Apply the served ordering on the engine's reorder team, under
+    // its own sub-stage span — the serving-side counterpart of the
+    // worker-side `reorder.symmetrize`/`reorder.levels` stages.
+    let reordered = {
+        let mut permute = span.ctx().span("reorder.permute");
+        permute.arg("nnz", handle.matrix().nnz());
+        Arc::new(
+            ordering
+                .apply_on(handle.matrix(), team::Exec::Team(engine.reorder_team()))
+                .expect("applying the served ordering"),
+        )
+    };
     span.arg("nnz", reordered.nnz());
     // The cost model's verdict on this layout. DRAM bytes beyond the
     // compulsory CSR stream are x-vector line fetches (at most
@@ -329,6 +348,7 @@ fn main() {
         .map(|_| FlightRecorder::new(TRACE_RING_CAPACITY));
     let engine = Arc::new(Engine::new(EngineConfig {
         workers: opts.workers,
+        reorder_threads: opts.reorder_threads,
         cache_capacity: opts.cache_capacity,
         persist_dir: opts.persist_dir.clone(),
         recorder: recorder.clone(),

@@ -15,11 +15,15 @@
 //!    `(pid, tid)` lane with matching names — the invariant Chrome's
 //!    viewer needs to reconstruct the span stack;
 //! 4. at least one file contains a span for **every** pipeline stage
-//!    (request, cache lookup, queue wait, reorder, plan, SpMV
-//!    measure, team compute, serve-level SpMV);
+//!    (request, cache lookup, queue wait, reorder, plan, reorder
+//!    permute, SpMV measure, team compute, serve-level SpMV);
 //! 5. at least one file shows `spmv.team.compute` on two or more
 //!    distinct lanes — the per-worker timelines, not a single merged
-//!    track.
+//!    track;
+//! 6. in every file, each `reorder.*` sub-stage span (symmetrize,
+//!    levels, permute) opens while a parent reorder stage
+//!    (`engine.reorder` or `serve.spmv`) is open on the same lane —
+//!    sub-stages nest under their pipeline stage, they never float.
 //!
 //! Exits 0 and prints a per-file event census on success; exits 1
 //! with a diagnostic on the first violated check.
@@ -38,10 +42,21 @@ const REQUIRED_STAGES: &[&str] = &[
     "engine.queue.wait",
     "engine.reorder",
     "engine.plan",
+    "reorder.permute",
     "serve.spmv",
     "spmv.measure",
     "spmv.team.compute",
 ];
+
+/// Reordering sub-stages: whenever one opens, a parent reorder stage
+/// must already be open on the same lane. (`reorder.symmetrize` and
+/// `reorder.levels` appear only on cache-miss RCM/GPS jobs, so they
+/// are nesting-checked but not required; `reorder.permute` runs on
+/// every dumped request and is required above.)
+const REORDER_SUBSTAGES: &[&str] = &["reorder.symmetrize", "reorder.levels", "reorder.permute"];
+
+/// Stages a `reorder.*` sub-stage may nest under.
+const REORDER_PARENTS: &[&str] = &["engine.reorder", "serve.spmv"];
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("tracecheck: {msg}");
@@ -102,7 +117,20 @@ fn check_file(path: &Path) -> (BTreeSet<String>, usize) {
                 if name == "spmv.team.compute" {
                     compute_lanes.insert(lane);
                 }
-                stacks.entry(lane).or_default().push(name);
+                let stack = stacks.entry(lane).or_default();
+                if REORDER_SUBSTAGES.contains(&name.as_str())
+                    && !stack
+                        .iter()
+                        .any(|open| REORDER_PARENTS.contains(&open.as_str()))
+                {
+                    fail(format_args!(
+                        "{}: event {i}: '{name}' opened on lane {lane:?} with no \
+                         enclosing reorder stage ({}); open spans: {stack:?}",
+                        path.display(),
+                        REORDER_PARENTS.join(" or "),
+                    ));
+                }
+                stack.push(name);
             }
             "E" => {
                 let open = stacks.entry(lane).or_default().pop().unwrap_or_else(|| {

@@ -10,6 +10,9 @@ pub struct Options {
     /// Restrict to machines whose name contains one of these strings
     /// (empty = all eight).
     pub machines: Vec<String>,
+    /// Lanes of the shared sweep engine's reordering team
+    /// (`--reorder-threads`, default 1 = sequential orderings).
+    pub reorder_threads: usize,
 }
 
 impl Default for Options {
@@ -17,14 +20,23 @@ impl Default for Options {
         Options {
             size: CorpusSize::Small,
             machines: Vec::new(),
+            reorder_threads: 1,
         }
     }
 }
 
-/// Parse `--size small|medium|large` and `--machine <name>` (repeatable)
-/// from the process arguments. Unknown arguments abort with usage help.
+/// Parse `--size small|medium|large`, `--machine <name>` (repeatable)
+/// and `--reorder-threads N` from the process arguments. Unknown
+/// arguments abort with usage help.
+///
+/// `--reorder-threads` is forwarded to
+/// [`crate::sweep::set_reorder_threads`] so the shared sweep engine's
+/// reordering team is sized before its lazy construction — every
+/// binary that parses its arguments through here gets the flag.
 pub fn parse_args() -> Options {
-    parse_from(std::env::args().skip(1))
+    let opts = parse_from(std::env::args().skip(1));
+    crate::sweep::set_reorder_threads(opts.reorder_threads);
+    opts
 }
 
 /// Parse from an explicit iterator (testable).
@@ -53,8 +65,21 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Options {
                 }
                 opts.machines.push(v);
             }
+            "--reorder-threads" => {
+                let v = it.next().unwrap_or_default();
+                opts.reorder_threads = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--reorder-threads: cannot parse '{v}' (want an integer >= 1)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: <bin> [--size small|medium|large] [--machine NAME]...");
+                println!(
+                    "usage: <bin> [--size small|medium|large] [--machine NAME]... \
+                     [--reorder-threads N]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -88,6 +113,13 @@ mod tests {
         let o = parse_from(Vec::<String>::new());
         assert_eq!(o.size, CorpusSize::Small);
         assert_eq!(o.machines().len(), 8);
+        assert_eq!(o.reorder_threads, 1);
+    }
+
+    #[test]
+    fn parses_reorder_threads() {
+        let o = parse_from(["--reorder-threads", "4"].iter().map(|s| s.to_string()));
+        assert_eq!(o.reorder_threads, 4);
     }
 
     #[test]

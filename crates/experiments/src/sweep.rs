@@ -146,6 +146,18 @@ impl MatrixSweep {
     }
 }
 
+/// Lanes for the shared engine's reordering team, consulted once when
+/// [`sweep_engine`] first initialises (0 = "unset", fall back to the
+/// engine default of 1).
+static REORDER_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Size the shared engine's reordering team (the `--reorder-threads`
+/// flag). Must be called before the first [`sweep_engine`] use; later
+/// calls have no effect because the engine is already running.
+pub fn set_reorder_threads(n: usize) {
+    REORDER_THREADS.store(n, Ordering::Relaxed);
+}
+
 /// The process-wide reordering engine every sweep goes through.
 ///
 /// One instance per process means every figure/table binary that
@@ -157,6 +169,10 @@ pub fn sweep_engine() -> &'static Engine {
     static ENGINE: OnceLock<Engine> = OnceLock::new();
     ENGINE.get_or_init(|| {
         let mut config = EngineConfig::default();
+        let reorder_threads = REORDER_THREADS.load(Ordering::Relaxed);
+        if reorder_threads > 0 {
+            config.reorder_threads = reorder_threads;
+        }
         if let Ok(dir) = std::env::var("REORDER_CACHE_DIR") {
             if !dir.is_empty() {
                 config.persist_dir = Some(dir.into());
@@ -205,9 +221,11 @@ pub fn apply_all_orderings(
                 // The identity ordering: share the input, don't copy it.
                 Arc::clone(a)
             } else {
+                // Apply on the engine's reorder team: parallel row copy
+                // when `--reorder-threads` > 1, byte-identical output.
                 Arc::new(
                     cached
-                        .apply(a)
+                        .apply_on(a, team::Exec::Team(engine.reorder_team()))
                         .unwrap_or_else(|e| panic!("{} apply failed: {e}", spec.name())),
                 )
             };

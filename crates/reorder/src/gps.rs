@@ -16,9 +16,11 @@
 //! narrower of their two candidate levels, processed component-wise in
 //! descending component size (the order GPS prescribes).
 
+use crate::exec::{build_ordering_graph, ReorderExec};
 use crate::traits::{ReorderAlgorithm, ReorderResult};
-use sparsegraph::{bfs_levels, connected_components, pseudo_peripheral_vertex, Graph};
+use sparsegraph::{bfs_levels_on, connected_components, pseudo_peripheral_vertex_on, Graph};
 use sparsemat::{CsrMatrix, Permutation, SparseError};
+use team::Exec;
 
 /// Gibbs–Poole–Stockmeyer reordering.
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,16 +33,21 @@ pub struct Gps {
 impl Gps {
     /// Compute the GPS order of one connected component, returning the
     /// component's vertices in their new relative order.
-    fn component_order(g: &Graph, start: usize) -> Vec<u32> {
+    ///
+    /// The two rooted level structures are built with
+    /// [`bfs_levels_on`], so wide frontiers expand on `exec`'s lanes;
+    /// the level structures — and therefore the combined numbering —
+    /// are identical for every executor.
+    fn component_order(g: &Graph, start: usize, exec: Exec<'_>) -> Vec<u32> {
         // 1. Pseudo-diameter endpoints.
-        let u = pseudo_peripheral_vertex(g, start);
-        let lu = bfs_levels(g, u);
+        let u = pseudo_peripheral_vertex_on(g, start, exec);
+        let lu = bfs_levels_on(g, u, exec);
         let deepest = lu.levels.last().expect("nonempty component");
         let v = *deepest
             .iter()
             .min_by_key(|&&w| g.degree(w as usize))
             .expect("deepest level nonempty") as usize;
-        let lv = bfs_levels(g, v);
+        let lv = bfs_levels_on(g, v, exec);
         let depth = lu.depth().max(lv.depth());
 
         // 2. Combined levels: vertex w gets candidate pair
@@ -106,16 +113,28 @@ impl ReorderAlgorithm for Gps {
     }
 
     fn compute(&self, a: &CsrMatrix) -> Result<ReorderResult, SparseError> {
-        let g = Graph::from_matrix(a)?;
-        let comps = connected_components(&g);
-        // GPS processes components in descending size.
-        let mut comp_ids: Vec<usize> = (0..comps.count()).collect();
-        comp_ids.sort_by_key(|&c| std::cmp::Reverse(comps.members[c].len()));
-        let mut order = Vec::with_capacity(g.num_vertices());
-        for c in comp_ids {
-            let start = comps.members[c][0] as usize;
-            order.extend(Gps::component_order(&g, start));
-        }
+        self.compute_on(a, &ReorderExec::sequential())
+    }
+
+    fn compute_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<ReorderResult, SparseError> {
+        let g = build_ordering_graph(a, rx)?;
+        let mut order = {
+            let _span = rx.trace().span("reorder.levels");
+            let comps = connected_components(&g);
+            // GPS processes components in descending size.
+            let mut comp_ids: Vec<usize> = (0..comps.count()).collect();
+            comp_ids.sort_by_key(|&c| std::cmp::Reverse(comps.members[c].len()));
+            let mut order = Vec::with_capacity(g.num_vertices());
+            for c in comp_ids {
+                let start = comps.members[c][0] as usize;
+                order.extend(Gps::component_order(&g, start, rx.exec()));
+            }
+            order
+        };
         if self.reverse {
             order.reverse();
         }
@@ -228,6 +247,21 @@ mod tests {
         let rev = Gps { reverse: true }.compute(&a).unwrap().perm;
         for k in 0..60 {
             assert_eq!(fwd.new_to_old(k), rev.new_to_old(59 - k));
+        }
+    }
+
+    #[test]
+    fn parallel_gps_matches_sequential() {
+        let a = shuffled_band(400, 3, 13);
+        let seq = Gps::default().compute(&a).unwrap().perm;
+        let registry = telemetry::Registry::new_arc();
+        for lanes in [1usize, 2, 4] {
+            let team = team::ThreadTeam::new_in(&registry, lanes);
+            let par = Gps::default()
+                .compute_on(&a, &ReorderExec::on_team(&team))
+                .unwrap()
+                .perm;
+            assert_eq!(seq, par, "GPS diverged at {lanes} lanes");
         }
     }
 

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod amd;
+mod exec;
 pub mod gp;
 pub mod gps;
 pub mod gray;
@@ -53,6 +54,7 @@ pub mod sbd;
 mod traits;
 
 pub use amd::Amd;
+pub use exec::{build_ordering_graph, ReorderExec};
 pub use gp::Gp;
 pub use gps::Gps;
 pub use gray::{Gray, GrayParams};
@@ -61,5 +63,6 @@ pub use nd::Nd;
 pub use rcm::Rcm;
 pub use sbd::Sbd;
 pub use traits::{
-    all_algorithms, timed_permutation, Original, ReorderAlgorithm, ReorderResult, TimedReordering,
+    all_algorithms, timed_permutation, timed_permutation_on, Original, ReorderAlgorithm,
+    ReorderResult, TimedReordering,
 };

@@ -8,9 +8,13 @@
 //! practice (§2.1.1). Disconnected components are processed one after
 //! another, each from its own pseudo-peripheral start.
 
+use crate::exec::{build_ordering_graph, ReorderExec};
 use crate::traits::{ReorderAlgorithm, ReorderResult};
-use sparsegraph::{connected_components, pseudo_peripheral_vertex, Graph};
+use sparsegraph::{
+    connected_components, expand_frontier_on, pseudo_peripheral_vertex_on, FrontierScratch, Graph,
+};
 use sparsemat::{CsrMatrix, Permutation, SparseError};
+use team::Exec;
 
 /// Reverse Cuthill–McKee reordering.
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,32 +27,51 @@ pub struct Rcm {
 impl Rcm {
     /// Compute the Cuthill–McKee order of a graph (before reversal).
     pub fn cuthill_mckee_order(g: &Graph) -> Vec<u32> {
+        Rcm::cuthill_mckee_order_on(g, Exec::Sequential)
+    }
+
+    /// [`Rcm::cuthill_mckee_order`] on an executor.
+    ///
+    /// The BFS is level-synchronised: each level is appended to the
+    /// order, then the next level is built by
+    /// [`expand_frontier_on`] — children claimed by their
+    /// first-in-frontier parent and sorted per parent by
+    /// `(degree, id)`, exactly the queue discipline of the classic
+    /// sequential CM. Wide frontiers expand on the executor's lanes;
+    /// the output is byte-identical for every executor and team size.
+    ///
+    /// The visited flags, claim slots and frontier buffer are
+    /// allocated once and reused across components, so
+    /// many-component (road/circuit) matrices no longer pay a fresh
+    /// queue + children allocation per component.
+    pub fn cuthill_mckee_order_on(g: &Graph, exec: Exec<'_>) -> Vec<u32> {
         let n = g.num_vertices();
         let mut order: Vec<u32> = Vec::with_capacity(n);
         let mut visited = vec![false; n];
+        let scratch = FrontierScratch::new(n);
+        let mut frontier: Vec<u32> = Vec::new();
         let comps = connected_components(g);
         // Process components in order of their first (lowest) vertex so
         // the ordering is deterministic.
         for comp in &comps.members {
-            let start = pseudo_peripheral_vertex(g, comp[0] as usize);
-            // BFS with degree-sorted children.
-            let mut queue = std::collections::VecDeque::new();
+            let start = pseudo_peripheral_vertex_on(g, comp[0] as usize, exec);
             visited[start] = true;
-            queue.push_back(start as u32);
-            let mut children: Vec<u32> = Vec::new();
-            while let Some(v) = queue.pop_front() {
-                order.push(v);
-                children.clear();
-                for &u in g.neighbors(v as usize) {
-                    if !visited[u as usize] {
-                        visited[u as usize] = true;
-                        children.push(u);
-                    }
+            frontier.clear();
+            frontier.push(start as u32);
+            while !frontier.is_empty() {
+                order.extend_from_slice(&frontier);
+                let next = expand_frontier_on(
+                    g,
+                    &frontier,
+                    |u| !visited[u],
+                    &scratch,
+                    exec,
+                    |children| children.sort_unstable_by_key(|&u| (g.degree(u as usize), u)),
+                );
+                for &u in &next {
+                    visited[u as usize] = true;
                 }
-                children.sort_unstable_by_key(|&u| (g.degree(u as usize), u));
-                for &u in &children {
-                    queue.push_back(u);
-                }
+                frontier = next;
             }
         }
         order
@@ -61,8 +84,19 @@ impl ReorderAlgorithm for Rcm {
     }
 
     fn compute(&self, a: &CsrMatrix) -> Result<ReorderResult, SparseError> {
-        let g = Graph::from_matrix(a)?;
-        let mut order = Rcm::cuthill_mckee_order(&g);
+        self.compute_on(a, &ReorderExec::sequential())
+    }
+
+    fn compute_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<ReorderResult, SparseError> {
+        let g = build_ordering_graph(a, rx)?;
+        let mut order = {
+            let _span = rx.trace().span("reorder.levels");
+            Rcm::cuthill_mckee_order_on(&g, rx.exec())
+        };
         if !self.plain_cm {
             order.reverse();
         }
@@ -180,6 +214,21 @@ mod tests {
         let a = CsrMatrix::identity(1);
         let r = Rcm::default().compute(&a).unwrap();
         assert_eq!(r.perm.len(), 1);
+    }
+
+    #[test]
+    fn parallel_rcm_matches_sequential() {
+        let a = shuffled_band(400, 3, 11);
+        let seq = Rcm::default().compute(&a).unwrap().perm;
+        let registry = telemetry::Registry::new_arc();
+        for lanes in [1usize, 2, 4] {
+            let team = team::ThreadTeam::new_in(&registry, lanes);
+            let par = Rcm::default()
+                .compute_on(&a, &ReorderExec::on_team(&team))
+                .unwrap()
+                .perm;
+            assert_eq!(seq, par, "RCM diverged at {lanes} lanes");
+        }
     }
 
     #[test]

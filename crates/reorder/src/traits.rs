@@ -1,5 +1,7 @@
+use crate::exec::ReorderExec;
 use sparsemat::{CsrMatrix, Permutation, SparseError};
 use std::time::{Duration, Instant};
+use team::Exec;
 
 /// The outcome of computing a reordering: a permutation and whether it
 /// must be applied symmetrically (rows *and* columns) or to rows only.
@@ -15,10 +17,18 @@ pub struct ReorderResult {
 impl ReorderResult {
     /// Apply the reordering to a matrix, producing the permuted matrix.
     pub fn apply(&self, a: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+        self.apply_on(a, Exec::Sequential)
+    }
+
+    /// [`ReorderResult::apply`] on an executor: the permutation is
+    /// applied with a parallel row copy after a prefix sum over the
+    /// permuted row lengths (see
+    /// [`CsrMatrix::permute_symmetric_on`]).
+    pub fn apply_on(&self, a: &CsrMatrix, exec: Exec<'_>) -> Result<CsrMatrix, SparseError> {
         if self.symmetric {
-            a.permute_symmetric(&self.perm)
+            a.permute_symmetric_on(&self.perm, exec)
         } else {
-            Ok(a.permute_rows(&self.perm))
+            Ok(a.permute_rows_on(&self.perm, exec))
         }
     }
 }
@@ -35,11 +45,36 @@ pub trait ReorderAlgorithm {
     /// Compute the reordering for a square matrix.
     fn compute(&self, a: &CsrMatrix) -> Result<ReorderResult, SparseError>;
 
+    /// Compute the reordering in an execution context: algorithms with
+    /// a parallel path (RCM, GPS) run their symmetrisation and
+    /// level-set phases on the context's executor and record
+    /// `reorder.symmetrize` / `reorder.levels` sub-stage spans under
+    /// its trace. The permutation is **byte-identical** to
+    /// [`ReorderAlgorithm::compute`] for every executor; the default
+    /// implementation simply runs the sequential path.
+    fn compute_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<ReorderResult, SparseError> {
+        let _ = rx;
+        self.compute(a)
+    }
+
     /// Compute the reordering and measure the wall-clock time taken
     /// (the quantity reported in Table 5 of the paper).
     fn compute_timed(&self, a: &CsrMatrix) -> Result<TimedReordering, SparseError> {
+        self.compute_timed_on(a, &ReorderExec::sequential())
+    }
+
+    /// [`ReorderAlgorithm::compute_timed`] in an execution context.
+    fn compute_timed_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<TimedReordering, SparseError> {
         let start = Instant::now();
-        let result = self.compute(a)?;
+        let result = self.compute_on(a, rx)?;
         Ok(TimedReordering {
             result,
             elapsed: start.elapsed(),
@@ -67,11 +102,36 @@ pub fn timed_permutation(
     algo: &dyn ReorderAlgorithm,
     a: &CsrMatrix,
 ) -> Result<TimedReordering, SparseError> {
-    let hist = registry.histogram(&format!("reorder.{}", algo.name().to_lowercase()));
+    timed_permutation_on(registry, algo, a, &ReorderExec::sequential())
+}
+
+/// [`timed_permutation`] in an execution context: the ordering runs
+/// via [`ReorderAlgorithm::compute_timed_on`] (parallel stages on the
+/// context's executor, sub-stage spans under its trace), and on
+/// success the per-algorithm throughput gauge
+/// `reorder.<algo>.nnz_per_s` is updated from the measured wall-clock
+/// — the live counterpart of the paper's "SpMV iterations to amortise"
+/// ratio.
+pub fn timed_permutation_on(
+    registry: &telemetry::Registry,
+    algo: &dyn ReorderAlgorithm,
+    a: &CsrMatrix,
+    rx: &ReorderExec<'_>,
+) -> Result<TimedReordering, SparseError> {
+    let name = algo.name().to_lowercase();
+    let hist = registry.histogram(&format!("reorder.{name}"));
     let _span = registry.span_on("reorder", &hist);
-    let timed = algo.compute_timed(a);
-    if timed.is_err() {
-        registry.counter("reorder.failed").inc();
+    let timed = algo.compute_timed_on(a, rx);
+    match &timed {
+        Ok(t) => {
+            let secs = t.elapsed.as_secs_f64();
+            if secs > 0.0 {
+                registry
+                    .gauge(&format!("reorder.{name}.nnz_per_s"))
+                    .set((a.nnz() as f64 / secs) as i64);
+            }
+        }
+        Err(_) => registry.counter("reorder.failed").inc(),
     }
     timed
 }
@@ -172,6 +232,24 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.histogram("reorder.original").unwrap().count, 1);
         assert_eq!(snap.counter("reorder.failed"), Some(1));
+    }
+
+    #[test]
+    fn timed_permutation_updates_throughput_gauge() {
+        let registry = telemetry::Registry::new_arc();
+        let a = small();
+        timed_permutation_on(
+            &registry,
+            &crate::Rcm::default(),
+            &a,
+            &ReorderExec::sequential(),
+        )
+        .unwrap();
+        let snap = registry.snapshot();
+        let nnz_per_s = snap
+            .gauge("reorder.rcm.nnz_per_s")
+            .expect("throughput gauge recorded");
+        assert!(nnz_per_s > 0, "nnz/s gauge should be positive: {nnz_per_s}");
     }
 
     #[test]

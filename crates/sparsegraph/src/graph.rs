@@ -102,13 +102,29 @@ impl Graph {
                 ncols: a.ncols(),
             });
         }
-        let sym;
-        let m = if is_structurally_symmetric(a) {
-            a
+        if is_structurally_symmetric(a) {
+            Graph::from_symmetric_matrix(a)
         } else {
-            sym = symmetrize_pattern(a)?;
-            &sym
-        };
+            Graph::from_symmetric_matrix(&symmetrize_pattern(a)?)
+        }
+    }
+
+    /// Like [`Graph::from_matrix`] for a matrix the caller already
+    /// knows to be structurally symmetric — skips the symmetry check
+    /// (itself a full transpose) and the symmetrisation. Callers that
+    /// symmetrise explicitly (e.g. the parallel reordering path) use
+    /// this to avoid paying for the transpose twice.
+    ///
+    /// The pattern is *not* re-verified; an unsymmetric input yields a
+    /// graph whose adjacency is not symmetric, which the traversals in
+    /// this crate do not support.
+    pub fn from_symmetric_matrix(m: &CsrMatrix) -> Result<Self, SparseError> {
+        if !m.is_square() {
+            return Err(SparseError::NotSquare {
+                nrows: m.nrows(),
+                ncols: m.ncols(),
+            });
+        }
         let n = m.nrows();
         let mut xadj = Vec::with_capacity(n + 1);
         xadj.push(0usize);

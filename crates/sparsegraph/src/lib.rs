@@ -19,8 +19,8 @@ mod graph;
 mod hypergraph;
 mod peripheral;
 
-pub use bfs::{bfs_levels, BfsLevels};
+pub use bfs::{bfs_levels, bfs_levels_on, expand_frontier_on, BfsLevels, FrontierScratch};
 pub use components::{connected_components, Components};
 pub use graph::Graph;
 pub use hypergraph::Hypergraph;
-pub use peripheral::pseudo_peripheral_vertex;
+pub use peripheral::{pseudo_peripheral_vertex, pseudo_peripheral_vertex_on};

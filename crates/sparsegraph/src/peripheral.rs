@@ -1,4 +1,5 @@
-use crate::{bfs_levels, Graph};
+use crate::{bfs_levels_on, Graph};
+use team::Exec;
 
 /// Find a pseudo-peripheral vertex of the component containing `start`,
 /// using the George–Liu algorithm \[10\].
@@ -9,8 +10,17 @@ use crate::{bfs_levels, Graph};
 /// good Cuthill–McKee starting point: its BFS level structure is deep
 /// and narrow, which translates into small bandwidth after reordering.
 pub fn pseudo_peripheral_vertex(g: &Graph, start: usize) -> usize {
+    pseudo_peripheral_vertex_on(g, start, Exec::Sequential)
+}
+
+/// [`pseudo_peripheral_vertex`] on an executor. The repeated level
+/// structures dominate the finder's cost and parallelise through
+/// [`bfs_levels_on`]; the min-degree candidate selection keeps its
+/// first-minimum (within-level order) semantics, which parallel BFS
+/// preserves exactly.
+pub fn pseudo_peripheral_vertex_on(g: &Graph, start: usize, exec: Exec<'_>) -> usize {
     let mut root = start;
-    let mut b = bfs_levels(g, root);
+    let mut b = bfs_levels_on(g, root, exec);
     loop {
         let last = b
             .levels
@@ -24,7 +34,7 @@ pub fn pseudo_peripheral_vertex(g: &Graph, start: usize) -> usize {
         if candidate == root {
             return root;
         }
-        let b2 = bfs_levels(g, candidate);
+        let b2 = bfs_levels_on(g, candidate, exec);
         if b2.depth() > b.depth() {
             root = candidate;
             b = b2;
@@ -37,6 +47,7 @@ pub fn pseudo_peripheral_vertex(g: &Graph, start: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bfs_levels;
 
     fn path(n: usize) -> Graph {
         let mut xadj = vec![0usize];

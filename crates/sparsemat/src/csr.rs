@@ -1,4 +1,6 @@
+use crate::symmetrize::PAR_ROW_GRAIN;
 use crate::{ColIdx, CooMatrix, CscMatrix, Permutation, SparseError};
+use team::{Exec, SliceWriter};
 
 /// A sparse matrix in compressed sparse row (CSR) format.
 ///
@@ -331,6 +333,23 @@ impl CsrMatrix {
     /// Requires a square matrix (all symmetric reorderings in the paper
     /// operate on square matrices).
     pub fn permute_symmetric(&self, perm: &Permutation) -> Result<CsrMatrix, SparseError> {
+        self.permute_symmetric_on(perm, Exec::Sequential)
+    }
+
+    /// [`CsrMatrix::permute_symmetric`] on an executor.
+    ///
+    /// New row `i` is old row `perm.new_to_old(i)`, so the output row
+    /// lengths are just the input lengths permuted — no counting pass
+    /// is needed. A sequential prefix sum fixes every row's output
+    /// segment; rows are then gathered (column map + sort) in parallel
+    /// into disjoint segments, which makes the result independent of
+    /// the executor. The per-row sort is on unique column keys, so
+    /// `sort_unstable` is deterministic.
+    pub fn permute_symmetric_on(
+        &self,
+        perm: &Permutation,
+        exec: Exec<'_>,
+    ) -> Result<CsrMatrix, SparseError> {
         if !self.is_square() {
             return Err(SparseError::NotSquare {
                 nrows: self.nrows,
@@ -339,25 +358,35 @@ impl CsrMatrix {
         }
         assert_eq!(perm.len(), self.nrows, "permutation length mismatch");
         let n = self.nrows;
-        let mut rowptr = Vec::with_capacity(n + 1);
-        rowptr.push(0usize);
-        let mut colidx = Vec::with_capacity(self.nnz());
-        let mut values = Vec::with_capacity(self.nnz());
-        let mut rowbuf: Vec<(ColIdx, f64)> = Vec::new();
-        for new_i in 0..n {
-            let old_i = perm.new_to_old(new_i);
-            let (cols, vals) = self.row(old_i);
-            rowbuf.clear();
-            rowbuf.reserve(cols.len());
-            for (&c, &v) in cols.iter().zip(vals.iter()) {
-                rowbuf.push((perm.old_to_new(c as usize) as ColIdx, v));
-            }
-            rowbuf.sort_unstable_by_key(|&(c, _)| c);
-            for &(c, v) in &rowbuf {
-                colidx.push(c);
-                values.push(v);
-            }
-            rowptr.push(colidx.len());
+        let rowptr = self.permuted_rowptr(perm);
+        let nnz = rowptr[n];
+        let mut colidx: Vec<ColIdx> = vec![0; nnz];
+        let mut values: Vec<f64> = vec![0.0; nnz];
+        {
+            let cw = SliceWriter::new(&mut colidx);
+            let vw = SliceWriter::new(&mut values);
+            let rowptr = &rowptr;
+            exec.parallel_for(n, PAR_ROW_GRAIN, |rows| {
+                let mut rowbuf: Vec<(ColIdx, f64)> = Vec::new();
+                for new_i in rows {
+                    let old_i = perm.new_to_old(new_i);
+                    let (cols, vals) = self.row(old_i);
+                    rowbuf.clear();
+                    rowbuf.reserve(cols.len());
+                    for (&c, &v) in cols.iter().zip(vals.iter()) {
+                        rowbuf.push((perm.old_to_new(c as usize) as ColIdx, v));
+                    }
+                    rowbuf.sort_unstable_by_key(|&(c, _)| c);
+                    // SAFETY: row segments are pairwise disjoint and
+                    // rows are partitioned across chunks.
+                    let co = unsafe { cw.slice_mut(rowptr[new_i]..rowptr[new_i + 1]) };
+                    let vo = unsafe { vw.slice_mut(rowptr[new_i]..rowptr[new_i + 1]) };
+                    for (k, &(c, v)) in rowbuf.iter().enumerate() {
+                        co[k] = c;
+                        vo[k] = v;
+                    }
+                }
+            });
         }
         Ok(CsrMatrix {
             nrows: n,
@@ -371,17 +400,34 @@ impl CsrMatrix {
     /// Row-only permutation `B = P A` (used by the unsymmetric Gray
     /// ordering, which leaves columns in place).
     pub fn permute_rows(&self, perm: &Permutation) -> CsrMatrix {
+        self.permute_rows_on(perm, Exec::Sequential)
+    }
+
+    /// [`CsrMatrix::permute_rows`] on an executor: prefix-sum over the
+    /// permuted row lengths, then a parallel per-row memcpy into
+    /// disjoint segments.
+    pub fn permute_rows_on(&self, perm: &Permutation, exec: Exec<'_>) -> CsrMatrix {
         assert_eq!(perm.len(), self.nrows, "permutation length mismatch");
-        let mut rowptr = Vec::with_capacity(self.nrows + 1);
-        rowptr.push(0usize);
-        let mut colidx = Vec::with_capacity(self.nnz());
-        let mut values = Vec::with_capacity(self.nnz());
-        for new_i in 0..self.nrows {
-            let old_i = perm.new_to_old(new_i);
-            let (cols, vals) = self.row(old_i);
-            colidx.extend_from_slice(cols);
-            values.extend_from_slice(vals);
-            rowptr.push(colidx.len());
+        let n = self.nrows;
+        let rowptr = self.permuted_rowptr(perm);
+        let nnz = rowptr[n];
+        let mut colidx: Vec<ColIdx> = vec![0; nnz];
+        let mut values: Vec<f64> = vec![0.0; nnz];
+        {
+            let cw = SliceWriter::new(&mut colidx);
+            let vw = SliceWriter::new(&mut values);
+            let rowptr = &rowptr;
+            exec.parallel_for(n, PAR_ROW_GRAIN, |rows| {
+                for new_i in rows {
+                    let (cols, vals) = self.row(perm.new_to_old(new_i));
+                    // SAFETY: row segments are pairwise disjoint and
+                    // rows are partitioned across chunks.
+                    let co = unsafe { cw.slice_mut(rowptr[new_i]..rowptr[new_i + 1]) };
+                    let vo = unsafe { vw.slice_mut(rowptr[new_i]..rowptr[new_i + 1]) };
+                    co.copy_from_slice(cols);
+                    vo.copy_from_slice(vals);
+                }
+            });
         }
         CsrMatrix {
             nrows: self.nrows,
@@ -395,24 +441,42 @@ impl CsrMatrix {
     /// Column-only permutation `B = A Pᵀ` (columns move to their new
     /// positions; rows stay).
     pub fn permute_cols(&self, perm: &Permutation) -> CsrMatrix {
+        self.permute_cols_on(perm, Exec::Sequential)
+    }
+
+    /// [`CsrMatrix::permute_cols`] on an executor: the row structure is
+    /// unchanged, so each row is remapped and re-sorted in place of its
+    /// own (pre-existing) segment in parallel.
+    pub fn permute_cols_on(&self, perm: &Permutation, exec: Exec<'_>) -> CsrMatrix {
         assert_eq!(perm.len(), self.ncols, "permutation length mismatch");
-        let mut colidx = Vec::with_capacity(self.nnz());
-        let mut values = Vec::with_capacity(self.nnz());
-        let mut rowptr = Vec::with_capacity(self.nrows + 1);
-        rowptr.push(0usize);
-        let mut rowbuf: Vec<(ColIdx, f64)> = Vec::new();
-        for i in 0..self.nrows {
-            let (cols, vals) = self.row(i);
-            rowbuf.clear();
-            for (&c, &v) in cols.iter().zip(vals.iter()) {
-                rowbuf.push((perm.old_to_new(c as usize) as ColIdx, v));
-            }
-            rowbuf.sort_unstable_by_key(|&(c, _)| c);
-            for &(c, v) in &rowbuf {
-                colidx.push(c);
-                values.push(v);
-            }
-            rowptr.push(colidx.len());
+        let rowptr = self.rowptr.clone();
+        let nnz = self.nnz();
+        let mut colidx: Vec<ColIdx> = vec![0; nnz];
+        let mut values: Vec<f64> = vec![0.0; nnz];
+        {
+            let cw = SliceWriter::new(&mut colidx);
+            let vw = SliceWriter::new(&mut values);
+            let rowptr = &rowptr;
+            exec.parallel_for(self.nrows, PAR_ROW_GRAIN, |rows| {
+                let mut rowbuf: Vec<(ColIdx, f64)> = Vec::new();
+                for i in rows {
+                    let (cols, vals) = self.row(i);
+                    rowbuf.clear();
+                    rowbuf.reserve(cols.len());
+                    for (&c, &v) in cols.iter().zip(vals.iter()) {
+                        rowbuf.push((perm.old_to_new(c as usize) as ColIdx, v));
+                    }
+                    rowbuf.sort_unstable_by_key(|&(c, _)| c);
+                    // SAFETY: row segments are pairwise disjoint and
+                    // rows are partitioned across chunks.
+                    let co = unsafe { cw.slice_mut(rowptr[i]..rowptr[i + 1]) };
+                    let vo = unsafe { vw.slice_mut(rowptr[i]..rowptr[i + 1]) };
+                    for (k, &(c, v)) in rowbuf.iter().enumerate() {
+                        co[k] = c;
+                        vo[k] = v;
+                    }
+                }
+            });
         }
         CsrMatrix {
             nrows: self.nrows,
@@ -421,6 +485,18 @@ impl CsrMatrix {
             colidx,
             values,
         }
+    }
+
+    /// Row pointers of a row-permuted copy: the prefix sum of the old
+    /// row lengths taken in permuted order.
+    fn permuted_rowptr(&self, perm: &Permutation) -> Vec<usize> {
+        let n = self.nrows;
+        let mut rowptr = vec![0usize; n + 1];
+        for new_i in 0..n {
+            let old_i = perm.new_to_old(new_i);
+            rowptr[new_i + 1] = rowptr[new_i] + (self.rowptr[old_i + 1] - self.rowptr[old_i]);
+        }
+        rowptr
     }
 
     /// The structural pattern with all values set to 1.0.

@@ -44,7 +44,7 @@ pub use error::SparseError;
 pub use market::{read_matrix_market, read_matrix_market_str, write_matrix_market, MarketHeader};
 pub use permutation::Permutation;
 pub use spy::{spy_string, SpyOptions};
-pub use symmetrize::{is_structurally_symmetric, symmetrize_pattern};
+pub use symmetrize::{is_structurally_symmetric, symmetrize_pattern, symmetrize_pattern_on};
 
 /// Column index type used in CSR/CSC storage.
 ///

@@ -1,4 +1,10 @@
 use crate::{ColIdx, CsrMatrix, SparseError};
+use team::{Exec, SliceWriter};
+
+/// Rows per chunk for the parallel row loops in this crate. Row work
+/// is O(row nnz), so a few hundred rows amortise a chunk claim while
+/// still load-balancing skewed matrices.
+pub(crate) const PAR_ROW_GRAIN: usize = 512;
 
 /// True if the sparsity pattern of a square matrix is symmetric
 /// (an entry at `(i, j)` implies an entry at `(j, i)`; values are
@@ -19,6 +25,19 @@ pub fn is_structurally_symmetric(a: &CsrMatrix) -> bool {
 /// Diagonal entries are preserved as-is; the result has a symmetric
 /// pattern by construction.
 pub fn symmetrize_pattern(a: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+    symmetrize_pattern_on(a, Exec::Sequential)
+}
+
+/// [`symmetrize_pattern`] on an executor: a two-pass count-then-fill
+/// transpose merge.
+///
+/// Pass 1 counts each merged row's length in parallel; a sequential
+/// prefix sum turns the counts into row pointers; pass 2 re-runs the
+/// sorted two-pointer merge of `A.row(i)` and `Aᵀ.row(i)` directly
+/// into each row's pre-computed segment. Every row is filled
+/// independently at offsets fixed by the prefix sum, so the output is
+/// byte-identical for every executor and team size.
+pub fn symmetrize_pattern_on(a: &CsrMatrix, exec: Exec<'_>) -> Result<CsrMatrix, SparseError> {
     if !a.is_square() {
         return Err(SparseError::NotSquare {
             nrows: a.nrows(),
@@ -27,36 +46,39 @@ pub fn symmetrize_pattern(a: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
     }
     let n = a.nrows();
     let t = a.transpose();
-    // Merge row i of A and row i of Aᵀ (both sorted).
-    let mut rowptr = Vec::with_capacity(n + 1);
-    rowptr.push(0usize);
-    let mut colidx: Vec<ColIdx> = Vec::with_capacity(a.nnz() + a.nnz() / 2);
-    for i in 0..n {
-        let (ca, _) = a.row(i);
-        let (cb, _) = t.row(i);
-        let (mut p, mut q) = (0, 0);
-        while p < ca.len() && q < cb.len() {
-            match ca[p].cmp(&cb[q]) {
-                std::cmp::Ordering::Less => {
-                    colidx.push(ca[p]);
-                    p += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    colidx.push(cb[q]);
-                    q += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    colidx.push(ca[p]);
-                    p += 1;
-                    q += 1;
-                }
+    // Pass 1: merged row lengths.
+    let mut rowptr = vec![0usize; n + 1];
+    {
+        let counts = SliceWriter::new(&mut rowptr[1..]);
+        exec.parallel_for(n, PAR_ROW_GRAIN, |rows| {
+            // SAFETY: parallel_for chunks are pairwise-disjoint row
+            // ranges, so these count windows never overlap.
+            let out = unsafe { counts.slice_mut(rows.clone()) };
+            for (slot, i) in out.iter_mut().zip(rows) {
+                *slot = merged_row_len(a.row(i).0, t.row(i).0);
             }
-        }
-        colidx.extend_from_slice(&ca[p..]);
-        colidx.extend_from_slice(&cb[q..]);
-        rowptr.push(colidx.len());
+        });
     }
-    let nnz = colidx.len();
+    // Prefix sum: counts become row pointers.
+    for i in 0..n {
+        rowptr[i + 1] += rowptr[i];
+    }
+    let nnz = rowptr[n];
+    // Pass 2: merge each row into its segment.
+    let mut colidx: Vec<ColIdx> = vec![0; nnz];
+    {
+        let writer = SliceWriter::new(&mut colidx);
+        let rowptr = &rowptr;
+        exec.parallel_for(n, PAR_ROW_GRAIN, |rows| {
+            for i in rows {
+                // SAFETY: row segments [rowptr[i], rowptr[i+1]) are
+                // pairwise disjoint and rows are partitioned across
+                // chunks, so no two lanes write the same window.
+                let out = unsafe { writer.slice_mut(rowptr[i]..rowptr[i + 1]) };
+                merge_rows_into(out, a.row(i).0, t.row(i).0);
+            }
+        });
+    }
     Ok(CsrMatrix::from_parts_unchecked(
         n,
         n,
@@ -64,6 +86,56 @@ pub fn symmetrize_pattern(a: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
         colidx,
         vec![1.0; nnz],
     ))
+}
+
+/// Number of distinct column indices in the union of two sorted rows.
+fn merged_row_len(ca: &[ColIdx], cb: &[ColIdx]) -> usize {
+    let (mut p, mut q, mut len) = (0, 0, 0);
+    while p < ca.len() && q < cb.len() {
+        match ca[p].cmp(&cb[q]) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                p += 1;
+                q += 1;
+            }
+        }
+        len += 1;
+    }
+    len + (ca.len() - p) + (cb.len() - q)
+}
+
+/// Two-pointer merge of two sorted rows into `out`, which must have
+/// exactly [`merged_row_len`] elements.
+fn merge_rows_into(out: &mut [ColIdx], ca: &[ColIdx], cb: &[ColIdx]) {
+    let (mut p, mut q, mut k) = (0, 0, 0);
+    while p < ca.len() && q < cb.len() {
+        match ca[p].cmp(&cb[q]) {
+            std::cmp::Ordering::Less => {
+                out[k] = ca[p];
+                p += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out[k] = cb[q];
+                q += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out[k] = ca[p];
+                p += 1;
+                q += 1;
+            }
+        }
+        k += 1;
+    }
+    for &c in &ca[p..] {
+        out[k] = c;
+        k += 1;
+    }
+    for &c in &cb[q..] {
+        out[k] = c;
+        k += 1;
+    }
+    debug_assert_eq!(k, out.len());
 }
 
 #[cfg(test)]
@@ -128,5 +200,30 @@ mod tests {
         let coo = CooMatrix::new(2, 3);
         let a = CsrMatrix::from_coo(&coo);
         assert!(symmetrize_pattern(&a).is_err());
+    }
+
+    #[test]
+    fn parallel_symmetrize_matches_sequential() {
+        let mut coo = CooMatrix::new(200, 200);
+        // Deterministic scattered unsymmetric pattern.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..200usize {
+            for _ in 0..6 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % 200;
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let seq = symmetrize_pattern(&a).unwrap();
+        let registry = telemetry::Registry::new_arc();
+        for size in [1usize, 2, 4] {
+            let t = team::ThreadTeam::new_in(&registry, size);
+            let par = symmetrize_pattern_on(&a, Exec::Team(&t)).unwrap();
+            assert_eq!(seq.rowptr(), par.rowptr(), "team size {size}");
+            assert_eq!(seq.colidx(), par.colidx(), "team size {size}");
+        }
     }
 }

@@ -1,0 +1,183 @@
+//! Determinism property tests for the parallel reordering pipeline.
+//!
+//! The contract of every `*_on` entry point is that the executor
+//! changes *where* the work runs, never *what* it produces: orderings,
+//! symmetrised patterns and permuted matrices must be **byte-identical**
+//! between the sequential path and a [`ThreadTeam`] of any size. These
+//! tests pin that contract across the corpus families of the study
+//! (band, FEM mesh, R-MAT, road) plus the structural edge cases
+//! (disconnected blocks, empty rows) at team sizes 1, 2, 4 and 8.
+
+use reorder::{Gps, Rcm, ReorderAlgorithm, ReorderExec};
+use sparsemat::{symmetrize_pattern, symmetrize_pattern_on, CooMatrix, CsrMatrix, Permutation};
+use team::{Exec, ThreadTeam};
+
+const TEAM_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// The corpus families the paper sweeps, scaled down to test size, plus
+/// the edge cases parallel code paths tend to get wrong.
+fn family_matrices() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("band", corpus::scramble(&corpus::banded(600, 4), 17)),
+        ("fem2d", corpus::scramble(&corpus::mesh2d(28, 28), 5)),
+        ("fem3d", corpus::mesh3d(9, 9, 9)),
+        ("rmat", corpus::rmat(11, 6, 7)),
+        ("road", corpus::road(30, 30, 3)),
+        ("disconnected", corpus::block_diag(6, 40, 9)),
+        ("empty_rows", with_empty_rows()),
+    ]
+}
+
+/// A matrix whose rows 3 and 7 have no entries at all (isolated
+/// vertices in the ordering graph).
+fn with_empty_rows() -> CsrMatrix {
+    let n = 12;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        if i == 3 || i == 7 {
+            continue;
+        }
+        coo.push(i, i, 2.0);
+        let j = (i + 2) % n;
+        if j != 3 && j != 7 && j != i {
+            coo.push_symmetric(i, j, -1.0);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// An unsymmetric-pattern variant: keep the upper triangle plus the
+/// diagonal, so symmetrisation has real work to do.
+fn upper_triangle(a: &CsrMatrix) -> CsrMatrix {
+    let mut coo = CooMatrix::new(a.nrows(), a.ncols());
+    for (i, j, v) in a.iter() {
+        if j >= i {
+            coo.push(i, j, v);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Run `check` once per team size with a live team.
+fn for_each_team(check: impl Fn(&ThreadTeam)) {
+    for lanes in TEAM_SIZES {
+        let team = ThreadTeam::new(lanes);
+        check(&team);
+    }
+}
+
+#[test]
+fn rcm_is_byte_identical_across_team_sizes() {
+    for (name, a) in family_matrices() {
+        for algo in [Rcm::default(), Rcm { plain_cm: true }] {
+            let seq = algo.compute(&a).expect(name).perm;
+            for_each_team(|team| {
+                let par = algo
+                    .compute_on(&a, &ReorderExec::on_team(team))
+                    .expect(name)
+                    .perm;
+                assert_eq!(
+                    seq,
+                    par,
+                    "RCM(plain_cm={}) diverged on {name} at {} lanes",
+                    algo.plain_cm,
+                    team.size()
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn gps_is_byte_identical_across_team_sizes() {
+    for (name, a) in family_matrices() {
+        for algo in [Gps::default(), Gps { reverse: true }] {
+            let seq = algo.compute(&a).expect(name).perm;
+            for_each_team(|team| {
+                let par = algo
+                    .compute_on(&a, &ReorderExec::on_team(team))
+                    .expect(name)
+                    .perm;
+                assert_eq!(
+                    seq,
+                    par,
+                    "GPS(reverse={}) diverged on {name} at {} lanes",
+                    algo.reverse,
+                    team.size()
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn symmetrize_is_byte_identical_across_team_sizes() {
+    for (name, a) in family_matrices() {
+        let u = upper_triangle(&a);
+        let seq = symmetrize_pattern(&u).expect(name);
+        for_each_team(|team| {
+            let par = symmetrize_pattern_on(&u, Exec::Team(team)).expect(name);
+            assert_eq!(
+                (seq.rowptr(), seq.colidx()),
+                (par.rowptr(), par.colidx()),
+                "symmetrize diverged on {name} at {} lanes",
+                team.size()
+            );
+        });
+    }
+}
+
+#[test]
+fn permutation_application_is_byte_identical_across_team_sizes() {
+    for (name, a) in family_matrices() {
+        // A fixed non-trivial permutation: reverse order.
+        let n = a.nrows();
+        let perm = Permutation::from_new_to_old((0..n as u32).rev().collect()).expect(name);
+        let seq_sym = a.permute_symmetric(&perm).expect(name);
+        let seq_rows = a.permute_rows(&perm);
+        let seq_cols = a.permute_cols(&perm);
+        for_each_team(|team| {
+            let exec = Exec::Team(team);
+            assert_eq!(
+                seq_sym,
+                a.permute_symmetric_on(&perm, exec).expect(name),
+                "permute_symmetric diverged on {name} at {} lanes",
+                team.size()
+            );
+            assert_eq!(
+                seq_rows,
+                a.permute_rows_on(&perm, exec),
+                "permute_rows diverged on {name} at {} lanes",
+                team.size()
+            );
+            assert_eq!(
+                seq_cols,
+                a.permute_cols_on(&perm, exec),
+                "permute_cols diverged on {name} at {} lanes",
+                team.size()
+            );
+        });
+    }
+}
+
+/// The full serving-side composition: compute on a team, apply on the
+/// same team, compare against the all-sequential result.
+#[test]
+fn reordered_matrices_are_byte_identical_end_to_end() {
+    for (name, a) in family_matrices() {
+        let seq = Rcm::default().compute(&a).expect(name);
+        let seq_b = seq.apply(&a).expect(name);
+        for_each_team(|team| {
+            let par = Rcm::default()
+                .compute_on(&a, &ReorderExec::on_team(team))
+                .expect(name);
+            let par_b = par.apply_on(&a, Exec::Team(team)).expect(name);
+            assert_eq!(
+                seq_b,
+                par_b,
+                "end-to-end RCM matrix diverged on {name} at {} lanes",
+                team.size()
+            );
+        });
+    }
+}
