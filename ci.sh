@@ -24,13 +24,24 @@ cargo bench -p bench --bench team_overhead -- --test
 # byte-identical to sequential before timing anything).
 cargo bench -p bench --bench reorder_scaling -- --test
 
+# Serving-tier saturation bench smoke: the cached answer path and the
+# offered-load sweep harness must run end to end (no JSON written).
+cargo bench -p bench --bench serve_saturation -- --test
+
 # Flight-recorder smoke: a traced serve replay must dump Chrome-trace
 # files that pass the validator (parse, balanced B/E pairs, every
-# pipeline stage covered, >= 2 per-worker timeline lanes).
+# serving + pipeline stage covered, >= 2 per-worker timeline lanes).
 TRACE_DIR="$(mktemp -d)"
 ./target/release/serve --size small --requests 400 --clients 2 \
     --trace-dir "$TRACE_DIR" --trace-sample-rate 0.05 --seed 7 > /dev/null
 ./target/release/tracecheck "$TRACE_DIR"
 rm -rf "$TRACE_DIR"
+
+# Serving-tier overload smoke: an open-loop run over four shards with a
+# tight queue and deadlines must deliver verified answers, shed the
+# overflow with a reason, and leave every queue-depth gauge at zero.
+./target/release/serve --size small --requests 600 --clients 4 \
+    --shards 4 --tenants 2 --offered-load 400 --deadline-ms 200 \
+    --queue-capacity 32 --seed 7 > /dev/null
 
 echo "ci: all gates passed"

@@ -101,15 +101,15 @@ struct CacheMetrics {
 }
 
 impl CacheMetrics {
-    fn new(registry: &Registry) -> Self {
+    fn new(registry: &Registry, labels: &[(&str, &str)]) -> Self {
         CacheMetrics {
-            hits: registry.counter("engine.cache.hits"),
-            misses: registry.counter("engine.cache.misses"),
-            insertions: registry.counter("engine.cache.insertions"),
-            evictions: registry.counter("engine.cache.evictions"),
-            disk_hits: registry.counter("engine.cache.disk_hits"),
-            resident: registry.gauge("engine.cache.resident"),
-            resident_bytes: registry.gauge("engine.cache.resident_bytes"),
+            hits: registry.counter_labeled("engine.cache.hits", labels),
+            misses: registry.counter_labeled("engine.cache.misses", labels),
+            insertions: registry.counter_labeled("engine.cache.insertions", labels),
+            evictions: registry.counter_labeled("engine.cache.evictions", labels),
+            disk_hits: registry.counter_labeled("engine.cache.disk_hits", labels),
+            resident: registry.gauge_labeled("engine.cache.resident", labels),
+            resident_bytes: registry.gauge_labeled("engine.cache.resident_bytes", labels),
         }
     }
 }
@@ -257,12 +257,24 @@ impl OrderingCache {
     /// Like [`OrderingCache::new`], but reporting into `registry`
     /// (tests use a private registry so counter assertions are exact).
     pub fn new_in(registry: &Registry, capacity: usize, shards: usize) -> Self {
+        OrderingCache::new_labeled_in(registry, capacity, shards, &[])
+    }
+
+    /// Like [`OrderingCache::new_in`] with `labels` on every
+    /// `engine.cache.*` series, so several caches sharing one registry
+    /// (one per serving-tier shard) report distinct totals.
+    pub fn new_labeled_in(
+        registry: &Registry,
+        capacity: usize,
+        shards: usize,
+        labels: &[(&str, &str)],
+    ) -> Self {
         let shards = shards.max(1);
         let per_shard_capacity = capacity.div_ceil(shards).max(1);
         OrderingCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity,
-            metrics: CacheMetrics::new(registry),
+            metrics: CacheMetrics::new(registry, labels),
             persist_dir: None,
         }
     }

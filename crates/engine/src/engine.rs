@@ -58,6 +58,13 @@ pub struct EngineConfig {
     /// `(n - 1) % trace_sample_every == 0`. `0` traces nothing (even
     /// with a recorder attached); `1` traces every request.
     pub trace_sample_every: u64,
+    /// Labels stamped on every metric series this engine resolves
+    /// (`engine.*`). Several engines sharing one registry — the serving
+    /// tier runs one per shard — pass e.g. `[("shard", "2")]` so their
+    /// queue-depth gauges and cache counters stay distinct series
+    /// instead of colliding on the global names. Empty means unlabeled
+    /// (the single-engine default).
+    pub metric_labels: Vec<(String, String)>,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +84,7 @@ impl Default for EngineConfig {
             registry: None,
             recorder: None,
             trace_sample_every: 0,
+            metric_labels: Vec::new(),
         }
     }
 }
@@ -88,6 +96,9 @@ pub enum EngineError {
     Compute { algo: AlgoSpec, message: String },
     /// The engine is shutting down and cannot accept work.
     ShuttingDown,
+    /// The request's deadline passed before a worker picked it up; the
+    /// ordering was never computed (see [`SubmitOptions::deadline`]).
+    Expired,
 }
 
 impl std::fmt::Display for EngineError {
@@ -97,6 +108,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "{} failed: {message}", algo.name())
             }
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::Expired => write!(f, "request deadline expired before compute started"),
         }
     }
 }
@@ -146,6 +158,8 @@ pub struct EngineStats {
     pub jobs_executed: u64,
     /// Jobs whose computation failed.
     pub jobs_failed: u64,
+    /// Jobs cancelled before compute because their deadline passed.
+    pub expired: u64,
     /// Total wall-clock compute seconds across all executed jobs.
     pub compute_seconds: f64,
     /// Total requests submitted.
@@ -171,7 +185,7 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "{} submitted | {} hits + {} disk + {} coalesced / {} misses \
-             ({:.1}% amortised) | {} computed in {:.3}s | {} evicted",
+             ({:.1}% amortised) | {} computed in {:.3}s | {} expired | {} evicted",
             self.submitted,
             self.cache.hits,
             self.cache.disk_hits,
@@ -180,8 +194,36 @@ impl std::fmt::Display for EngineStats {
             100.0 * self.amortised_fraction(),
             self.jobs_executed,
             self.compute_seconds,
+            self.expired,
             self.cache.evictions,
         )
+    }
+}
+
+/// Per-request submission options for [`Engine::submit_opts`].
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Absolute deadline. If it passes before a worker starts the
+    /// ordering, the request is cancelled with [`EngineError::Expired`]
+    /// instead of computing — the cancellation hook the serving tier's
+    /// deadline enforcement rests on. Requests that coalesce onto the
+    /// same in-flight computation extend its deadline to the latest
+    /// one; `None` means unbounded.
+    pub deadline: Option<Instant>,
+    /// Parent trace context. When it is recording, the request's
+    /// `engine.request` span opens under it (the caller owns sampling;
+    /// the engine's own stride is bypassed for this request) and the
+    /// request is registered in the trace index, so
+    /// [`Engine::trace_summary`] resolves it as usual.
+    pub trace: TraceCtx,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            deadline: None,
+            trace: TraceCtx::disabled(),
+        }
     }
 }
 
@@ -281,29 +323,40 @@ struct EngineMetrics {
     jobs_failed: Arc<Counter>,
     compute_ns: Arc<Counter>,
     queue_depth: Arc<Gauge>,
+    expired: Arc<Counter>,
 }
 
 impl Engine {
     /// Start an engine: builds the cache and spawns the worker pool.
     pub fn new(config: EngineConfig) -> Self {
         let registry = config.registry.unwrap_or_else(Registry::global);
-        let mut cache =
-            OrderingCache::new_in(&registry, config.cache_capacity, config.cache_shards);
+        let labels: Vec<(&str, &str)> = config
+            .metric_labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let mut cache = OrderingCache::new_labeled_in(
+            &registry,
+            config.cache_capacity,
+            config.cache_shards,
+            &labels,
+        );
         if let Some(dir) = &config.persist_dir {
             cache = cache.with_persist_dir(dir);
         }
         let cache = Arc::new(cache);
-        let plans = PlanCache::new_in(&registry, config.plan_cache_capacity);
+        let plans = PlanCache::new_labeled_in(&registry, config.plan_cache_capacity, &labels);
         let inflight = Arc::new(Mutex::new(HashMap::new()));
-        let pool_metrics = PoolMetrics::new(&registry);
+        let pool_metrics = PoolMetrics::new_labeled(&registry, &labels);
         let metrics = EngineMetrics {
-            submitted: registry.counter("engine.submitted"),
-            coalesced: registry.counter("engine.coalesced"),
-            submit_span: registry.histogram("engine.submit"),
+            submitted: registry.counter_labeled("engine.submitted", &labels),
+            coalesced: registry.counter_labeled("engine.coalesced", &labels),
+            submit_span: registry.histogram_labeled("engine.submit", &labels),
             jobs_executed: Arc::clone(&pool_metrics.jobs_executed),
             jobs_failed: Arc::clone(&pool_metrics.jobs_failed),
             compute_ns: Arc::clone(&pool_metrics.compute_ns),
             queue_depth: Arc::clone(&pool_metrics.queue_depth),
+            expired: Arc::clone(&pool_metrics.expired),
         };
         let reorder_team = Arc::new(team::ThreadTeam::new_in(
             &registry,
@@ -353,12 +406,28 @@ impl Engine {
     /// [`Ticket`]; a cache hit makes the ticket ready, otherwise it
     /// joins (or starts) the in-flight computation for its key.
     pub fn submit(&self, matrix: &MatrixHandle, algo: AlgoSpec) -> Ticket {
+        self.submit_opts(matrix, algo, SubmitOptions::default())
+    }
+
+    /// [`Engine::submit`] with per-request options: a deadline after
+    /// which the computation is cancelled instead of started, and an
+    /// optional parent trace context.
+    pub fn submit_opts(
+        &self,
+        matrix: &MatrixHandle,
+        algo: AlgoSpec,
+        opts: SubmitOptions,
+    ) -> Ticket {
         let _span = self
             .registry
             .span_on("engine.submit", &self.metrics.submit_span);
         self.metrics.submitted.inc();
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed) + 1;
-        let root = self.start_request_trace(request_id, algo);
+        let root = if opts.trace.is_recording() {
+            self.start_request_trace_under(request_id, algo, &opts.trace)
+        } else {
+            self.start_request_trace(request_id, algo)
+        };
         let key = OrderingKey::new(matrix.content_hash(), algo);
 
         {
@@ -381,6 +450,9 @@ impl Engine {
             let mut inflight = self.inflight.lock().unwrap();
             if let Some(existing) = inflight.get(&key) {
                 self.metrics.coalesced.inc();
+                // The shared computation must survive until the latest
+                // interested deadline.
+                existing.extend_deadline(opts.deadline);
                 root.ctx().instant("engine.coalesced");
                 return Ticket {
                     inner: TicketInner::Pending(Arc::clone(existing)),
@@ -399,7 +471,7 @@ impl Engine {
                     root,
                 };
             }
-            let slot = Arc::new(InFlight::new());
+            let slot = Arc::new(InFlight::with_deadline(opts.deadline));
             inflight.insert(key, Arc::clone(&slot));
             slot
         };
@@ -456,12 +528,35 @@ impl Engine {
         let mut root = ctx.span("engine.request");
         root.arg("request", request_id);
         root.arg("algo", algo.name());
+        self.remember_trace(request_id, trace_id);
+        root
+    }
+
+    /// Open the root `engine.request` span under a caller-supplied
+    /// recording context (the serving tier samples upstream and hands
+    /// the engine its request context). The request still lands in the
+    /// trace index so summaries resolve by request ID.
+    fn start_request_trace_under(
+        &self,
+        request_id: u64,
+        algo: AlgoSpec,
+        ctx: &TraceCtx,
+    ) -> TraceSpan {
+        let mut root = ctx.span("engine.request");
+        root.arg("request", request_id);
+        root.arg("algo", algo.name());
+        if let Some(trace_id) = ctx.trace_id() {
+            self.remember_trace(request_id, trace_id);
+        }
+        root
+    }
+
+    fn remember_trace(&self, request_id: u64, trace_id: u64) {
         let mut traced = self.traced.lock().unwrap();
         if traced.len() >= TRACED_INDEX_CAP {
             traced.pop_front();
         }
         traced.push_back((request_id, trace_id));
-        root
     }
 
     /// Submit a batch; tickets come back in request order.
@@ -559,6 +654,7 @@ impl Engine {
             coalesced: self.metrics.coalesced.get(),
             jobs_executed: self.metrics.jobs_executed.get(),
             jobs_failed: self.metrics.jobs_failed.get(),
+            expired: self.metrics.expired.get(),
             compute_seconds: self.metrics.compute_ns.get() as f64 / 1e9,
             submitted: self.metrics.submitted.get(),
             plans: self.plans.stats(),
@@ -593,6 +689,7 @@ mod tests {
             registry: Some(telemetry::Registry::new_arc()),
             recorder: None,
             trace_sample_every: 0,
+            metric_labels: Vec::new(),
         })
     }
 
@@ -608,6 +705,7 @@ mod tests {
             registry: Some(telemetry::Registry::new_arc()),
             recorder: Some(telemetry::FlightRecorder::new(8192)),
             trace_sample_every: sample_every,
+            metric_labels: Vec::new(),
         })
     }
 
@@ -815,6 +913,121 @@ mod tests {
         assert!(engine.recorder().is_none());
         assert!(engine.trace_summary(id).is_none());
         assert!(engine.trace_chrome_json(id).is_none());
+    }
+
+    #[test]
+    fn expired_request_never_reaches_reorder() {
+        use telemetry::trace::EventKind;
+        let engine = traced_engine(1);
+        let m = mesh();
+        // A deadline already in the past: the worker must cancel the
+        // job at dequeue, before any reorder work.
+        let ticket = engine.submit_opts(
+            &m,
+            AlgoSpec::Rcm,
+            SubmitOptions {
+                deadline: Some(Instant::now()),
+                trace: telemetry::TraceCtx::disabled(),
+            },
+        );
+        let request_id = ticket.request_id();
+        assert!(matches!(ticket.wait(), Err(EngineError::Expired)));
+        let s = engine.stats();
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.jobs_executed, 0, "no ordering may be computed");
+        assert_eq!(s.jobs_failed, 0, "expiry is not a compute failure");
+        // The flight recorder confirms it: the trace has the expiry
+        // marker and no reorder span at all.
+        let trace_id = engine.trace_id_for(request_id).expect("request sampled");
+        let snap = engine.recorder().unwrap().snapshot().filter_trace(trace_id);
+        let names: Vec<&str> = snap.events().map(|e| e.name).collect();
+        assert!(
+            !names.contains(&"engine.reorder"),
+            "expired request reached reorder: {names:?}"
+        );
+        assert!(snap
+            .events()
+            .any(|e| e.name == "engine.expired" && e.kind == EventKind::Instant));
+        // Nothing was cached, so a fresh request (no deadline) computes.
+        let again = engine.get(&m, AlgoSpec::Rcm).unwrap();
+        assert_eq!(again.perm.len(), m.matrix().nrows());
+        assert_eq!(engine.stats().jobs_executed, 1);
+    }
+
+    #[test]
+    fn external_trace_context_parents_the_request() {
+        use telemetry::trace::EventKind;
+        let engine = traced_engine(0); // engine's own sampling off
+        let recorder = telemetry::FlightRecorder::new(4096);
+        let ctx = recorder.start_trace();
+        let outer = ctx.span("tier.execute");
+        let m = mesh();
+        let ticket = engine.submit_opts(
+            &m,
+            AlgoSpec::Rcm,
+            SubmitOptions {
+                deadline: None,
+                trace: outer.ctx(),
+            },
+        );
+        let request_id = ticket.request_id();
+        ticket.wait().unwrap();
+        drop(outer);
+        let trace_id = ctx.trace_id().unwrap();
+        assert_eq!(engine.trace_id_for(request_id), Some(trace_id));
+        let snap = recorder.snapshot().filter_trace(trace_id);
+        let outer_id = snap
+            .events()
+            .find(|e| e.name == "tier.execute")
+            .unwrap()
+            .span_id;
+        let request = snap
+            .events()
+            .find(|e| e.name == "engine.request" && e.kind == EventKind::Begin)
+            .expect("engine.request recorded under the caller's trace");
+        assert_eq!(request.parent_id, outer_id);
+    }
+
+    #[test]
+    fn labeled_engines_keep_distinct_series() {
+        let registry = telemetry::Registry::new_arc();
+        let engine_for = |shard: &str| {
+            Engine::new(EngineConfig {
+                workers: 1,
+                reorder_threads: 1,
+                queue_capacity: 8,
+                cache_capacity: 64,
+                cache_shards: 2,
+                plan_cache_capacity: 16,
+                persist_dir: None,
+                registry: Some(Arc::clone(&registry)),
+                recorder: None,
+                trace_sample_every: 0,
+                metric_labels: vec![("shard".to_string(), shard.to_string())],
+            })
+        };
+        let e0 = engine_for("0");
+        let e1 = engine_for("1");
+        let m = mesh();
+        e0.get(&m, AlgoSpec::Rcm).unwrap();
+        e1.get(&m, AlgoSpec::Rcm).unwrap();
+        e1.get(&m, AlgoSpec::Amd).unwrap();
+        // Each engine's stats see only its own work...
+        assert_eq!(e0.stats().submitted, 1);
+        assert_eq!(e1.stats().submitted, 2);
+        assert_eq!(e0.stats().cache.misses, 1);
+        assert_eq!(e1.stats().cache.misses, 2);
+        // ...because the shared registry holds one series per shard.
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_labeled("engine.submitted", &[("shard", "0")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_labeled("engine.submitted", &[("shard", "1")]),
+            Some(2)
+        );
+        assert_eq!(snap.counter("engine.submitted"), None);
     }
 
     #[test]

@@ -61,6 +61,8 @@ mod pool;
 
 pub use algo::AlgoSpec;
 pub use cache::{CacheStats, CachedOrdering, OrderingCache, OrderingKey};
-pub use engine::{Engine, EngineConfig, EngineError, EngineStats, MatrixHandle, Ticket};
+pub use engine::{
+    Engine, EngineConfig, EngineError, EngineStats, MatrixHandle, SubmitOptions, Ticket,
+};
 pub use plans::{PlanCache, PlanCacheStats, PlanKey};
 pub use pool::InFlight;

@@ -48,12 +48,12 @@ struct PlanMetrics {
 }
 
 impl PlanMetrics {
-    fn new(registry: &Registry) -> Self {
+    fn new(registry: &Registry, labels: &[(&str, &str)]) -> Self {
         PlanMetrics {
-            hits: registry.counter("engine.plans.hits"),
-            misses: registry.counter("engine.plans.misses"),
-            evictions: registry.counter("engine.plans.evictions"),
-            resident: registry.gauge("engine.plans.resident"),
+            hits: registry.counter_labeled("engine.plans.hits", labels),
+            misses: registry.counter_labeled("engine.plans.misses", labels),
+            evictions: registry.counter_labeled("engine.plans.evictions", labels),
+            resident: registry.gauge_labeled("engine.plans.resident", labels),
         }
     }
 }
@@ -94,6 +94,16 @@ impl PlanCache {
     /// A cache holding at most `capacity` plans (clamped to ≥ 1),
     /// reporting `engine.plans.*` into `registry`.
     pub fn new_in(registry: &Registry, capacity: usize) -> PlanCache {
+        PlanCache::new_labeled_in(registry, capacity, &[])
+    }
+
+    /// Like [`PlanCache::new_in`] with `labels` on every series (one
+    /// plan cache per serving-tier shard shares the tier's registry).
+    pub fn new_labeled_in(
+        registry: &Registry,
+        capacity: usize,
+        labels: &[(&str, &str)],
+    ) -> PlanCache {
         PlanCache {
             state: Mutex::new(PlanShardState {
                 map: HashMap::new(),
@@ -101,7 +111,7 @@ impl PlanCache {
                 tick: 0,
             }),
             capacity: capacity.max(1),
-            metrics: PlanMetrics::new(registry),
+            metrics: PlanMetrics::new(registry, labels),
         }
     }
 

@@ -52,14 +52,36 @@ pub(crate) struct Job {
 pub struct InFlight {
     state: Mutex<Option<Result<Arc<CachedOrdering>, EngineError>>>,
     cv: Condvar,
+    /// Effective deadline for the computation: the latest deadline over
+    /// every coalesced waiter, `None` meaning unbounded. A worker that
+    /// dequeues the job after this instant cancels it without ever
+    /// touching `reorder`.
+    deadline: Mutex<Option<Instant>>,
 }
 
 impl InFlight {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn with_deadline(deadline: Option<Instant>) -> Self {
         InFlight {
             state: Mutex::new(None),
             cv: Condvar::new(),
+            deadline: Mutex::new(deadline),
         }
+    }
+
+    /// Extend the shared deadline to cover a newly coalesced waiter:
+    /// the computation must stay alive until the *latest* interested
+    /// deadline, and any unbounded waiter makes it unbounded.
+    pub(crate) fn extend_deadline(&self, other: Option<Instant>) {
+        let mut d = self.deadline.lock().unwrap();
+        *d = match (*d, other) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+
+    /// The current effective deadline (`None` = unbounded).
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        *self.deadline.lock().unwrap()
     }
 
     /// Block until the computation completes.
@@ -91,16 +113,23 @@ pub(crate) struct PoolMetrics {
     pub job_duration: Arc<Histogram>,
     /// Jobs enqueued but not yet picked up by a worker.
     pub queue_depth: Arc<Gauge>,
+    /// Jobs cancelled at dequeue because their deadline had passed.
+    pub expired: Arc<Counter>,
 }
 
 impl PoolMetrics {
-    pub(crate) fn new(registry: &Registry) -> Self {
+    /// Resolve the pool series with `labels` on every one, so several
+    /// engines sharing one registry (the serving tier's shards) keep
+    /// distinct gauges and counters instead of colliding on the global
+    /// names. Empty labels give the plain single-engine series.
+    pub(crate) fn new_labeled(registry: &Registry, labels: &[(&str, &str)]) -> Self {
         PoolMetrics {
-            jobs_executed: registry.counter("engine.pool.jobs_executed"),
-            jobs_failed: registry.counter("engine.pool.jobs_failed"),
-            compute_ns: registry.counter("engine.pool.compute_ns"),
-            job_duration: registry.histogram("engine.pool.job"),
-            queue_depth: registry.gauge("engine.pool.queue_depth"),
+            jobs_executed: registry.counter_labeled("engine.pool.jobs_executed", labels),
+            jobs_failed: registry.counter_labeled("engine.pool.jobs_failed", labels),
+            compute_ns: registry.counter_labeled("engine.pool.compute_ns", labels),
+            job_duration: registry.histogram_labeled("engine.pool.job", labels),
+            queue_depth: registry.gauge_labeled("engine.pool.queue_depth", labels),
+            expired: registry.counter_labeled("engine.expired", labels),
         }
     }
 }
@@ -163,6 +192,20 @@ fn process(job: Job, ctx: &WorkerContext) {
         t.ctx
             .complete("engine.queue.wait", t.enqueued, start, Vec::new());
     }
+    // Cancellation point: a request whose deadline passed while queued
+    // is fulfilled with `Expired` here, before any reorder work starts,
+    // so expensive orderings are never computed for dead requests.
+    if let Some(deadline) = job.slot.deadline() {
+        if start >= deadline {
+            ctx.metrics.expired.inc();
+            if let Some(t) = &job.trace {
+                t.ctx.instant("engine.expired");
+            }
+            ctx.inflight.lock().unwrap().remove(&job.key);
+            job.slot.fulfil(Err(EngineError::Expired));
+            return;
+        }
+    }
     let mut reorder_span = match &job.trace {
         Some(t) => {
             let mut s = t.ctx.span("engine.reorder");
@@ -210,4 +253,27 @@ fn process(job: Job, ctx: &WorkerContext) {
     // the key leaves the in-flight map any new request finds it there.
     ctx.inflight.lock().unwrap().remove(&job.key);
     job.slot.fulfil(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn coalesced_deadlines_extend_to_the_latest() {
+        let now = Instant::now();
+        let slot = InFlight::with_deadline(Some(now + Duration::from_millis(10)));
+        // A later waiter pushes the deadline out...
+        slot.extend_deadline(Some(now + Duration::from_millis(50)));
+        assert_eq!(slot.deadline(), Some(now + Duration::from_millis(50)));
+        // ...an earlier one never pulls it back in...
+        slot.extend_deadline(Some(now + Duration::from_millis(5)));
+        assert_eq!(slot.deadline(), Some(now + Duration::from_millis(50)));
+        // ...and an unbounded waiter makes the computation unbounded.
+        slot.extend_deadline(None);
+        assert_eq!(slot.deadline(), None);
+        slot.extend_deadline(Some(now));
+        assert_eq!(slot.deadline(), None, "unbounded stays unbounded");
+    }
 }

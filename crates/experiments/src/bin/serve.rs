@@ -1,76 +1,89 @@
-//! `serve`: replay a synthetic reordering request trace against the
-//! engine and report serving metrics.
+//! `serve`: replay a synthetic SpMV request trace against the sharded
+//! serving tier and report serving metrics.
 //!
 //! The paper's amortisation argument (§4.7, Table 5) says reordering
 //! pays for itself when its cost is spread over many SpMV iterations.
-//! A serving deployment sharpens that: *requests for orderings repeat*
-//! (the same matrices come back, hot matrices far more often than cold
-//! ones), so a content-addressed cache amortises the cost across
-//! requests as well as iterations. This binary quantifies that with a
-//! Zipf-distributed trace over the (matrix, algorithm) key space:
+//! A serving deployment sharpens that: *requests repeat* (the same
+//! matrices come back, hot matrices far more often than cold ones), so
+//! the tier's content-addressed shard caches amortise the cost across
+//! requests as well as iterations. This binary drives a
+//! Zipf-distributed trace of full SpMV requests — each carries an input
+//! vector and gets its answer back in original index space — through
+//! [`servetier::ServeTier`] and reports:
 //!
-//! - **throughput** — requests served per second of wall-clock;
-//! - **hit rate** — fraction of requests amortised (cache hits, disk
-//!   hits, or coalesced onto an in-flight computation);
-//! - **latency** — p50/p99 of the per-request wait, read from the
-//!   telemetry registry's `serve.request` histogram.
+//! - **throughput** — answers delivered per second of wall-clock;
+//! - **shedding** — requests rejected per reason (queue full, expired
+//!   deadline) and per shard, the tier's overload behaviour;
+//! - **hit rate** — fraction of engine submissions amortised across
+//!   the shard caches (memory hits, disk hits, coalesced);
+//! - **latency** — per-tenant p50/p99 of the end-to-end request time,
+//!   read from the registry's `tier.request{tenant=...}` histograms.
 //!
-//! All accounting flows through the process-wide [`telemetry`]
-//! registry — the same series the engine, the reordering algorithms
-//! and the SpMV measurement loop feed — and the run ends by emitting
-//! the full registry as a JSON snapshot and as Prometheus exposition
-//! text (stdout, or files under `--export-dir`).
+//! Every served answer is checked against a dense reference SpMV — the
+//! tier's permute-in / multiply / inverse-permute-out pipeline must be
+//! invisible to callers.
 //!
-//! With `--trace-dir` a flight recorder is attached to the engine and
-//! a sampled subset of requests (`--trace-sample-rate`) records a
-//! request-scoped trace across the whole serving path: cache lookup,
-//! queue wait, reorder compute, plan build, and a downstream SpMV
-//! measurement whose `ThreadTeam` contributes one timeline lane per
-//! worker. Each dumped request yields `trace-<id>.json` (Chrome
-//! trace-event format: load in Perfetto / `chrome://tracing`) and
-//! `trace-<id>.txt` (the plain-text stage breakdown). The SpMV stage
-//! also attaches the [`archsim`] cost model's verdict on the served
-//! ordering — modelled Gflop/s, DRAM traffic and `x`-vector hit rate —
-//! as span arguments, so a trace shows *why* the layout performs the
-//! way it does next to how long each stage took.
+//! With `--offered-load R` the clients submit **open-loop** at R
+//! requests/s total (with `--deadline-ms` attaching a deadline to each
+//! request), which is how the saturation knee is swept; without it they
+//! run closed-loop (submit, wait, repeat), which keeps the trace-replay
+//! behaviour of earlier revisions.
+//!
+//! With `--trace-dir` a flight recorder is attached to the tier and a
+//! sampled subset of requests (`--trace-sample-rate`) records a
+//! request-scoped trace across the whole serving path: admission wait,
+//! shard execute, engine cache lookup / queue wait / reorder / plan,
+//! the SpMV itself, and the inverse-permutation answer delivery. Each
+//! dumped request also runs a downstream SpMV measurement (with the
+//! [`archsim`] cost model's verdict attached as span arguments) and
+//! yields `trace-<id>.json` (Chrome trace-event format) plus
+//! `trace-<id>.txt` (the plain-text stage breakdown).
 //!
 //! Usage:
 //!
 //! ```text
 //! serve [--size small|medium|large] [--requests N] [--clients N]
-//!       [--workers N] [--reorder-threads N] [--skew S] [--seed N]
-//!       [--cache-capacity N] [--kernel 1d|2d|merge] [--persist-dir DIR]
-//!       [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]
+//!       [--shards N] [--tenants N] [--offered-load R] [--deadline-ms MS]
+//!       [--queue-capacity N] [--workers N] [--reorder-threads N]
+//!       [--skew S] [--seed N] [--cache-capacity N] [--kernel 1d|2d|merge]
+//!       [--persist-dir DIR] [--export-dir DIR] [--trace-dir DIR]
+//!       [--trace-sample-rate R]
 //! ```
-//!
-//! `--reorder-threads N` sizes the engine's shared reordering team:
-//! the symmetrisation, level-set and permutation stages of each
-//! ordering dispatch on that team (permutations are byte-identical at
-//! every size), and sampled traces gain `reorder.symmetrize` /
-//! `reorder.levels` / `reorder.permute` sub-stage spans.
 
 use corpus::CorpusSize;
-use engine::{AlgoSpec, CachedOrdering, Engine, EngineConfig, MatrixHandle};
+use engine::{AlgoSpec, EngineConfig, MatrixHandle};
 use experiments::sweep::SweepConfig;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use servetier::{ServeTier, ShedReason, SpmvRequest, TenantSpec, TierConfig, TierError};
 use spmv::{host_threads, measure_spmv_in, measure_spmv_traced, KernelKind, MeasureConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use telemetry::{FlightRecorder, TraceCtx};
 
-/// At most this many sampled requests run the downstream SpMV stage
-/// and write trace files — tracing is a magnifier, not a census.
+/// At most this many sampled requests run the downstream SpMV
+/// measurement and write trace files — tracing is a magnifier, not a
+/// census.
 const TRACE_DUMP_CAP: usize = 16;
 
 /// Flight-recorder ring capacity (events per thread).
 const TRACE_RING_CAPACITY: usize = 1 << 14;
 
+/// How many served answers each client verifies against the dense
+/// reference (every answer is cheap to check, but the point is made
+/// with a prefix).
+const VERIFY_PER_CLIENT: usize = 32;
+
 struct ServeOptions {
     size: CorpusSize,
     requests: usize,
     clients: usize,
+    shards: usize,
+    tenants: usize,
+    offered_load: f64,
+    deadline_ms: u64,
+    queue_capacity: usize,
     workers: usize,
     reorder_threads: usize,
     skew: f64,
@@ -89,6 +102,11 @@ impl Default for ServeOptions {
             size: CorpusSize::Small,
             requests: 2000,
             clients: 4,
+            shards: 1,
+            tenants: 2,
+            offered_load: 0.0,
+            deadline_ms: 0,
+            queue_capacity: 256,
             workers: EngineConfig::default().workers,
             reorder_threads: EngineConfig::default().reorder_threads,
             skew: 1.1,
@@ -104,8 +122,8 @@ impl Default for ServeOptions {
 }
 
 impl ServeOptions {
-    /// The engine's sampling stride: trace every N-th request. A rate
-    /// of 1.0 traces everything, 0.01 every hundredth request, 0 (or a
+    /// The tier's sampling stride: trace every N-th request. A rate of
+    /// 1.0 traces everything, 0.01 every hundredth request, 0 (or a
     /// missing `--trace-dir`) nothing.
     fn trace_stride(&self) -> u64 {
         if self.trace_dir.is_none() || self.trace_sample_rate <= 0.0 {
@@ -121,9 +139,11 @@ impl ServeOptions {
 fn usage() -> ! {
     println!(
         "usage: serve [--size small|medium|large] [--requests N] [--clients N]\n\
-         \x20            [--workers N] [--reorder-threads N] [--skew S] [--seed N]\n\
-         \x20            [--cache-capacity N] [--kernel 1d|2d|merge] [--persist-dir DIR]\n\
-         \x20            [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]"
+         \x20            [--shards N] [--tenants N] [--offered-load R] [--deadline-ms MS]\n\
+         \x20            [--queue-capacity N] [--workers N] [--reorder-threads N]\n\
+         \x20            [--skew S] [--seed N] [--cache-capacity N] [--kernel 1d|2d|merge]\n\
+         \x20            [--persist-dir DIR] [--export-dir DIR] [--trace-dir DIR]\n\
+         \x20            [--trace-sample-rate R]"
     );
     std::process::exit(0);
 }
@@ -159,6 +179,21 @@ fn parse_serve_args() -> ServeOptions {
             "--requests" => opts.requests = num(value(&mut it, "--requests"), "--requests"),
             "--clients" => {
                 opts.clients = num::<usize>(value(&mut it, "--clients"), "--clients").max(1)
+            }
+            "--shards" => opts.shards = num::<usize>(value(&mut it, "--shards"), "--shards").max(1),
+            "--tenants" => {
+                opts.tenants = num::<usize>(value(&mut it, "--tenants"), "--tenants").max(1)
+            }
+            "--offered-load" => {
+                opts.offered_load =
+                    num::<f64>(value(&mut it, "--offered-load"), "--offered-load").max(0.0)
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = num(value(&mut it, "--deadline-ms"), "--deadline-ms")
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity =
+                    num::<usize>(value(&mut it, "--queue-capacity"), "--queue-capacity").max(1)
             }
             "--workers" => {
                 opts.workers = num::<usize>(value(&mut it, "--workers"), "--workers").max(1)
@@ -214,27 +249,40 @@ fn sample_trace(cumulative: &[f64], n: usize, rng: &mut ChaCha8Rng) -> Vec<usize
         .collect()
 }
 
-/// The downstream stage of one sampled request: apply the served
+/// What one client thread saw.
+#[derive(Debug, Default, Clone, Copy)]
+struct ClientTally {
+    served: usize,
+    shed_queue_full: usize,
+    shed_expired: usize,
+    verified: usize,
+}
+
+/// The downstream stage of one sampled request: re-apply the served
 /// ordering, plan and measure SpMV under the request's trace, attach
 /// the [`archsim`] cost model's verdict on the layout as span
 /// arguments, and write the request's Chrome-trace JSON and text
 /// summary into `dir`.
-#[allow(clippy::too_many_arguments)]
 fn trace_spmv_and_dump(
-    engine: &Engine,
-    registry: &Arc<telemetry::Registry>,
+    tier: &ServeTier,
     handle: &MatrixHandle,
-    ordering: &Arc<CachedOrdering>,
+    algo: AlgoSpec,
     kernel: KernelKind,
     request_id: u64,
     ctx: &TraceCtx,
     dir: &std::path::Path,
 ) {
+    let engine = tier.engine_for(handle);
     let mut span = ctx.span("serve.spmv");
     span.arg("kernel", kernel.name());
-    // Apply the served ordering on the engine's reorder team, under
-    // its own sub-stage span — the serving-side counterpart of the
-    // worker-side `reorder.symmetrize`/`reorder.levels` stages.
+    // The ordering the tier just served this key with — a cache hit on
+    // the owning shard's engine.
+    let ordering = engine
+        .get(handle, algo)
+        .expect("re-fetching the served ordering");
+    // Apply it on the engine's reorder team, under its own sub-stage
+    // span — the serving-side counterpart of the worker-side
+    // `reorder.symmetrize`/`reorder.levels` stages.
     let reordered = {
         let mut permute = span.ctx().span("reorder.permute");
         permute.arg("nnz", handle.matrix().nnz());
@@ -270,17 +318,29 @@ fn trace_spmv_and_dump(
         warmup: 1,
         nthreads,
     };
-    let measured = measure_spmv_traced(registry, &span.ctx(), &reordered, kernel, &mcfg);
+    let measured = measure_spmv_traced(tier.registry(), &span.ctx(), &reordered, kernel, &mcfg);
     span.arg("measured_gflops", measured.max_gflops);
     drop(span);
 
-    if let Some(json) = engine.trace_chrome_json(request_id) {
+    if let Some(json) = tier.trace_chrome_json(request_id) {
         std::fs::write(dir.join(format!("trace-{request_id}.json")), json)
             .expect("writing trace JSON");
     }
-    if let Some(text) = engine.trace_summary(request_id) {
+    if let Some(text) = tier.trace_summary(request_id) {
         std::fs::write(dir.join(format!("trace-{request_id}.txt")), text)
             .expect("writing trace summary");
+    }
+}
+
+/// Check a served answer against the dense reference, with a relative
+/// tolerance covering the column-permutation's summation reordering.
+fn verify_answer(y: &[f64], want: &[f64], key: usize) {
+    assert_eq!(y.len(), want.len(), "key {key}: answer length mismatch");
+    for (i, (g, w)) in y.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+            "key {key} row {i}: served {g}, reference {w} — answer not in original index space?"
+        );
     }
 }
 
@@ -294,6 +354,23 @@ fn main() {
     let handles: Vec<MatrixHandle> = specs
         .iter()
         .map(|s| MatrixHandle::from_matrix(s.build()))
+        .collect();
+    // One input vector per matrix (deterministic, non-constant) and its
+    // dense reference answer, for end-to-end verification.
+    let xs: Vec<Arc<Vec<f64>>> = handles
+        .iter()
+        .map(|h| {
+            Arc::new(
+                (0..h.matrix().ncols())
+                    .map(|i| 1.0 + (i % 7) as f64 * 0.5)
+                    .collect(),
+            )
+        })
+        .collect();
+    let references: Vec<Vec<f64>> = handles
+        .iter()
+        .zip(&xs)
+        .map(|(h, x)| h.matrix().spmv_dense(x))
         .collect();
     let mut algos = vec![AlgoSpec::Original];
     algos.extend(AlgoSpec::study_suite(cfg.gp_parts, cfg.hp_parts));
@@ -341,19 +418,29 @@ fn main() {
         opts.skew
     );
 
-    // --- Replay through the engine. ----------------------------------
+    // --- The tier. ---------------------------------------------------
     let recorder = opts
         .trace_dir
         .as_ref()
         .map(|_| FlightRecorder::new(TRACE_RING_CAPACITY));
-    let engine = Arc::new(Engine::new(EngineConfig {
-        workers: opts.workers,
-        reorder_threads: opts.reorder_threads,
-        cache_capacity: opts.cache_capacity,
-        persist_dir: opts.persist_dir.clone(),
+    let tenants: Vec<TenantSpec> = (0..opts.tenants)
+        .map(|i| TenantSpec::new(format!("t{i}"), i as u32 + 1))
+        .collect();
+    let tier = Arc::new(ServeTier::new(TierConfig {
+        shards: opts.shards,
+        tenants: tenants.clone(),
+        queue_capacity: opts.queue_capacity,
+        spmv_threads: host_threads().clamp(2, 4),
+        engine: EngineConfig {
+            workers: opts.workers,
+            reorder_threads: opts.reorder_threads,
+            cache_capacity: opts.cache_capacity,
+            persist_dir: opts.persist_dir.clone(),
+            ..EngineConfig::default()
+        },
         recorder: recorder.clone(),
         trace_sample_every: opts.trace_stride(),
-        ..EngineConfig::default()
+        ..TierConfig::default()
     }));
     if let Some(dir) = &opts.trace_dir {
         std::fs::create_dir_all(dir).expect("creating --trace-dir");
@@ -364,45 +451,104 @@ fn main() {
             dir.display()
         );
     }
-    let registry = Arc::clone(engine.registry());
-    // Per-request wait lands in one registry histogram; the quantiles
-    // below come from there, not from a binary-local sample vector.
-    let request_hist = registry.histogram("serve.request");
-    let traced_requests = AtomicUsize::new(0);
+    eprintln!(
+        "tier: {} shard(s), {} tenant(s), queue capacity {}, {}",
+        opts.shards,
+        opts.tenants,
+        opts.queue_capacity,
+        if opts.offered_load > 0.0 {
+            format!("open-loop at {:.0} req/s", opts.offered_load)
+        } else {
+            "closed-loop".to_string()
+        }
+    );
+
+    // --- Replay through the tier. ------------------------------------
+    let deadline = (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms));
     let dump_slots = AtomicUsize::new(0);
+    let traced_requests = AtomicUsize::new(0);
     let replay = Instant::now();
+    let mut tally = ClientTally::default();
     std::thread::scope(|scope| {
         let chunk = trace.len().div_ceil(opts.clients);
-        for slice in trace.chunks(chunk.max(1)) {
-            let engine = Arc::clone(&engine);
-            let registry = Arc::clone(&registry);
-            let request_hist = Arc::clone(&request_hist);
+        let mut clients = Vec::new();
+        for (ci, slice) in trace.chunks(chunk.max(1)).enumerate() {
+            let tier = Arc::clone(&tier);
             let handles = &handles;
+            let xs = &xs;
+            let references = &references;
             let keys = &keys;
+            let tenants = &tenants;
             let trace_dir = opts.trace_dir.as_deref();
             let kernel = opts.kernel;
-            let traced_requests = &traced_requests;
+            let offered_load = opts.offered_load;
+            let clients_n = opts.clients;
             let dump_slots = &dump_slots;
-            scope.spawn(move || {
-                for &k in slice {
+            let traced_requests = &traced_requests;
+            clients.push(scope.spawn(move || {
+                let mut tally = ClientTally::default();
+                // Open-loop pacing: this client's share of the offered
+                // rate, submissions scheduled on a fixed grid.
+                let interval = (offered_load > 0.0)
+                    .then(|| Duration::from_secs_f64(clients_n as f64 / offered_load));
+                let start = Instant::now();
+                let mut pending = Vec::new();
+                let resolve = |result: Result<servetier::SpmvResponse, TierError>,
+                               key: usize,
+                               tally: &mut ClientTally| {
+                    match result {
+                        Ok(response) => {
+                            tally.served += 1;
+                            if tally.verified < VERIFY_PER_CLIENT {
+                                verify_answer(&response.y, &references[keys[key].0], key);
+                                tally.verified += 1;
+                            }
+                        }
+                        Err(TierError::Shed(ShedReason::QueueFull)) => tally.shed_queue_full += 1,
+                        Err(TierError::Shed(ShedReason::Expired)) => tally.shed_expired += 1,
+                        Err(other) => panic!("request for key {key} failed: {other}"),
+                    }
+                };
+                for (j, &k) in slice.iter().enumerate() {
+                    if let Some(iv) = interval {
+                        let target = start + iv * j as u32;
+                        if let Some(wait) = target.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                    }
                     let (mi, algo) = keys[k];
-                    let t0 = Instant::now();
-                    let ticket = engine.submit(&handles[mi], algo);
+                    let request = SpmvRequest {
+                        tenant: tenants[(ci + j) % tenants.len()].name.clone(),
+                        matrix: handles[mi].clone(),
+                        algo,
+                        kernel,
+                        x: Arc::clone(&xs[mi]),
+                        priority: 0,
+                        deadline: deadline.map(|d| Instant::now() + d),
+                    };
+                    let ticket = tier.submit(request);
                     let request_id = ticket.request_id();
                     let tctx = ticket.trace_ctx();
-                    let ordering = ticket
-                        .wait()
-                        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
-                    request_hist.record_duration(t0.elapsed());
-                    if tctx.is_recording() {
+                    let sampled = tctx.is_recording();
+                    if sampled {
                         traced_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if interval.is_some() {
+                        // Open loop: stash the ticket, keep submitting.
+                        pending.push((ticket, k));
+                        continue;
+                    }
+                    // Closed loop: wait inline, dump sampled requests.
+                    let result = ticket.wait();
+                    let ok = result.is_ok();
+                    resolve(result, k, &mut tally);
+                    if sampled && ok {
                         if let Some(dir) = trace_dir {
                             if dump_slots.fetch_add(1, Ordering::Relaxed) < TRACE_DUMP_CAP {
                                 trace_spmv_and_dump(
-                                    &engine,
-                                    &registry,
+                                    &tier,
                                     &handles[mi],
-                                    &ordering,
+                                    algo,
                                     kernel,
                                     request_id,
                                     &tctx,
@@ -412,7 +558,18 @@ fn main() {
                         }
                     }
                 }
-            });
+                for (ticket, k) in pending {
+                    resolve(ticket.wait(), k, &mut tally);
+                }
+                tally
+            }));
+        }
+        for client in clients {
+            let t = client.join().expect("client thread");
+            tally.served += t.served;
+            tally.shed_queue_full += t.shed_queue_full;
+            tally.shed_expired += t.shed_expired;
+            tally.verified += t.verified;
         }
     });
     let wall = replay.elapsed().as_secs_f64();
@@ -425,10 +582,10 @@ fn main() {
     }
 
     // --- SpMV on the hottest matrix: the downstream payoff. ----------
-    // The quantity the cache amortises is reordering time *per SpMV
+    // The quantity the caches amortise is reordering time *per SpMV
     // iteration*; measure the served RCM ordering against the original
-    // layout on the most-requested matrix, feeding the registry's
-    // `spmv.measure.rep` histogram through the shared measurement path.
+    // layout on the most-requested matrix, through the owning shard's
+    // engine so the measurement shares its caches.
     let mut hits_per_matrix = vec![0usize; handles.len()];
     trace.iter().for_each(|&k| hits_per_matrix[keys[k].0] += 1);
     let hot = hits_per_matrix
@@ -436,7 +593,8 @@ fn main() {
         .enumerate()
         .max_by_key(|&(_, c)| c)
         .map_or(0, |(i, _)| i);
-    let ordering = engine
+    let hot_engine = tier.engine_for(&handles[hot]);
+    let ordering = hot_engine
         .get(&handles[hot], AlgoSpec::Rcm)
         .expect("RCM on the hot matrix");
     let reordered = Arc::new(
@@ -444,6 +602,7 @@ fn main() {
             .apply(handles[hot].matrix())
             .expect("applying the served ordering"),
     );
+    let registry = Arc::clone(tier.registry());
     let mcfg = MeasureConfig {
         repetitions: 30,
         ..MeasureConfig::default()
@@ -451,41 +610,70 @@ fn main() {
     let base = measure_spmv_in(&registry, handles[hot].matrix(), opts.kernel, &mcfg);
     let rcm = measure_spmv_in(&registry, &reordered, opts.kernel, &mcfg);
 
-    // --- Report, from the registry. ----------------------------------
-    let stats = engine.stats();
+    // --- Report, from the tier and the registry. ---------------------
+    let stats = tier.stats();
     let snap = registry.snapshot();
-    let lat = snap
-        .histogram("serve.request")
-        .expect("every request was recorded");
-    let amortised = stats.cache.hits + stats.cache.disk_hits + stats.coalesced;
-    let hit_rate = amortised as f64 / stats.submitted.max(1) as f64;
+    let submitted: u64 = stats.shards.iter().map(|s| s.engine.submitted).sum();
+    let amortised: u64 = stats
+        .shards
+        .iter()
+        .map(|s| s.engine.cache.hits + s.engine.cache.disk_hits + s.engine.coalesced)
+        .sum();
+    let hit_rate = amortised as f64 / submitted.max(1) as f64;
     println!(
-        "served {} requests in {:.3}s with {} clients / {} workers",
+        "served {} of {} requests in {:.3}s with {} clients over {} shard(s)",
+        tally.served,
         trace.len(),
         wall,
         opts.clients,
-        opts.workers
+        opts.shards
     );
-    println!("  throughput: {:.0} req/s", trace.len() as f64 / wall);
     println!(
-        "  hit rate:   {:.1}% ({} memory + {} disk + {} coalesced of {} requests)",
+        "  throughput: {:.0} answers/s (offered {})",
+        tally.served as f64 / wall,
+        if opts.offered_load > 0.0 {
+            format!("{:.0} req/s", opts.offered_load)
+        } else {
+            "closed-loop".to_string()
+        }
+    );
+    println!(
+        "  shed:       {} queue-full + {} expired of {} requests ({} answers verified)",
+        tally.shed_queue_full,
+        tally.shed_expired,
+        trace.len(),
+        tally.verified
+    );
+    println!(
+        "  hit rate:   {:.1}% ({} amortised of {} engine submissions)",
         100.0 * hit_rate,
-        stats.cache.hits,
-        stats.cache.disk_hits,
-        stats.coalesced,
-        stats.submitted
+        amortised,
+        submitted
     );
-    println!(
-        "  latency:    p50 {} us | p99 {} us | max {} us ({} samples)",
-        lat.p50 / 1_000,
-        lat.p99 / 1_000,
-        lat.max / 1_000,
-        lat.count
-    );
-    println!(
-        "  compute:    {} jobs, {:.3}s of reordering amortised over {} requests",
-        stats.jobs_executed, stats.compute_seconds, stats.submitted
-    );
+    for (i, shard) in stats.shards.iter().enumerate() {
+        println!(
+            "  shard {i}:    {} admitted | {} served | {} shed-full | {} shed-expired | depth {} | engine: {}",
+            shard.admitted,
+            shard.served,
+            shard.shed_queue_full,
+            shard.shed_expired,
+            shard.queue_depth,
+            shard.engine
+        );
+    }
+    for tenant in &tenants {
+        if let Some(h) = snap.histogram_labeled("tier.request", &[("tenant", &tenant.name)]) {
+            println!(
+                "  tenant {} (w{}): p50 {} us | p99 {} us | max {} us ({} answers)",
+                tenant.name,
+                tenant.weight,
+                h.p50 / 1_000,
+                h.p99 / 1_000,
+                h.max / 1_000,
+                h.count
+            );
+        }
+    }
     println!(
         "  spmv:       hot matrix {} ({} kernel): {:.2} Gflop/s original -> {:.2} Gflop/s RCM ({:.2}x)",
         hot,
@@ -494,7 +682,6 @@ fn main() {
         rcm.max_gflops,
         rcm.max_gflops / base.max_gflops.max(1e-12)
     );
-    println!("  engine:     {stats}");
 
     // --- Export the registry: JSON + Prometheus. ---------------------
     match &opts.export_dir {

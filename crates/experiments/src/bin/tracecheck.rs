@@ -15,8 +15,9 @@
 //!    `(pid, tid)` lane with matching names — the invariant Chrome's
 //!    viewer needs to reconstruct the span stack;
 //! 4. at least one file contains a span for **every** pipeline stage
-//!    (request, cache lookup, queue wait, reorder, plan, reorder
-//!    permute, SpMV measure, team compute, serve-level SpMV);
+//!    (tier admission wait, engine request, cache lookup, queue wait,
+//!    reorder, plan, reorder permute, SpMV measure, team compute,
+//!    serve-level SpMV, inverse-permutation answer delivery);
 //! 5. at least one file shows `spmv.team.compute` on two or more
 //!    distinct lanes — the per-worker timelines, not a single merged
 //!    track;
@@ -37,6 +38,7 @@ use std::path::{Path, PathBuf};
 /// Every stage of the serving path; at least one dumped trace must
 /// contain all of them.
 const REQUIRED_STAGES: &[&str] = &[
+    "admission.wait",
     "engine.request",
     "engine.cache.lookup",
     "engine.queue.wait",
@@ -44,6 +46,7 @@ const REQUIRED_STAGES: &[&str] = &[
     "engine.plan",
     "reorder.permute",
     "serve.spmv",
+    "answer.unpermute",
     "spmv.measure",
     "spmv.team.compute",
 ];
@@ -55,8 +58,10 @@ const REQUIRED_STAGES: &[&str] = &[
 /// every dumped request and is required above.)
 const REORDER_SUBSTAGES: &[&str] = &["reorder.symmetrize", "reorder.levels", "reorder.permute"];
 
-/// Stages a `reorder.*` sub-stage may nest under.
-const REORDER_PARENTS: &[&str] = &["engine.reorder", "serve.spmv"];
+/// Stages a `reorder.*` sub-stage may nest under. `tier.execute` is
+/// the serving tier's per-request stage: its prepared-matrix miss path
+/// applies the ordering right there on the dispatcher lane.
+const REORDER_PARENTS: &[&str] = &["engine.reorder", "serve.spmv", "tier.execute"];
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("tracecheck: {msg}");

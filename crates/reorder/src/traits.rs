@@ -31,6 +31,31 @@ impl ReorderResult {
             Ok(a.permute_rows_on(&self.perm, exec))
         }
     }
+
+    /// Carry a dense input vector into the reordered index space.
+    ///
+    /// A symmetric reordering produces `B = P·A·Pᵀ`, so `B·(P·x)`
+    /// equals `P·(A·x)` and the input must be permuted alongside the
+    /// matrix. A row-only reordering (`B = P·A`, e.g. Gray) leaves the
+    /// column space untouched, so the input passes through unchanged.
+    pub fn permute_input(&self, x: &[f64]) -> Vec<f64> {
+        if self.symmetric {
+            self.perm.apply_to_slice(x)
+        } else {
+            x.to_vec()
+        }
+    }
+
+    /// Carry an SpMV result computed on the reordered matrix back to
+    /// the caller's original index space (the inverse row permutation).
+    /// Both symmetric and row-only reorderings permute rows, so the
+    /// output always needs unpermuting. Together with
+    /// [`ReorderResult::permute_input`] this closes the serving loop:
+    /// `unpermute_output(B · permute_input(x)) == A·x` up to
+    /// floating-point summation order.
+    pub fn unpermute_output(&self, y: &[f64]) -> Vec<f64> {
+        self.perm.apply_inverse_to_slice(y)
+    }
 }
 
 /// A sparse matrix reordering algorithm.

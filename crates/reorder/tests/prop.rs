@@ -104,6 +104,41 @@ proptest! {
     }
 
     #[test]
+    fn permute_in_spmv_unpermute_out_matches_original(a in matrix_strategy()) {
+        // The serving-tier answer path: reorder the matrix, permute the
+        // input in, run each production kernel, unpermute the output —
+        // the caller must see A·x in the original index space, for
+        // symmetric orderings and the row-only Gray alike.
+        use spmv::KernelKind;
+        let a = std::sync::Arc::new(a);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 7) as f64 * 0.5).collect();
+        let expected = a.spmv_dense(&x);
+        let team = team::ThreadTeam::new_in(&telemetry::Registry::new_arc(), 2);
+        for alg in all_algorithms(4, 8) {
+            let r = alg.compute(&a).unwrap();
+            let b = std::sync::Arc::new(r.apply(&a).unwrap());
+            let xp = r.permute_input(&x);
+            for kind in KernelKind::all() {
+                let kernel = kind.plan(&b, 2);
+                let mut yp = vec![0.0; b.nrows()];
+                kernel.execute(&team, &xp, &mut yp);
+                let y = r.unpermute_output(&yp);
+                for (i, (got, want)) in y.iter().zip(&expected).enumerate() {
+                    // Column permutation changes summation order, so
+                    // compare with a small relative tolerance.
+                    let tol = 1e-9 * (1.0 + want.abs());
+                    prop_assert!(
+                        (got - want).abs() <= tol,
+                        "{} × {}: y[{i}] = {got}, want {want}",
+                        alg.name(),
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn gray_moves_only_rows(a in matrix_strategy()) {
         let r = reorder::Gray::default().compute(&a).unwrap();
         prop_assert!(!r.symmetric);

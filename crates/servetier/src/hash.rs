@@ -1,0 +1,119 @@
+//! Consistent hashing: a ring of virtual nodes routing matrix content
+//! hashes to shards.
+//!
+//! Each shard contributes `vnodes` points on a 64-bit ring; a key is
+//! routed to the first point clockwise from its own hash. Virtual
+//! nodes smooth the load (a single point per shard would make shard
+//! sizes wildly uneven), and the clockwise-successor rule keeps most
+//! keys on their shard when the shard count changes — only keys whose
+//! successor moved re-route, which is what keeps per-shard ordering
+//! caches warm across resizes.
+
+/// SplitMix64: a cheap, well-distributed 64-bit mixer (the statistical
+/// workhorse behind many PRNGs). Deterministic, so routing is stable
+/// across processes.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The consistent-hash ring mapping 128-bit content hashes to shard
+/// indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, shard)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// A ring over `shards` shards with `vnodes` virtual nodes each
+    /// (both clamped to ≥ 1).
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        let shards = shards.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for v in 0..vnodes {
+                // Mix shard and vnode into one seed; the constant
+                // keeps shard 0 / vnode 0 off the trivial fixed point.
+                let h = splitmix64(((shard as u64) << 32) ^ v as u64 ^ 0x5ca1ab1e);
+                points.push((h, shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key` (a `CsrMatrix::content_hash`): the first
+    /// ring point at or after the key's position, wrapping at the top.
+    pub fn route(&self, key: u128) -> usize {
+        let h = splitmix64(key as u64 ^ (key >> 64) as u64);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        self.points[idx % self.points.len()].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ring = HashRing::new(4, 16);
+        for k in 0..1000u128 {
+            let s = ring.route(k * 0x1234_5678_9abc_def1);
+            assert!(s < 4);
+            assert_eq!(s, ring.route(k * 0x1234_5678_9abc_def1));
+            // A fresh ring with the same shape routes identically.
+            assert_eq!(s, HashRing::new(4, 16).route(k * 0x1234_5678_9abc_def1));
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let ring = HashRing::new(4, 32);
+        let mut counts = [0usize; 4];
+        for k in 0..4000u128 {
+            counts[ring.route(splitmix64(k as u64) as u128)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 400,
+                "shard {i} got {c}/4000 keys — ring badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_a_bounded_fraction() {
+        let before = HashRing::new(4, 32);
+        let after = HashRing::new(5, 32);
+        let moved = (0..4000u128)
+            .map(|k| splitmix64(k as u64) as u128)
+            .filter(|&k| before.route(k) != after.route(k))
+            .count();
+        // Ideal consistent hashing moves ~1/5 of keys; allow slack but
+        // reject modulo-style full reshuffles (~4/5).
+        assert!(
+            moved < 2000,
+            "{moved}/4000 keys moved when adding one shard"
+        );
+        assert!(moved > 0, "adding a shard must take over some keys");
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let ring = HashRing::new(1, 8);
+        for k in 0..100u128 {
+            assert_eq!(ring.route(k), 0);
+        }
+    }
+}

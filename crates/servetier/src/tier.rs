@@ -1,0 +1,791 @@
+//! The serving tier: shard routing, admission control, and end-to-end
+//! answer delivery.
+//!
+//! [`ServeTier`] is the front door over N [`engine::Engine`] shards.
+//! A request names a matrix, an ordering algorithm, a kernel, and an
+//! input vector `x`; the tier routes it by consistent hash of the
+//! matrix's content address (so one shard owns each matrix's ordering
+//! and plan caches), admits it through that shard's bounded
+//! [`AdmissionQueue`] (shedding with a reason when full), and a shard
+//! dispatcher serves it deadline-aware: expired requests are cancelled
+//! at dequeue — and again inside the engine, before any reorder work —
+//! rather than computed. The answer comes back in the **original**
+//! index space: the shard permutes `x` into the reordered space, runs
+//! SpMV on the cached reordered matrix, and applies the inverse
+//! permutation to `y` before fulfilling the ticket.
+
+use crate::admission::{AdmissionQueue, PushError};
+use crate::hash::HashRing;
+use engine::{AlgoSpec, Engine, EngineConfig, EngineError, MatrixHandle, SubmitOptions};
+use reorder::ReorderResult;
+use spmv::KernelKind;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use telemetry::trace::{FlightRecorder, TraceCtx, TraceSpan};
+use telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// How many (request id → trace id) pairs the tier remembers for
+/// [`ServeTier::trace_summary`].
+const TRACED_INDEX_CAP: usize = 128;
+
+/// One tenant of the tier: a name (used in requests and metric labels)
+/// and a dequeue weight (a weight-2 tenant gets twice the service share
+/// of a weight-1 tenant when both are backlogged).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    pub name: String,
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    pub fn new(name: impl Into<String>, weight: u32) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight,
+        }
+    }
+}
+
+/// Tier construction parameters.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Engine shards (each with its own caches, pool, and queue).
+    pub shards: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes: usize,
+    /// The tenants allowed to submit; requests naming anyone else are
+    /// shed with [`ShedReason::UnknownTenant`].
+    pub tenants: Vec<TenantSpec>,
+    /// Per-shard admission-queue capacity; pushes past it are shed
+    /// with [`ShedReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Dispatcher threads per shard (each serves one request at a time
+    /// end to end).
+    pub dispatchers_per_shard: usize,
+    /// Threads for the SpMV execution team of each shard.
+    pub spmv_threads: usize,
+    /// Reordered-matrix cache entries per shard (one per distinct
+    /// (matrix, algorithm) pair recently served).
+    pub prepared_capacity: usize,
+    /// Template for the per-shard engines. The tier overrides
+    /// `registry` (shared tier registry), `metric_labels`
+    /// (`shard="<i>"`), and disables the engines' own trace sampling —
+    /// the tier samples at admission and hands each engine a parent
+    /// context instead.
+    pub engine: EngineConfig,
+    /// Registry all shards report into. `None` = process global.
+    pub registry: Option<Arc<Registry>>,
+    /// Flight recorder for request-scoped tracing across the tier and
+    /// the engines. `None` disables tracing.
+    pub recorder: Option<Arc<FlightRecorder>>,
+    /// Trace sample stride over tier request IDs (`0` = never).
+    pub trace_sample_every: u64,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            shards: 1,
+            vnodes: 32,
+            tenants: vec![TenantSpec::new("default", 1)],
+            queue_capacity: 256,
+            dispatchers_per_shard: 1,
+            spmv_threads: 2,
+            prepared_capacity: 64,
+            engine: EngineConfig::default(),
+            registry: None,
+            recorder: None,
+            trace_sample_every: 0,
+        }
+    }
+}
+
+/// Why the tier refused to serve a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The owning shard's admission queue was full.
+    QueueFull,
+    /// The deadline had already passed (at submission or at dequeue).
+    Expired,
+    /// The request named a tenant the tier was not configured with.
+    UnknownTenant,
+    /// The tier is shutting down.
+    ShuttingDown,
+}
+
+impl ShedReason {
+    /// The metric-label value for `tier.shed{reason=...}`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Expired => "expired",
+            ShedReason::UnknownTenant => "unknown_tenant",
+            ShedReason::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// Errors surfaced by [`TierTicket::wait`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TierError {
+    /// Load-shed before (or instead of) service.
+    Shed(ShedReason),
+    /// The shard engine failed to produce an ordering.
+    Engine(EngineError),
+    /// The request was malformed (e.g. `x` length ≠ matrix columns).
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierError::Shed(r) => write!(f, "request shed: {}", r.as_str()),
+            TierError::Engine(e) => write!(f, "engine error: {e}"),
+            TierError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
+
+/// One SpMV serving request.
+#[derive(Debug, Clone)]
+pub struct SpmvRequest {
+    /// Must name a configured [`TenantSpec`].
+    pub tenant: String,
+    pub matrix: MatrixHandle,
+    pub algo: AlgoSpec,
+    pub kernel: KernelKind,
+    /// The input vector, in the matrix's **original** column order.
+    pub x: Arc<Vec<f64>>,
+    /// Larger = dequeued first within the tenant's lane.
+    pub priority: u8,
+    /// Absolute deadline; expired requests are cancelled, not served.
+    pub deadline: Option<Instant>,
+}
+
+/// A served answer.
+#[derive(Debug, Clone)]
+pub struct SpmvResponse {
+    /// `y = A·x` in the matrix's **original** row order.
+    pub y: Vec<f64>,
+    /// Shard that served the request.
+    pub shard: usize,
+    /// Tier request ID (1-based submission order).
+    pub request_id: u64,
+    /// Submit-to-dequeue time in the admission queue.
+    pub queue_wait: Duration,
+    /// Dequeue-to-answer service time.
+    pub service: Duration,
+}
+
+/// The slot a dispatcher fulfils and a [`TierTicket`] waits on.
+struct ResponseSlot {
+    result: Mutex<Option<Result<SpmvResponse, TierError>>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fulfil(&self, result: Result<SpmvResponse, TierError>) {
+        let mut slot = self.result.lock().unwrap();
+        // First writer wins (a request can only be resolved once).
+        if slot.is_none() {
+            *slot = Some(result);
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<SpmvResponse, TierError> {
+        let mut slot = self.result.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cv.wait(slot).unwrap();
+        }
+    }
+}
+
+/// A pending (or already shed) serving request.
+pub struct TierTicket {
+    slot: Arc<ResponseSlot>,
+    request_id: u64,
+    root: TraceSpan,
+}
+
+impl TierTicket {
+    /// Block until the answer (or shed/error verdict) arrives.
+    pub fn wait(self) -> Result<SpmvResponse, TierError> {
+        let TierTicket { slot, root, .. } = self;
+        let _wait = root.ctx().span("tier.wait");
+        slot.wait()
+    }
+
+    /// The tier-assigned request ID (1-based submission order).
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Trace context parented at this request's `tier.request` root
+    /// (disabled unless the request was sampled).
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.root.ctx()
+    }
+}
+
+/// The unit travelling through a shard's admission queue.
+struct QueuedRequest {
+    request: SpmvRequest,
+    tenant_index: usize,
+    request_id: u64,
+    slot: Arc<ResponseSlot>,
+    submitted: Instant,
+    trace: TraceCtx,
+}
+
+/// A prepared (reordered) matrix, cached per shard so repeat requests
+/// skip the permutation work entirely.
+struct Prepared {
+    handle: MatrixHandle,
+    result: ReorderResult,
+}
+
+/// FIFO cache of prepared matrices keyed by (content hash, algorithm).
+struct PreparedCache {
+    map: HashMap<(u128, AlgoSpec), Arc<Prepared>>,
+    fifo: std::collections::VecDeque<(u128, AlgoSpec)>,
+    capacity: usize,
+}
+
+impl PreparedCache {
+    fn new(capacity: usize) -> Self {
+        PreparedCache {
+            map: HashMap::new(),
+            fifo: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, key: &(u128, AlgoSpec)) -> Option<Arc<Prepared>> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: (u128, AlgoSpec), value: Arc<Prepared>) {
+        if self.map.insert(key, value).is_none() {
+            self.fifo.push_back(key);
+            while self.fifo.len() > self.capacity {
+                if let Some(old) = self.fifo.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Per-shard counters (shared registry, `shard="<i>"` labels).
+struct ShardMetrics {
+    admitted: Arc<Counter>,
+    served: Arc<Counter>,
+    shed_queue_full: Arc<Counter>,
+    shed_expired: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl ShardMetrics {
+    fn new(registry: &Registry, shard: &str) -> Self {
+        let labels = [("shard", shard)];
+        ShardMetrics {
+            admitted: registry.counter_labeled("tier.admitted", &labels),
+            served: registry.counter_labeled("tier.served", &labels),
+            shed_queue_full: registry
+                .counter_labeled("tier.shed", &[("shard", shard), ("reason", "queue_full")]),
+            shed_expired: registry
+                .counter_labeled("tier.shed", &[("shard", shard), ("reason", "expired")]),
+            queue_depth: registry.gauge_labeled("tier.queue_depth", &labels),
+        }
+    }
+}
+
+/// One shard: an engine, its admission queue, and its SpMV team.
+struct ShardInner {
+    index: usize,
+    engine: Engine,
+    queue: AdmissionQueue<QueuedRequest>,
+    spmv_team: team::ThreadTeam,
+    spmv_threads: usize,
+    prepared: Mutex<PreparedCache>,
+    metrics: ShardMetrics,
+    /// End-to-end latency histogram per tenant
+    /// (`tier.request{tenant=...}`), indexed like the tenant list.
+    tenant_hists: Vec<Arc<Histogram>>,
+}
+
+/// Point-in-time statistics for one shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    pub admitted: u64,
+    pub served: u64,
+    pub shed_queue_full: u64,
+    pub shed_expired: u64,
+    pub queue_depth: i64,
+    pub engine: engine::EngineStats,
+}
+
+/// Point-in-time statistics for the whole tier.
+#[derive(Debug, Clone, Default)]
+pub struct TierStats {
+    pub shards: Vec<ShardStats>,
+    pub shed_unknown_tenant: u64,
+}
+
+impl TierStats {
+    /// Requests served across all shards.
+    pub fn served(&self) -> u64 {
+        self.shards.iter().map(|s| s.served).sum()
+    }
+
+    /// Requests shed across all shards (any reason).
+    pub fn shed(&self) -> u64 {
+        self.shed_unknown_tenant
+            + self
+                .shards
+                .iter()
+                .map(|s| s.shed_queue_full + s.shed_expired)
+                .sum::<u64>()
+    }
+}
+
+/// The sharded, admission-controlled serving tier (see module docs).
+pub struct ServeTier {
+    ring: HashRing,
+    shards: Vec<Arc<ShardInner>>,
+    dispatchers: Vec<JoinHandle<()>>,
+    tenants: Vec<TenantSpec>,
+    /// tenant name → lane index.
+    tenant_index: HashMap<String, usize>,
+    registry: Arc<Registry>,
+    recorder: Option<Arc<FlightRecorder>>,
+    sample_every: u64,
+    shed_unknown_tenant: Arc<Counter>,
+    next_request: AtomicU64,
+    traced: Mutex<std::collections::VecDeque<(u64, u64)>>,
+}
+
+impl ServeTier {
+    /// Build the shards and start their dispatchers.
+    pub fn new(config: TierConfig) -> Self {
+        let registry = config.registry.unwrap_or_else(Registry::global);
+        let tenants = if config.tenants.is_empty() {
+            vec![TenantSpec::new("default", 1)]
+        } else {
+            config.tenants
+        };
+        let tenant_index: HashMap<String, usize> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.clone(), i))
+            .collect();
+        let weights: Vec<u32> = tenants.iter().map(|t| t.weight).collect();
+        let nshards = config.shards.max(1);
+        let ring = HashRing::new(nshards, config.vnodes);
+
+        let mut shards = Vec::with_capacity(nshards);
+        for index in 0..nshards {
+            let shard_label = index.to_string();
+            let mut engine_config = config.engine.clone();
+            engine_config.registry = Some(Arc::clone(&registry));
+            // The tier owns sampling: engines trace only through the
+            // per-request parent context the dispatcher hands them.
+            engine_config.recorder = None;
+            engine_config.trace_sample_every = 0;
+            engine_config.metric_labels = vec![("shard".to_string(), shard_label.clone())];
+            let tenant_hists = tenants
+                .iter()
+                .map(|t| registry.histogram_labeled("tier.request", &[("tenant", &t.name)]))
+                .collect();
+            shards.push(Arc::new(ShardInner {
+                index,
+                engine: Engine::new(engine_config),
+                queue: AdmissionQueue::new(&weights, config.queue_capacity),
+                spmv_team: team::ThreadTeam::new_in(&registry, config.spmv_threads.max(1)),
+                spmv_threads: config.spmv_threads.max(1),
+                prepared: Mutex::new(PreparedCache::new(config.prepared_capacity)),
+                metrics: ShardMetrics::new(&registry, &shard_label),
+                tenant_hists,
+            }));
+        }
+
+        let mut dispatchers = Vec::new();
+        for shard in &shards {
+            for d in 0..config.dispatchers_per_shard.max(1) {
+                let shard = Arc::clone(shard);
+                dispatchers.push(
+                    std::thread::Builder::new()
+                        .name(format!("tier-shard{}-d{d}", shard.index))
+                        .spawn(move || dispatch_loop(&shard))
+                        .expect("spawn tier dispatcher"),
+                );
+            }
+        }
+
+        ServeTier {
+            ring,
+            shards,
+            dispatchers,
+            tenants,
+            tenant_index,
+            shed_unknown_tenant: registry
+                .counter_labeled("tier.shed", &[("reason", "unknown_tenant")]),
+            registry,
+            recorder: config.recorder,
+            sample_every: config.trace_sample_every,
+            next_request: AtomicU64::new(0),
+            traced: Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// The registry the tier and its shards report into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The flight recorder tracing sampled requests, if configured.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured tenants, in lane order.
+    pub fn tenants(&self) -> &[TenantSpec] {
+        &self.tenants
+    }
+
+    /// The shard that owns a matrix (consistent hash of its content
+    /// address).
+    pub fn route(&self, matrix: &MatrixHandle) -> usize {
+        self.ring.route(matrix.content_hash())
+    }
+
+    /// The engine of the shard owning `matrix` — escape hatch for
+    /// ordering-only work (e.g. the experiments' measurement harness)
+    /// that wants the same cache the serving path fills.
+    pub fn engine_for(&self, matrix: &MatrixHandle) -> &Engine {
+        &self.shards[self.route(matrix)].engine
+    }
+
+    /// Submit one request. Returns a ticket immediately; sheds
+    /// (queue full, unknown tenant, already-expired deadline) surface
+    /// as an immediately-ready `Err` on [`TierTicket::wait`].
+    pub fn submit(&self, request: SpmvRequest) -> TierTicket {
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+        let shard_index = self.route(&request.matrix);
+        let shard = &self.shards[shard_index];
+        let root = self.start_request_trace(request_id, shard_index, &request);
+        let slot = ResponseSlot::new();
+        let ticket = TierTicket {
+            slot: Arc::clone(&slot),
+            request_id,
+            root,
+        };
+
+        let Some(&tenant_index) = self.tenant_index.get(&request.tenant) else {
+            self.shed_unknown_tenant.inc();
+            ticket.root.ctx().instant("tier.shed");
+            slot.fulfil(Err(TierError::Shed(ShedReason::UnknownTenant)));
+            return ticket;
+        };
+        let ncols = request.matrix.matrix().ncols();
+        if request.x.len() != ncols {
+            slot.fulfil(Err(TierError::InvalidRequest(format!(
+                "x has {} entries but the matrix has {ncols} columns",
+                request.x.len()
+            ))));
+            return ticket;
+        }
+        let now = Instant::now();
+        if request.deadline.is_some_and(|d| d <= now) {
+            shard.metrics.shed_expired.inc();
+            ticket.root.ctx().instant("tier.expired");
+            slot.fulfil(Err(TierError::Shed(ShedReason::Expired)));
+            return ticket;
+        }
+
+        let priority = request.priority;
+        let deadline = request.deadline;
+        let queued = QueuedRequest {
+            request,
+            tenant_index,
+            request_id,
+            slot: Arc::clone(&slot),
+            submitted: now,
+            trace: ticket.root.ctx(),
+        };
+        // Count the request as queued before pushing: a dispatcher may
+        // pop (and decrement) the instant push returns, and the gauge
+        // saturates at zero rather than going transiently negative.
+        shard.metrics.queue_depth.inc();
+        match shard.queue.push(tenant_index, priority, deadline, queued) {
+            Ok(()) => shard.metrics.admitted.inc(),
+            Err(push_error) => {
+                shard.metrics.queue_depth.dec();
+                let reason = match push_error {
+                    PushError::QueueFull => {
+                        shard.metrics.shed_queue_full.inc();
+                        ShedReason::QueueFull
+                    }
+                    PushError::UnknownTenant => {
+                        self.shed_unknown_tenant.inc();
+                        ShedReason::UnknownTenant
+                    }
+                    PushError::ShuttingDown => ShedReason::ShuttingDown,
+                };
+                ticket.root.ctx().instant("tier.shed");
+                slot.fulfil(Err(TierError::Shed(reason)));
+            }
+        }
+        ticket
+    }
+
+    /// Submit and wait: the blocking convenience call.
+    pub fn serve(&self, request: SpmvRequest) -> Result<SpmvResponse, TierError> {
+        self.submit(request).wait()
+    }
+
+    /// Open the `tier.request` root span when `request_id` falls on the
+    /// sample stride; a disabled span otherwise.
+    fn start_request_trace(
+        &self,
+        request_id: u64,
+        shard: usize,
+        request: &SpmvRequest,
+    ) -> TraceSpan {
+        let Some(recorder) = &self.recorder else {
+            return TraceSpan::disabled();
+        };
+        if self.sample_every == 0 || !(request_id - 1).is_multiple_of(self.sample_every) {
+            return TraceSpan::disabled();
+        }
+        let ctx = recorder.start_trace();
+        let Some(trace_id) = ctx.trace_id() else {
+            return TraceSpan::disabled();
+        };
+        let mut root = ctx.span("tier.request");
+        root.arg("request", request_id);
+        root.arg("shard", shard as u64);
+        // Span args hold only static strings; the tenant travels as its
+        // lane index (resolve via the tier config).
+        if let Some(&t) = self.tenant_index.get(&request.tenant) {
+            root.arg("tenant", t as u64);
+        }
+        let mut traced = self.traced.lock().unwrap();
+        if traced.len() >= TRACED_INDEX_CAP {
+            traced.pop_front();
+        }
+        traced.push_back((request_id, trace_id));
+        root
+    }
+
+    /// The trace ID a sampled request recorded under, if still indexed.
+    pub fn trace_id_for(&self, request_id: u64) -> Option<u64> {
+        self.traced
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(r, _)| *r == request_id)
+            .map(|(_, t)| *t)
+    }
+
+    /// Plain-text stage breakdown for a sampled request.
+    pub fn trace_summary(&self, request_id: u64) -> Option<String> {
+        self.request_trace(request_id).map(|snap| snap.summary())
+    }
+
+    /// Chrome-trace JSON for a sampled request.
+    pub fn trace_chrome_json(&self, request_id: u64) -> Option<String> {
+        self.request_trace(request_id)
+            .map(|snap| snap.to_chrome_json())
+    }
+
+    fn request_trace(&self, request_id: u64) -> Option<telemetry::TraceSnapshot> {
+        let recorder = self.recorder.as_ref()?;
+        let trace_id = self.trace_id_for(request_id)?;
+        let snap = recorder.snapshot().filter_trace(trace_id);
+        (!snap.is_empty()).then_some(snap)
+    }
+
+    /// Statistics snapshot across all shards.
+    pub fn stats(&self) -> TierStats {
+        TierStats {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardStats {
+                    admitted: s.metrics.admitted.get(),
+                    served: s.metrics.served.get(),
+                    shed_queue_full: s.metrics.shed_queue_full.get(),
+                    shed_expired: s.metrics.shed_expired.get(),
+                    queue_depth: s.metrics.queue_depth.get(),
+                    engine: s.engine.stats(),
+                })
+                .collect(),
+            shed_unknown_tenant: self.shed_unknown_tenant.get(),
+        }
+    }
+}
+
+impl Drop for ServeTier {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+        // Whatever was admitted but never dequeued resolves as shed —
+        // no ticket is left hanging.
+        for shard in &self.shards {
+            for queued in shard.queue.drain_remaining() {
+                shard.metrics.queue_depth.dec();
+                queued
+                    .slot
+                    .fulfil(Err(TierError::Shed(ShedReason::ShuttingDown)));
+            }
+        }
+    }
+}
+
+/// A shard dispatcher: pop, expire-or-execute, fulfil, repeat.
+fn dispatch_loop(shard: &ShardInner) {
+    while let Some(queued) = shard.queue.pop() {
+        shard.metrics.queue_depth.dec();
+        let dequeued = Instant::now();
+        // The queue-wait interval, learned after the fact.
+        queued
+            .trace
+            .complete("admission.wait", queued.submitted, dequeued, Vec::new());
+        if queued.request.deadline.is_some_and(|d| d <= dequeued) {
+            shard.metrics.shed_expired.inc();
+            queued.trace.instant("tier.expired");
+            queued
+                .slot
+                .fulfil(Err(TierError::Shed(ShedReason::Expired)));
+            continue;
+        }
+        let result = execute(shard, &queued, dequeued);
+        if result.is_ok() {
+            shard.metrics.served.inc();
+            shard.tenant_hists[queued.tenant_index].record_duration(queued.submitted.elapsed());
+        } else if matches!(result, Err(TierError::Shed(ShedReason::Expired))) {
+            shard.metrics.shed_expired.inc();
+        }
+        queued.slot.fulfil(result);
+    }
+}
+
+/// Serve one dequeued request end to end on its shard.
+fn execute(
+    shard: &ShardInner,
+    queued: &QueuedRequest,
+    dequeued: Instant,
+) -> Result<SpmvResponse, TierError> {
+    let request = &queued.request;
+    let mut span = queued.trace.span("tier.execute");
+    span.arg("algo", request.algo.name());
+    span.arg("kernel", request.kernel.name());
+    let ctx = span.ctx();
+
+    // 1. The ordering, through the shard engine's caches — with the
+    //    deadline attached, so an expiry cancels it pre-reorder.
+    let ticket = shard.engine.submit_opts(
+        &request.matrix,
+        request.algo,
+        SubmitOptions {
+            deadline: request.deadline,
+            trace: ctx.clone(),
+        },
+    );
+    let ordering = ticket.wait().map_err(|e| match e {
+        EngineError::Expired => TierError::Shed(ShedReason::Expired),
+        other => TierError::Engine(other),
+    })?;
+    // An ordering served from cache is instant, but a computed one may
+    // have consumed the whole budget: re-check before the SpMV work.
+    if request.deadline.is_some_and(|d| d <= Instant::now()) {
+        ctx.instant("tier.expired");
+        return Err(TierError::Shed(ShedReason::Expired));
+    }
+
+    // 2. The reordered matrix, from the shard's prepared cache. Built
+    //    outside the lock: two dispatchers racing the same key both
+    //    build, one insert wins — benign, and the lock never blocks on
+    //    an O(nnz) permutation.
+    let key = (request.matrix.content_hash(), request.algo);
+    let prepared = shard.prepared.lock().unwrap().get(&key);
+    let prepared = match prepared {
+        Some(p) => p,
+        None => {
+            let mut permute = ctx.span("reorder.permute");
+            permute.arg("rows", request.matrix.matrix().nrows() as u64);
+            let reordered = ordering
+                .apply_on(
+                    request.matrix.matrix(),
+                    team::Exec::Team(shard.engine.reorder_team()),
+                )
+                .map_err(|e| {
+                    TierError::Engine(EngineError::Compute {
+                        algo: request.algo,
+                        message: e.to_string(),
+                    })
+                })?;
+            drop(permute);
+            let p = Arc::new(Prepared {
+                handle: MatrixHandle::from_matrix(reordered),
+                result: ordering.to_reorder_result(),
+            });
+            shard.prepared.lock().unwrap().insert(key, Arc::clone(&p));
+            p
+        }
+    };
+
+    // 3. The planned kernel for the reordered matrix (plan cache).
+    let kernel =
+        shard
+            .engine
+            .plan_traced(&prepared.handle, request.kernel, shard.spmv_threads, &ctx);
+
+    // 4. Permute in, multiply, permute out: the caller sees original
+    //    index space on both sides.
+    let xp = prepared.result.permute_input(&request.x);
+    let mut yp = vec![0.0; prepared.handle.matrix().nrows()];
+    {
+        let mut compute = ctx.span("serve.spmv");
+        compute.arg("kernel", request.kernel.name());
+        kernel.execute(&shard.spmv_team, &xp, &mut yp);
+    }
+    let y = {
+        let _unpermute = ctx.span("answer.unpermute");
+        prepared.result.unpermute_output(&yp)
+    };
+
+    Ok(SpmvResponse {
+        y,
+        shard: shard.index,
+        request_id: queued.request_id,
+        queue_wait: dequeued - queued.submitted,
+        service: dequeued.elapsed(),
+    })
+}

@@ -1,0 +1,290 @@
+//! End-to-end tests for the serving tier: numeric answer delivery,
+//! load-shedding, deadline cancellation, routing, and shutdown.
+
+use engine::{AlgoSpec, MatrixHandle};
+use servetier::{ServeTier, ShedReason, SpmvRequest, TenantSpec, TierConfig, TierError};
+use spmv::KernelKind;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tier(shards: usize, queue_capacity: usize) -> ServeTier {
+    ServeTier::new(TierConfig {
+        shards,
+        queue_capacity,
+        tenants: vec![TenantSpec::new("t0", 2), TenantSpec::new("t1", 1)],
+        dispatchers_per_shard: 1,
+        spmv_threads: 2,
+        registry: Some(telemetry::Registry::new_arc()),
+        ..TierConfig::default()
+    })
+}
+
+fn request(matrix: &MatrixHandle, algo: AlgoSpec, kernel: KernelKind) -> SpmvRequest {
+    let x: Vec<f64> = (0..matrix.matrix().ncols())
+        .map(|i| 1.0 + (i % 7) as f64 * 0.5)
+        .collect();
+    SpmvRequest {
+        tenant: "t0".into(),
+        matrix: matrix.clone(),
+        algo,
+        kernel,
+        x: Arc::new(x),
+        priority: 0,
+        deadline: None,
+    }
+}
+
+fn assert_close(got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+            "row {i}: got {g}, want {w}"
+        );
+    }
+}
+
+#[test]
+fn answers_are_correct_in_original_index_space() {
+    // Every algorithm (symmetric and the row-only Gray) × every
+    // kernel, on a 4-shard tier: the caller must never observe the
+    // reordering.
+    let tier = tier(4, 64);
+    let matrix = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(14, 14), 5));
+    for algo in [
+        AlgoSpec::Original,
+        AlgoSpec::Rcm,
+        AlgoSpec::Amd,
+        AlgoSpec::Gray,
+        AlgoSpec::Gp { parts: 4 },
+    ] {
+        for kernel in KernelKind::all() {
+            let req = request(&matrix, algo, kernel);
+            let want = matrix.matrix().spmv_dense(&req.x);
+            let response = tier
+                .serve(req)
+                .unwrap_or_else(|e| panic!("{}/{} failed: {e}", algo.name(), kernel.name()));
+            assert_close(&response.y, &want);
+            assert_eq!(response.shard, tier.route(&matrix));
+        }
+    }
+    let stats = tier.stats();
+    assert_eq!(stats.served(), 15);
+    assert_eq!(stats.shed(), 0);
+}
+
+#[test]
+fn distinct_matrices_spread_over_shards_deterministically() {
+    let tier = tier(4, 64);
+    let matrices: Vec<MatrixHandle> = (0..32u64)
+        .map(|i| {
+            MatrixHandle::from_matrix(corpus::scramble(
+                &corpus::mesh2d(6 + (i % 5) as usize, 7),
+                i,
+            ))
+        })
+        .collect();
+    let mut used = [false; 4];
+    for m in &matrices {
+        let s = tier.route(m);
+        assert_eq!(s, tier.route(m), "routing must be deterministic");
+        used[s] = true;
+    }
+    assert!(
+        used.iter().filter(|&&u| u).count() >= 2,
+        "32 matrices landed on one shard: {used:?}"
+    );
+}
+
+#[test]
+fn full_queue_sheds_with_reason() {
+    // One dispatcher, capacity 2, and a stream of distinct matrices
+    // (each a fresh reorder): the backlog must overflow into sheds.
+    let tier = tier(1, 2);
+    let tickets: Vec<_> = (0..16u64)
+        .map(|i| {
+            let m = MatrixHandle::from_matrix(corpus::scramble(
+                &corpus::mesh2d(12, 12 + i as usize),
+                i,
+            ));
+            tier.submit(request(&m, AlgoSpec::Rcm, KernelKind::OneD))
+        })
+        .collect();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => served += 1,
+            Err(TierError::Shed(ShedReason::QueueFull)) => shed += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(shed > 0, "16 instant submissions into capacity 2 must shed");
+    assert_eq!(served + shed, 16);
+    let stats = tier.stats();
+    assert_eq!(stats.shards[0].shed_queue_full, shed as u64);
+    assert_eq!(stats.served(), served as u64);
+}
+
+#[test]
+fn expired_deadline_is_shed_without_reorder_work() {
+    let tier = tier(1, 16);
+    let matrix = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(12, 12), 1));
+    let mut req = request(&matrix, AlgoSpec::Rcm, KernelKind::OneD);
+    req.deadline = Some(Instant::now() - Duration::from_millis(1));
+    match tier.serve(req) {
+        Err(TierError::Shed(ShedReason::Expired)) => {}
+        other => panic!("expected expired shed, got {other:?}"),
+    }
+    let stats = tier.stats();
+    assert_eq!(stats.shards[0].shed_expired, 1);
+    assert_eq!(
+        stats.shards[0].engine.jobs_executed, 0,
+        "an expired request must never reach the reorder pool"
+    );
+    assert_eq!(stats.shards[0].engine.submitted, 0);
+}
+
+#[test]
+fn unknown_tenant_is_rejected() {
+    let tier = tier(1, 16);
+    let matrix = MatrixHandle::from_matrix(corpus::mesh2d(10, 10));
+    let mut req = request(&matrix, AlgoSpec::Original, KernelKind::OneD);
+    req.tenant = "nobody".into();
+    match tier.serve(req) {
+        Err(TierError::Shed(ShedReason::UnknownTenant)) => {}
+        other => panic!("expected unknown-tenant shed, got {other:?}"),
+    }
+    assert_eq!(tier.stats().shed_unknown_tenant, 1);
+}
+
+#[test]
+fn wrong_x_length_is_invalid() {
+    let tier = tier(1, 16);
+    let matrix = MatrixHandle::from_matrix(corpus::mesh2d(10, 10));
+    let mut req = request(&matrix, AlgoSpec::Original, KernelKind::OneD);
+    req.x = Arc::new(vec![1.0; 3]);
+    assert!(matches!(tier.serve(req), Err(TierError::InvalidRequest(_))));
+}
+
+#[test]
+fn repeat_requests_hit_the_shard_caches() {
+    let tier = tier(2, 64);
+    let matrix = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(14, 14), 2));
+    let req = request(&matrix, AlgoSpec::Rcm, KernelKind::Merge);
+    let want = matrix.matrix().spmv_dense(&req.x);
+    for _ in 0..6 {
+        let response = tier.serve(req.clone()).unwrap();
+        assert_close(&response.y, &want);
+    }
+    let shard = tier.route(&matrix);
+    let engine = &tier.stats().shards[shard].engine;
+    assert_eq!(engine.jobs_executed, 1, "one reorder serves all repeats");
+    assert_eq!(engine.cache.hits, 5);
+    // The reordered matrix is planned once, too.
+    assert_eq!(engine.plans.misses, 1);
+    assert_eq!(engine.plans.hits, 5);
+}
+
+#[test]
+fn per_tenant_latency_series_appear_in_the_registry() {
+    let tier = tier(1, 16);
+    let matrix = MatrixHandle::from_matrix(corpus::mesh2d(10, 10));
+    tier.serve(request(&matrix, AlgoSpec::Rcm, KernelKind::OneD))
+        .unwrap();
+    let mut req = request(&matrix, AlgoSpec::Rcm, KernelKind::OneD);
+    req.tenant = "t1".into();
+    tier.serve(req).unwrap();
+    let snap = tier.registry().snapshot();
+    let h0 = snap
+        .histogram_labeled("tier.request", &[("tenant", "t0")])
+        .expect("t0 latency series");
+    let h1 = snap
+        .histogram_labeled("tier.request", &[("tenant", "t1")])
+        .expect("t1 latency series");
+    assert_eq!(h0.count, 1);
+    assert_eq!(h1.count, 1);
+}
+
+#[test]
+fn dropping_the_tier_resolves_every_outstanding_ticket() {
+    let tier = tier(1, 64);
+    let tickets: Vec<_> = (0..24u64)
+        .map(|i| {
+            let m = MatrixHandle::from_matrix(corpus::scramble(
+                &corpus::mesh2d(10, 10 + i as usize),
+                i,
+            ));
+            tier.submit(request(&m, AlgoSpec::Rcm, KernelKind::OneD))
+        })
+        .collect();
+    drop(tier);
+    // Every ticket resolves — served, or shed on shutdown — without
+    // hanging.
+    for t in tickets {
+        match t.wait() {
+            Ok(_) | Err(TierError::Shed(ShedReason::ShuttingDown)) => {}
+            Err(other) => panic!("unexpected error at shutdown: {other}"),
+        }
+    }
+}
+
+#[test]
+fn sampled_request_records_the_serving_stages() {
+    use telemetry::trace::EventKind;
+    let recorder = telemetry::FlightRecorder::new(8192);
+    let tier = ServeTier::new(TierConfig {
+        shards: 2,
+        queue_capacity: 16,
+        tenants: vec![TenantSpec::new("t0", 1)],
+        spmv_threads: 2,
+        registry: Some(telemetry::Registry::new_arc()),
+        recorder: Some(Arc::clone(&recorder)),
+        trace_sample_every: 1,
+        ..TierConfig::default()
+    });
+    let matrix = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(12, 12), 3));
+    let ticket = tier.submit(request(&matrix, AlgoSpec::Rcm, KernelKind::OneD));
+    let request_id = ticket.request_id();
+    ticket.wait().unwrap();
+    let trace_id = tier.trace_id_for(request_id).expect("request sampled");
+    let snap = recorder.snapshot().filter_trace(trace_id);
+    let names: Vec<&str> = snap
+        .events()
+        .filter(|e| e.kind == EventKind::Begin)
+        .map(|e| e.name)
+        .collect();
+    for stage in [
+        "tier.request",
+        "admission.wait",
+        "tier.execute",
+        "engine.request",
+        "engine.reorder",
+        "reorder.permute",
+        "engine.plan",
+        "serve.spmv",
+        "answer.unpermute",
+    ] {
+        assert!(names.contains(&stage), "missing {stage} in {names:?}");
+    }
+    // The engine's request span parents under the tier's execute span.
+    let execute_id = snap
+        .events()
+        .find(|e| e.name == "tier.execute" && e.kind == EventKind::Begin)
+        .unwrap()
+        .span_id;
+    let engine_request = snap
+        .events()
+        .find(|e| e.name == "engine.request" && e.kind == EventKind::Begin)
+        .unwrap();
+    assert_eq!(engine_request.parent_id, execute_id);
+    // And both renderings resolve by request ID.
+    assert!(tier
+        .trace_summary(request_id)
+        .unwrap()
+        .contains("serve.spmv"));
+    assert!(tier
+        .trace_chrome_json(request_id)
+        .unwrap()
+        .contains("\"answer.unpermute\""));
+}

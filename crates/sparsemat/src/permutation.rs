@@ -143,6 +143,20 @@ impl Permutation {
             .map(|&old| data[old as usize])
             .collect()
     }
+
+    /// Apply the inverse permutation to a dense slice:
+    /// `out[old] = data[new]` where `new = old_to_new[old]`.
+    ///
+    /// This undoes [`Permutation::apply_to_slice`], which is how a
+    /// serving layer returns an SpMV result computed in reordered index
+    /// space back to the caller's original ordering.
+    pub fn apply_inverse_to_slice<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len(), "slice length mismatch");
+        self.old_to_new
+            .iter()
+            .map(|&new| data[new as usize])
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +213,17 @@ mod tests {
         let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
         let data = [10.0, 20.0, 30.0];
         assert_eq!(p.apply_to_slice(&data), vec![30.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn apply_inverse_undoes_apply() {
+        let p = Permutation::from_new_to_old(vec![3, 1, 0, 2]).unwrap();
+        let data = [1.5, 2.5, 3.5, 4.5];
+        let permuted = p.apply_to_slice(&data);
+        assert_eq!(p.apply_inverse_to_slice(&permuted), data.to_vec());
+        // And the other way round.
+        let unpermuted = p.apply_inverse_to_slice(&data);
+        assert_eq!(p.apply_to_slice(&unpermuted), data.to_vec());
     }
 
     #[test]

@@ -86,6 +86,12 @@ impl Snapshot {
     /// names have non-`[a-zA-Z0-9_:]` characters replaced by `_`
     /// (`engine.cache.hits` → `engine_cache_hits`); histograms export
     /// as summaries with `quantile` labels.
+    ///
+    /// Labeled series (built with [`crate::series_name`], e.g.
+    /// `engine.pool.queue_depth{shard="0"}`) keep their label block
+    /// verbatim — only the base name is sanitised — and series sharing
+    /// a base name emit one `# TYPE` header, as the exposition format
+    /// requires.
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             name.chars()
@@ -98,26 +104,59 @@ impl Snapshot {
                 })
                 .collect()
         }
+        /// Split a registry key into (sanitised base, label block).
+        fn series(name: &str) -> (String, &str) {
+            match name.split_once('{') {
+                Some((base, rest)) => (sanitize(base), rest.strip_suffix('}').unwrap_or(rest)),
+                None => (sanitize(name), ""),
+            }
+        }
+        fn type_line(out: &mut String, seen: &mut Vec<String>, base: &str, kind: &str) {
+            if !seen.iter().any(|s| s == base) {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+                seen.push(base.to_string());
+            }
+        }
         let mut out = String::new();
+        let mut seen = Vec::new();
         for (name, v) in &self.counters {
-            let n = sanitize(name);
-            let _ = writeln!(out, "# TYPE {n} counter");
-            let _ = writeln!(out, "{n} {v}");
+            let (base, labels) = series(name);
+            type_line(&mut out, &mut seen, &base, "counter");
+            if labels.is_empty() {
+                let _ = writeln!(out, "{base} {v}");
+            } else {
+                let _ = writeln!(out, "{base}{{{labels}}} {v}");
+            }
         }
         for (name, v) in &self.gauges {
-            let n = sanitize(name);
-            let _ = writeln!(out, "# TYPE {n} gauge");
-            let _ = writeln!(out, "{n} {v}");
+            let (base, labels) = series(name);
+            type_line(&mut out, &mut seen, &base, "gauge");
+            if labels.is_empty() {
+                let _ = writeln!(out, "{base} {v}");
+            } else {
+                let _ = writeln!(out, "{base}{{{labels}}} {v}");
+            }
         }
         for (name, h) in &self.histograms {
-            let n = sanitize(name);
-            let _ = writeln!(out, "# TYPE {n} summary");
-            let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.p50);
-            let _ = writeln!(out, "{n}{{quantile=\"0.9\"}} {}", h.p90);
-            let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.p99);
-            let _ = writeln!(out, "{n}{{quantile=\"0.999\"}} {}", h.p999);
-            let _ = writeln!(out, "{n}_sum {}", h.sum);
-            let _ = writeln!(out, "{n}_count {}", h.count);
+            let (base, labels) = series(name);
+            // Quantile labels merge after any series labels.
+            let prefix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{labels},")
+            };
+            type_line(&mut out, &mut seen, &base, "summary");
+            let _ = writeln!(out, "{base}{{{prefix}quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{base}{{{prefix}quantile=\"0.9\"}} {}", h.p90);
+            let _ = writeln!(out, "{base}{{{prefix}quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{base}{{{prefix}quantile=\"0.999\"}} {}", h.p999);
+            if labels.is_empty() {
+                let _ = writeln!(out, "{base}_sum {}", h.sum);
+                let _ = writeln!(out, "{base}_count {}", h.count);
+            } else {
+                let _ = writeln!(out, "{base}_sum{{{labels}}} {}", h.sum);
+                let _ = writeln!(out, "{base}_count{{{labels}}} {}", h.count);
+            }
         }
         out
     }
@@ -185,6 +224,46 @@ mod tests {
                 "bad metric name in line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn prometheus_renders_labeled_series() {
+        let r = Registry::new();
+        r.gauge_labeled("engine.pool.queue_depth", &[("shard", "0")])
+            .set(2);
+        r.gauge_labeled("engine.pool.queue_depth", &[("shard", "1")])
+            .set(5);
+        r.counter_labeled("tier.shed", &[("shard", "1"), ("reason", "queue_full")])
+            .add(4);
+        r.histogram_labeled("tier.request", &[("tenant", "t0")])
+            .record(100);
+        let p = r.snapshot().to_prometheus();
+        // The base name is sanitised; the label block survives intact.
+        assert!(
+            p.contains("engine_pool_queue_depth{shard=\"0\"} 2\n"),
+            "{p}"
+        );
+        assert!(
+            p.contains("engine_pool_queue_depth{shard=\"1\"} 5\n"),
+            "{p}"
+        );
+        assert!(
+            p.contains("tier_shed{shard=\"1\",reason=\"queue_full\"} 4\n"),
+            "{p}"
+        );
+        // One TYPE header per base name even with multiple label sets.
+        assert_eq!(
+            p.matches("# TYPE engine_pool_queue_depth gauge").count(),
+            1,
+            "{p}"
+        );
+        // Summary quantiles merge into the existing label block.
+        assert!(
+            p.contains("tier_request{tenant=\"t0\",quantile=\"0.5\"} 100\n"),
+            "{p}"
+        );
+        assert!(p.contains("tier_request_sum{tenant=\"t0\"} 100\n"), "{p}");
+        assert!(p.contains("tier_request_count{tenant=\"t0\"} 1\n"), "{p}");
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
-pub use registry::{Registry, Snapshot};
+pub use registry::{series_name, Registry, Snapshot};
 pub use report::{compact_line, Reporter};
 pub use span::{current_depth, current_path, Span};
 pub use trace::{ArgValue, FlightRecorder, TraceCtx, TraceSnapshot, TraceSpan};

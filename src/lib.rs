@@ -25,6 +25,10 @@
 //! - [`engine`] — reordering-as-a-service: a content-addressed
 //!   ordering cache with a batched worker pool and request coalescing
 //!   (the §4.7 amortisation argument, operationalised);
+//! - [`servetier`] — the sharded, admission-controlled serving tier on
+//!   top of [`engine`]: consistent-hash routing, weighted-fair bounded
+//!   admission with deadlines and load-shedding, and end-to-end SpMV
+//!   answers delivered in the caller's original index space;
 //! - [`telemetry`] — counters, gauges, log-linear latency histograms
 //!   and RAII spans behind a process-wide registry, with JSON and
 //!   Prometheus exporters (see README § Observability).
@@ -59,6 +63,7 @@ pub use corpus;
 pub use engine;
 pub use partition;
 pub use reorder;
+pub use servetier;
 pub use sparsegraph;
 pub use sparsemat;
 pub use spfeatures;
@@ -75,6 +80,7 @@ pub mod prelude {
         all_algorithms, Amd, Gp, Gps, Gray, Hp, Nd, Original, Rcm, ReorderAlgorithm, ReorderResult,
         Sbd,
     };
+    pub use servetier::{ServeTier, SpmvRequest, TenantSpec, TierConfig};
     pub use sparsemat::{CooMatrix, CsrMatrix, Permutation};
     pub use spfeatures::{
         bandwidth, geometric_mean, imbalance_factor, matrix_features, off_diagonal_nnz,
