@@ -44,4 +44,19 @@ rm -rf "$TRACE_DIR"
     --shards 4 --tenants 2 --offered-load 400 --deadline-ms 200 \
     --queue-capacity 32 --seed 7 > /dev/null
 
+# Adaptive-policy smoke: a closed-loop replay under --policy adaptive
+# must deliver verified answers end to end (policy.decide runs on
+# every request; the tracecheck gate above already requires the stage
+# on sampled traces).
+./target/release/serve --size small --requests 400 --clients 2 \
+    --policy adaptive --seed 7 > /dev/null
+
+# Policy serving-contract bench smoke: harness must run end to end
+# (no replay sweep, no JSON written).
+cargo bench -p bench --bench policy_serve -- --test
+
+# Break-even frontier smoke: measure + policy replay on a tiny rep
+# axis (no artifacts written, agreement gate not enforced).
+./target/release/frontier --size small --test > /dev/null
+
 echo "ci: all gates passed"

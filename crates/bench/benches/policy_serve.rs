@@ -1,0 +1,290 @@
+//! Adaptive-policy serving bench: `--policy adaptive` vs `always` vs
+//! `never` on two traffic shapes.
+//!
+//! The policy layer's contract (PR 7) is asymmetric:
+//!
+//! - **cold, low-repetition traffic** (many distinct matrices, each
+//!   multiplied a handful of times — fewer than the probe threshold)
+//!   must get *faster* under `adaptive` than under `always`, because
+//!   the policy refuses to pay reorder costs that can never amortise;
+//! - **hot, high-repetition traffic** (few matrices, hammered far past
+//!   break-even) must stay *within a few percent* of `always`: the
+//!   policy probes, the ledger confirms the win, and from then on the
+//!   served path is identical — only the handful of pre-probe
+//!   original-order serves is given up.
+//!
+//! A normal run (no `--test`) replays both shapes closed-loop through
+//! a fresh [`ServeTier`] per mode and writes the totals, tails, and
+//! reorder counts to `BENCH_PR7.json` at the repository root. The
+//! Criterion target measures the marginal cost of one warm adaptive
+//! decision — the `policy.decide` stage every request now pays.
+
+use criterion::{criterion_group, Criterion};
+use engine::{AlgoSpec, MatrixHandle};
+use policy::{PolicyConfig, PolicyEngine, PolicyMode};
+use servetier::{ServeTier, SpmvRequest, TenantSpec, TierConfig};
+use spmv::KernelKind;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One traffic shape: `keys` distinct matrices, each requested
+/// `reps_per_key` times (interleaved round-robin, the worst case for
+/// any cache that hopes for back-to-back repeats).
+struct Shape {
+    name: &'static str,
+    keys: usize,
+    reps_per_key: usize,
+    /// Matrix family served by this shape (seeded per key).
+    build: fn(u64) -> sparsemat::CsrMatrix,
+}
+
+/// Trials per (shape, mode); the best (minimum-total) trial is
+/// reported. Closed-loop totals on a shared host carry multi-percent
+/// scheduling noise — min-of-N is the usual estimator for the
+/// workload's intrinsic cost, and trials are interleaved across modes
+/// so every mode samples the same background-load regimes.
+const TRIALS: usize = 5;
+
+const SHAPES: &[Shape] = &[
+    // Scrambled meshes: cache-resident, so reordering cannot pay at 4
+    // reps — `always` burns 24 reorder costs for nothing.
+    Shape {
+        name: "cold",
+        keys: 24,
+        reps_per_key: 4,
+        build: |seed| corpus::scramble(&corpus::mesh2d(96, 96), seed),
+    },
+    // RMAT graphs whose x-vector (128 KiB) spills L1: RCM genuinely
+    // speeds SpMV here and 450 reps sit far past break-even, so the
+    // adaptive policy must converge onto the same reordered serving
+    // path `always` uses from request one.
+    Shape {
+        name: "hot",
+        keys: 2,
+        reps_per_key: 450,
+        build: |seed| corpus::rmat(14, 8, seed),
+    },
+];
+
+/// Matrices big enough that one SpMV costs tens of microseconds — on
+/// toy matrices the tier's fixed per-request machinery swamps both
+/// the reorder costs and the policy's savings.
+fn handles(shape: &Shape) -> Vec<MatrixHandle> {
+    (0..shape.keys)
+        .map(|i| MatrixHandle::from_matrix((shape.build)(i as u64)))
+        .collect()
+}
+
+fn tier(mode: PolicyMode, registry: Arc<telemetry::Registry>) -> ServeTier {
+    ServeTier::new(TierConfig {
+        shards: 1,
+        tenants: vec![TenantSpec::new("t0", 1)],
+        queue_capacity: 64,
+        dispatchers_per_shard: 1,
+        spmv_threads: 2,
+        registry: Some(registry),
+        policy: PolicyConfig {
+            mode,
+            ..PolicyConfig::default()
+        },
+        ..TierConfig::default()
+    })
+}
+
+struct RunResult {
+    total_ms: f64,
+    mean_us: f64,
+    p99_us: f64,
+    reorders: u64,
+}
+
+/// Replay one shape closed-loop under one policy mode and report
+/// total time-to-answer (the quantity the policy optimises).
+fn run_shape(shape: &Shape, mode: PolicyMode) -> RunResult {
+    let registry = telemetry::Registry::new_arc();
+    let tier = tier(mode, Arc::clone(&registry));
+    let handles = handles(shape);
+    let xs: Vec<Arc<Vec<f64>>> = handles
+        .iter()
+        .map(|h| {
+            Arc::new(
+                (0..h.matrix().ncols())
+                    .map(|i| 1.0 + (i % 7) as f64 * 0.5)
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(shape.keys * shape.reps_per_key);
+    let started = Instant::now();
+    for _rep in 0..shape.reps_per_key {
+        for (mi, handle) in handles.iter().enumerate() {
+            let t0 = Instant::now();
+            tier.serve(SpmvRequest {
+                tenant: "t0".into(),
+                matrix: handle.clone(),
+                algo: AlgoSpec::Rcm,
+                kernel: KernelKind::OneD,
+                x: Arc::clone(&xs[mi]),
+                priority: 0,
+                deadline: None,
+            })
+            .expect("bench serve");
+            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    drop(tier);
+    latencies_ns.sort_unstable();
+    let n = latencies_ns.len();
+    let p99_us = latencies_ns[((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1] as f64 / 1e3;
+    let mean_us = latencies_ns.iter().sum::<u64>() as f64 / n as f64 / 1e3;
+    let snap = registry.snapshot();
+    if std::env::var_os("POLICY_SERVE_DEBUG").is_some() {
+        eprintln!("--- {} / {} ---", shape.name, mode.as_str());
+        for (name, v) in &snap.counters {
+            eprintln!("  {name} = {v}");
+        }
+        for (name, h) in &snap.histograms {
+            eprintln!("  {name}: count {} mean {:.1} us", h.count, h.mean / 1e3);
+        }
+    }
+    let reorders = snap.histogram("reorder.rcm").map_or(0, |h| h.count);
+    RunResult {
+        total_ms,
+        mean_us,
+        p99_us,
+        reorders,
+    }
+}
+
+/// Criterion target: one warm adaptive decision — features cached,
+/// both ledger sides sampled, so the cascade resolves on the
+/// empirical-means rule like steady-state hot traffic does.
+fn decide_overhead(c: &mut Criterion) {
+    let a = corpus::scramble(&corpus::mesh2d(32, 32), 1);
+    let hash = a.content_hash();
+    let policy = PolicyEngine::new(PolicyConfig {
+        registry: Some(telemetry::Registry::new_arc()),
+        ..PolicyConfig::default()
+    });
+    policy.decide(&a, hash, AlgoSpec::Rcm, false);
+    for _ in 0..3 {
+        policy.observe_spmv(hash, AlgoSpec::Original, 10e-6);
+        policy.observe_spmv(hash, AlgoSpec::Rcm, 7e-6);
+    }
+    c.bench_function("policy/decide_warm", |b| {
+        b.iter(|| policy.decide(&a, hash, AlgoSpec::Rcm, true))
+    });
+}
+
+fn write_bench_json() {
+    let modes = [PolicyMode::Always, PolicyMode::Never, PolicyMode::Adaptive];
+    let mut sections = Vec::new();
+    let mut cold_win = false;
+    let mut hot_close = false;
+    for shape in SHAPES {
+        let mut rows = Vec::new();
+        let mut totals = [0.0f64; 3];
+        let mut best: [Option<RunResult>; 3] = [None, None, None];
+        // adaptive/always total ratio per trial: the two runs are
+        // adjacent in time, so the ratio cancels background-load
+        // drift that mode-vs-mode comparisons of absolute totals
+        // would otherwise absorb.
+        let mut paired_ratios = Vec::with_capacity(TRIALS);
+        for _trial in 0..TRIALS {
+            let mut trial_totals = [0.0f64; 3];
+            for (i, &mode) in modes.iter().enumerate() {
+                let r = run_shape(shape, mode);
+                trial_totals[i] = r.total_ms;
+                if best[i].as_ref().is_none_or(|b| r.total_ms < b.total_ms) {
+                    best[i] = Some(r);
+                }
+            }
+            paired_ratios.push(trial_totals[2] / trial_totals[0].max(1e-9));
+        }
+        paired_ratios.sort_by(f64::total_cmp);
+        let median_ratio = paired_ratios[TRIALS / 2];
+        println!(
+            "{:>4} adaptive/always per-trial ratios: {} (median {median_ratio:.3})",
+            shape.name,
+            paired_ratios
+                .iter()
+                .map(|r| format!("{r:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        for (i, &mode) in modes.iter().enumerate() {
+            let r = best[i].as_ref().expect("at least one trial");
+            totals[i] = r.total_ms;
+            println!(
+                "{:>4} / {:<8} total {:>8.1} ms  mean {:>7.1} us  p99 {:>8.1} us  {} reorder(s)",
+                shape.name,
+                mode.as_str(),
+                r.total_ms,
+                r.mean_us,
+                r.p99_us,
+                r.reorders
+            );
+            rows.push(format!(
+                "        {{ \"mode\": \"{}\", \"total_ms\": {:.3}, \"mean_us\": {:.2}, \
+                 \"p99_us\": {:.2}, \"reorders\": {} }}",
+                mode.as_str(),
+                r.total_ms,
+                r.mean_us,
+                r.p99_us,
+                r.reorders
+            ));
+        }
+        match shape.name {
+            "cold" => cold_win = median_ratio < 1.0,
+            _ => hot_close = median_ratio <= 1.05,
+        }
+        sections.push(format!(
+            "    {{\n      \"shape\": \"{}\",\n      \"keys\": {},\n      \
+             \"reps_per_key\": {},\n      \"adaptive_over_always_median\": {:.4},\n      \
+             \"modes\": [\n{}\n      ]\n    }}",
+            shape.name,
+            shape.keys,
+            shape.reps_per_key,
+            median_ratio,
+            rows.join(",\n")
+        ));
+    }
+    println!(
+        "acceptance: adaptive beats always on cold traffic: {cold_win}; \
+         within 5% on hot traffic: {hot_close}"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"policy_serve\",\n  \
+         \"key_space\": \"cold scrambled mesh2d(96,96), hot rmat(14,8); algo rcm, closed-loop, best of {TRIALS}\",\n  \
+         \"probe_after\": {},\n  \"host_threads\": {},\n  \
+         \"adaptive_beats_always_cold\": {cold_win},\n  \
+         \"adaptive_within_5pct_hot\": {hot_close},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        PolicyConfig::default().probe_after,
+        bench::host_threads(),
+        sections.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("policy comparison written to BENCH_PR7.json"),
+        Err(e) => eprintln!("could not write BENCH_PR7.json: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(50);
+    targets = decide_overhead
+}
+
+fn main() {
+    benches();
+    // `--test` (ci.sh, `cargo test`) skips the replay sweep: paced
+    // closed-loop runs on a loaded CI host would only record noise.
+    if !std::env::args().any(|arg| arg == "--test") {
+        write_bench_json();
+    }
+}

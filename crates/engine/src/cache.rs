@@ -328,6 +328,19 @@ impl OrderingCache {
         self.lookup(key, false)
     }
 
+    /// Look up without counting a hit or a miss, touching recency, or
+    /// consulting the disk tier — the policy layer's "is this already
+    /// a sunk cost?" probe, which must not perturb cache statistics or
+    /// eviction order.
+    pub fn peek(&self, key: &OrderingKey) -> Option<Arc<CachedOrdering>> {
+        self.shard_for(key)
+            .lock()
+            .unwrap()
+            .entries
+            .get(key)
+            .map(|(v, _)| Arc::clone(v))
+    }
+
     fn lookup(&self, key: &OrderingKey, count_miss: bool) -> Option<Arc<CachedOrdering>> {
         if let Some(v) = self.shard_for(key).lock().unwrap().get(key) {
             self.metrics.hits.inc();

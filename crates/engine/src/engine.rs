@@ -402,6 +402,20 @@ impl Engine {
         &self.reorder_team
     }
 
+    /// Probe the ordering cache for `(matrix, algo)` **without**
+    /// counting a hit or miss, starting work, or touching recency.
+    /// The policy layer uses this to tell "the ordering is already
+    /// paid for" (marginal reorder cost zero) apart from "choosing
+    /// this algorithm starts a reorder".
+    pub fn peek_cached(
+        &self,
+        matrix: &MatrixHandle,
+        algo: AlgoSpec,
+    ) -> Option<Arc<CachedOrdering>> {
+        self.cache
+            .peek(&OrderingKey::new(matrix.content_hash(), algo))
+    }
+
     /// Submit one reordering request. Returns immediately with a
     /// [`Ticket`]; a cache hit makes the ticket ready, otherwise it
     /// joins (or starts) the in-flight computation for its key.

@@ -41,13 +41,19 @@
 //!
 //! Usage:
 //!
+//! With `--policy {always,never,adaptive}` the tier's reordering
+//! policy is selected: `always` honours every requested algorithm (the
+//! historical behaviour), `never` serves everything in original order,
+//! and `adaptive` lets the policy crate's cost model and amortization
+//! ledger decide per request whether a reordering will pay for itself.
+//!
 //! ```text
 //! serve [--size small|medium|large] [--requests N] [--clients N]
 //!       [--shards N] [--tenants N] [--offered-load R] [--deadline-ms MS]
 //!       [--queue-capacity N] [--workers N] [--reorder-threads N]
 //!       [--skew S] [--seed N] [--cache-capacity N] [--kernel 1d|2d|merge]
-//!       [--persist-dir DIR] [--export-dir DIR] [--trace-dir DIR]
-//!       [--trace-sample-rate R]
+//!       [--policy always|never|adaptive] [--persist-dir DIR]
+//!       [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]
 //! ```
 
 use corpus::CorpusSize;
@@ -55,7 +61,9 @@ use engine::{AlgoSpec, EngineConfig, MatrixHandle};
 use experiments::sweep::SweepConfig;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use servetier::{ServeTier, ShedReason, SpmvRequest, TenantSpec, TierConfig, TierError};
+use servetier::{
+    PolicyConfig, PolicyMode, ServeTier, ShedReason, SpmvRequest, TenantSpec, TierConfig, TierError,
+};
 use spmv::{host_threads, measure_spmv_in, measure_spmv_traced, KernelKind, MeasureConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -90,6 +98,7 @@ struct ServeOptions {
     seed: u64,
     cache_capacity: usize,
     kernel: KernelKind,
+    policy: PolicyMode,
     persist_dir: Option<std::path::PathBuf>,
     export_dir: Option<std::path::PathBuf>,
     trace_dir: Option<std::path::PathBuf>,
@@ -113,6 +122,7 @@ impl Default for ServeOptions {
             seed: 42,
             cache_capacity: 4096,
             kernel: KernelKind::OneD,
+            policy: PolicyMode::Always,
             persist_dir: None,
             export_dir: None,
             trace_dir: None,
@@ -142,8 +152,8 @@ fn usage() -> ! {
          \x20            [--shards N] [--tenants N] [--offered-load R] [--deadline-ms MS]\n\
          \x20            [--queue-capacity N] [--workers N] [--reorder-threads N]\n\
          \x20            [--skew S] [--seed N] [--cache-capacity N] [--kernel 1d|2d|merge]\n\
-         \x20            [--persist-dir DIR] [--export-dir DIR] [--trace-dir DIR]\n\
-         \x20            [--trace-sample-rate R]"
+         \x20            [--policy always|never|adaptive] [--persist-dir DIR]\n\
+         \x20            [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]"
     );
     std::process::exit(0);
 }
@@ -212,6 +222,13 @@ fn parse_serve_args() -> ServeOptions {
                 let v = value(&mut it, "--kernel");
                 opts.kernel = KernelKind::parse(&v).unwrap_or_else(|| {
                     eprintln!("unknown --kernel '{v}' (1d|2d|merge)");
+                    std::process::exit(2);
+                });
+            }
+            "--policy" => {
+                let v = value(&mut it, "--policy");
+                opts.policy = v.parse().unwrap_or_else(|e: String| {
+                    eprintln!("--policy: {e}");
                     std::process::exit(2);
                 });
             }
@@ -440,6 +457,10 @@ fn main() {
         },
         recorder: recorder.clone(),
         trace_sample_every: opts.trace_stride(),
+        policy: PolicyConfig {
+            mode: opts.policy,
+            ..PolicyConfig::default()
+        },
         ..TierConfig::default()
     }));
     if let Some(dir) = &opts.trace_dir {
@@ -452,10 +473,11 @@ fn main() {
         );
     }
     eprintln!(
-        "tier: {} shard(s), {} tenant(s), queue capacity {}, {}",
+        "tier: {} shard(s), {} tenant(s), queue capacity {}, policy {}, {}",
         opts.shards,
         opts.tenants,
         opts.queue_capacity,
+        opts.policy.as_str(),
         if opts.offered_load > 0.0 {
             format!("open-loop at {:.0} req/s", opts.offered_load)
         } else {
@@ -661,6 +683,16 @@ fn main() {
             shard.engine
         );
     }
+    println!(
+        "  policy:     {} ({} reorder / {} identity decisions, {} probes, net saved {:.1} ms)",
+        opts.policy.as_str(),
+        snap.counter_labeled("policy.decisions", &[("choice", "reorder")])
+            .unwrap_or(0),
+        snap.counter_labeled("policy.decisions", &[("choice", "identity")])
+            .unwrap_or(0),
+        snap.counter("policy.probes").unwrap_or(0),
+        tier.policy().net_saved_seconds() * 1e3
+    );
     for tenant in &tenants {
         if let Some(h) = snap.histogram_labeled("tier.request", &[("tenant", &tenant.name)]) {
             println!(

@@ -15,9 +15,10 @@
 //!    `(pid, tid)` lane with matching names — the invariant Chrome's
 //!    viewer needs to reconstruct the span stack;
 //! 4. at least one file contains a span for **every** pipeline stage
-//!    (tier admission wait, engine request, cache lookup, queue wait,
-//!    reorder, plan, reorder permute, SpMV measure, team compute,
-//!    serve-level SpMV, inverse-permutation answer delivery);
+//!    (tier admission wait, policy decision, engine request, cache
+//!    lookup, queue wait, reorder, plan, reorder permute, SpMV
+//!    measure, team compute, serve-level SpMV, inverse-permutation
+//!    answer delivery);
 //! 5. at least one file shows `spmv.team.compute` on two or more
 //!    distinct lanes — the per-worker timelines, not a single merged
 //!    track;
@@ -39,6 +40,7 @@ use std::path::{Path, PathBuf};
 /// contain all of them.
 const REQUIRED_STAGES: &[&str] = &[
     "admission.wait",
+    "policy.decide",
     "engine.request",
     "engine.cache.lookup",
     "engine.queue.wait",

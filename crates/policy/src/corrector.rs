@@ -1,0 +1,130 @@
+//! The online corrector: exponentially-weighted residuals between
+//! predicted and observed speedups, learned per (feature bucket,
+//! algorithm family). Repeated traffic from one corpus family thereby
+//! converges to the empirically right choice even when the analytical
+//! model is systematically off for that family.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use telemetry::Registry;
+
+use crate::predict::FeatureBucket;
+
+/// Multiplicative correction bounds: a bucket can at most quarter or
+/// quadruple the model's prediction, so one outlier observation can
+/// never swing decisions arbitrarily.
+const RATIO_CLAMP: (f64, f64) = (0.25, 4.0);
+
+/// EWMA residual learner over (bucket, algorithm-name) cells.
+pub struct OnlineCorrector {
+    alpha: f64,
+    ratios: Mutex<HashMap<(FeatureBucket, &'static str), f64>>,
+    registry: Arc<Registry>,
+}
+
+impl OnlineCorrector {
+    /// A corrector with smoothing factor `alpha` (weight of the newest
+    /// observation; 0.3 is a reasonable default — a handful of
+    /// observations dominates, but one noisy sample does not).
+    pub fn new(alpha: f64, registry: Arc<Registry>) -> Self {
+        OnlineCorrector {
+            alpha: alpha.clamp(0.01, 1.0),
+            ratios: Mutex::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    /// Feed one (predicted, observed) speedup pair for a bucket/algo
+    /// cell. Both must be positive; degenerate pairs are ignored.
+    pub fn observe(
+        &self,
+        bucket: FeatureBucket,
+        algo: &'static str,
+        predicted: f64,
+        observed: f64,
+    ) {
+        if !(predicted > 0.0 && observed > 0.0) {
+            return;
+        }
+        let sample = (observed / predicted).clamp(RATIO_CLAMP.0, RATIO_CLAMP.1);
+        let mut ratios = self.ratios.lock().unwrap();
+        let cell = ratios.entry((bucket, algo)).or_insert(1.0);
+        *cell += self.alpha * (sample - *cell);
+        let buckets = ratios.len();
+        drop(ratios);
+        self.registry.counter("policy.corrector.updates").inc();
+        self.registry
+            .gauge("policy.corrector.cells")
+            .set(buckets as i64);
+    }
+
+    /// Apply the learned residual ratio to a model prediction. Cells
+    /// with no observations pass the prediction through unchanged.
+    pub fn correct(&self, bucket: FeatureBucket, algo: &'static str, predicted: f64) -> f64 {
+        let ratio = self
+            .ratios
+            .lock()
+            .unwrap()
+            .get(&(bucket, algo))
+            .copied()
+            .unwrap_or(1.0);
+        predicted * ratio.clamp(RATIO_CLAMP.0, RATIO_CLAMP.1)
+    }
+
+    /// Current residual ratio for a cell (1.0 when unobserved).
+    pub fn ratio(&self, bucket: FeatureBucket, algo: &'static str) -> f64 {
+        self.ratios
+            .lock()
+            .unwrap()
+            .get(&(bucket, algo))
+            .copied()
+            .unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket() -> FeatureBucket {
+        FeatureBucket {
+            size: 8,
+            reuse: 2,
+            skew: 1,
+        }
+    }
+
+    #[test]
+    fn converges_toward_observed_over_predicted() {
+        let c = OnlineCorrector::new(0.3, Arc::new(Registry::new()));
+        // Model says 2.0x, reality keeps saying 1.0x.
+        for _ in 0..30 {
+            c.observe(bucket(), "RCM", 2.0, 1.0);
+        }
+        let corrected = c.correct(bucket(), "RCM", 2.0);
+        assert!(
+            (corrected - 1.0).abs() < 0.05,
+            "corrected prediction was {corrected}"
+        );
+        // Other cells are untouched.
+        assert_eq!(c.correct(bucket(), "AMD", 2.0), 2.0);
+    }
+
+    #[test]
+    fn clamps_extreme_residuals() {
+        let c = OnlineCorrector::new(1.0, Arc::new(Registry::new()));
+        c.observe(bucket(), "RCM", 1.0, 1000.0);
+        assert!(c.ratio(bucket(), "RCM") <= 4.0);
+        c.observe(bucket(), "ND", 1000.0, 1.0);
+        assert!(c.ratio(bucket(), "ND") >= 0.25);
+    }
+
+    #[test]
+    fn ignores_degenerate_samples() {
+        let c = OnlineCorrector::new(0.5, Arc::new(Registry::new()));
+        c.observe(bucket(), "RCM", 0.0, 1.0);
+        c.observe(bucket(), "RCM", 1.0, -3.0);
+        assert_eq!(c.ratio(bucket(), "RCM"), 1.0);
+    }
+}

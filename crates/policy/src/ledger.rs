@@ -1,0 +1,261 @@
+//! The amortization ledger: per cached ordering (`content_hash` ×
+//! algorithm), what reorder cost was paid once and how much cumulative
+//! SpMV time the ordering has saved since, relative to the observed
+//! `Original` baseline for the same matrix.
+//!
+//! The ledger is the policy layer's ground truth — the predictor only
+//! seeds decisions until enough observations land here.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use engine::AlgoSpec;
+use telemetry::Registry;
+
+/// Running mean of observed per-SpMV service seconds for one
+/// (matrix, algorithm) pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Observed {
+    /// Number of SpMV executions observed.
+    pub count: u64,
+    /// Total observed seconds across those executions.
+    pub total_seconds: f64,
+}
+
+impl Observed {
+    /// Mean seconds per SpMV, or `None` before the first observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.total_seconds / self.count as f64)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    /// Requests routed to this (hash, algo) key, whatever was served.
+    requests: u64,
+    /// One-time reorder cost, recorded when the ordering was computed.
+    paid_reorder_seconds: f64,
+    reorder_paid: bool,
+    /// The first SpMV sample per key is discarded as warm-up: it runs
+    /// against cold caches (freshly built prepared matrix and plan)
+    /// and would poison the steady-state mean the policy compares.
+    warmup_dropped: bool,
+    observed: Observed,
+}
+
+/// Thread-safe ledger keyed by (`content_hash`, algorithm).
+///
+/// Telemetry (all under `policy.ledger.*`): `keys` gauge (distinct
+/// ledger keys), `paid_us` gauge (cumulative reorder cost paid),
+/// `net_saved_us` gauge (estimated SpMV seconds saved minus cost,
+/// refreshed by [`AmortizationLedger::net_saved_seconds`]).
+pub struct AmortizationLedger {
+    entries: Mutex<HashMap<(u128, AlgoSpec), Entry>>,
+    registry: Arc<Registry>,
+}
+
+impl AmortizationLedger {
+    /// A new empty ledger publishing into `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        AmortizationLedger {
+            entries: Mutex::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    /// Count one request for (hash, algo) and return the new total.
+    /// The count drives the deterministic probe schedule.
+    pub fn note_request(&self, hash: u128, algo: AlgoSpec) -> u64 {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry((hash, algo)).or_default();
+        entry.requests += 1;
+        entry.requests
+    }
+
+    /// Requests seen so far for (hash, algo).
+    pub fn requests(&self, hash: u128, algo: AlgoSpec) -> u64 {
+        self.entries
+            .lock()
+            .unwrap()
+            .get(&(hash, algo))
+            .map_or(0, |e| e.requests)
+    }
+
+    /// Record the one-time reorder cost for (hash, algo). Only the
+    /// first call per key counts (subsequent prepared-cache rebuilds
+    /// reuse the engine's cached permutation, and re-recording would
+    /// double-bill the policy). Returns `true` on first payment.
+    pub fn record_reorder_paid(&self, hash: u128, algo: AlgoSpec, seconds: f64) -> bool {
+        let first = {
+            let mut entries = self.entries.lock().unwrap();
+            let entry = entries.entry((hash, algo)).or_default();
+            if entry.reorder_paid {
+                false
+            } else {
+                entry.reorder_paid = true;
+                entry.paid_reorder_seconds = seconds;
+                true
+            }
+        };
+        if first {
+            self.registry.counter("policy.ledger.reorders_paid").inc();
+            self.refresh_gauges();
+        }
+        first
+    }
+
+    /// Record one observed SpMV execution under (hash, algo). The
+    /// first sample per key is discarded as warm-up (cold prepared
+    /// matrix, cold plan — the same reasoning as `MeasureConfig`'s
+    /// warm-up iterations); steady-state samples accumulate.
+    pub fn record_spmv(&self, hash: u128, algo: AlgoSpec, seconds: f64) {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry((hash, algo)).or_default();
+        if !entry.warmup_dropped {
+            entry.warmup_dropped = true;
+            return;
+        }
+        entry.observed.count += 1;
+        entry.observed.total_seconds += seconds;
+    }
+
+    /// Discard the accumulated SpMV samples for (hash, algo), keeping
+    /// the request count and paid reorder cost. Used by the policy's
+    /// re-probe path: a losing verdict freezes the reordered side's
+    /// sample stream, so recovery starts from distrusting the old
+    /// samples. The warm-up discard is *not* re-armed — the prepared
+    /// state this key runs on is long since warm.
+    pub fn reset_observed(&self, hash: u128, algo: AlgoSpec) {
+        if let Some(entry) = self.entries.lock().unwrap().get_mut(&(hash, algo)) {
+            entry.observed = Observed::default();
+        }
+    }
+
+    /// Observed per-SpMV statistics for (hash, algo).
+    pub fn observed(&self, hash: u128, algo: AlgoSpec) -> Observed {
+        self.entries
+            .lock()
+            .unwrap()
+            .get(&(hash, algo))
+            .map_or(Observed::default(), |e| e.observed)
+    }
+
+    /// Number of distinct (hash, algo) keys tracked.
+    pub fn keys(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// The one-time reorder cost actually paid for (hash, algo), or
+    /// `None` if no reorder has been billed to this key yet.
+    pub fn paid_for(&self, hash: u128, algo: AlgoSpec) -> Option<f64> {
+        self.entries
+            .lock()
+            .unwrap()
+            .get(&(hash, algo))
+            .filter(|e| e.reorder_paid)
+            .map(|e| e.paid_reorder_seconds)
+    }
+
+    /// Cumulative reorder seconds paid across all keys.
+    pub fn paid_seconds(&self) -> f64 {
+        self.entries
+            .lock()
+            .unwrap()
+            .values()
+            .map(|e| e.paid_reorder_seconds)
+            .sum()
+    }
+
+    /// Net benefit of every paid ordering: for each (hash, algo ≠
+    /// Original) with an observed `Original` baseline for the same
+    /// hash, `count · (baseline_mean − algo_mean) − paid_cost`.
+    /// Positive means the reordering investment has amortised.
+    /// Refreshes the `policy.ledger.*` gauges as a side effect.
+    pub fn net_saved_seconds(&self) -> f64 {
+        let net = {
+            let entries = self.entries.lock().unwrap();
+            let mut net = 0.0;
+            for ((hash, algo), entry) in entries.iter() {
+                if matches!(algo, AlgoSpec::Original) || !entry.reorder_paid {
+                    continue;
+                }
+                let baseline = entries
+                    .get(&(*hash, AlgoSpec::Original))
+                    .and_then(|b| b.observed.mean());
+                if let (Some(base), Some(mine)) = (baseline, entry.observed.mean()) {
+                    net += entry.observed.count as f64 * (base - mine);
+                }
+                net -= entry.paid_reorder_seconds;
+            }
+            net
+        };
+        self.refresh_gauges();
+        self.registry
+            .gauge("policy.ledger.net_saved_us")
+            .set((net * 1e6) as i64);
+        net
+    }
+
+    /// Cumulative SpMV seconds the serving tier has spent, read
+    /// straight from the shared `serve.spmv` duration histogram (no
+    /// export parsing) — the denominator for amortization reporting.
+    pub fn tier_spmv_seconds(&self) -> f64 {
+        self.registry
+            .find_histogram("serve.spmv")
+            .map_or(0.0, |h| h.sum_seconds())
+    }
+
+    fn refresh_gauges(&self) {
+        self.registry
+            .gauge("policy.ledger.keys")
+            .set(self.keys() as i64);
+        self.registry
+            .gauge("policy.ledger.paid_us")
+            .set((self.paid_seconds() * 1e6) as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: u128 = 0xfeed_f00d;
+
+    #[test]
+    fn reorder_cost_is_paid_once() {
+        let ledger = AmortizationLedger::new(Arc::new(Registry::new()));
+        assert!(ledger.record_reorder_paid(H, AlgoSpec::Rcm, 2.0));
+        assert!(!ledger.record_reorder_paid(H, AlgoSpec::Rcm, 5.0));
+        assert!((ledger.paid_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_savings_need_a_baseline_and_amortise_over_reps() {
+        let registry = Arc::new(Registry::new());
+        let ledger = AmortizationLedger::new(Arc::clone(&registry));
+        ledger.record_reorder_paid(H, AlgoSpec::Rcm, 0.010);
+        for _ in 0..11 {
+            ledger.record_spmv(H, AlgoSpec::Original, 0.004);
+            ledger.record_spmv(H, AlgoSpec::Rcm, 0.002);
+        }
+        // The first sample per side is warm-up and discarded, leaving
+        // 10 counted reps * 2ms saved - 10ms paid = +10ms.
+        let net = ledger.net_saved_seconds();
+        assert!((net - 0.010).abs() < 1e-9, "net was {net}");
+        let snap = registry.snapshot();
+        let published = snap
+            .gauge("policy.ledger.net_saved_us")
+            .expect("net gauge published");
+        assert!((published - 10_000).abs() <= 1, "gauge was {published}");
+    }
+
+    #[test]
+    fn request_counts_accumulate_per_key() {
+        let ledger = AmortizationLedger::new(Arc::new(Registry::new()));
+        assert_eq!(ledger.note_request(H, AlgoSpec::Rcm), 1);
+        assert_eq!(ledger.note_request(H, AlgoSpec::Rcm), 2);
+        assert_eq!(ledger.note_request(H, AlgoSpec::Amd), 1);
+        assert_eq!(ledger.requests(H, AlgoSpec::Rcm), 2);
+        assert_eq!(ledger.keys(), 2);
+    }
+}

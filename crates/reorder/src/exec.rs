@@ -22,6 +22,7 @@ use telemetry::trace::TraceCtx;
 pub struct ReorderExec<'a> {
     exec: Exec<'a>,
     trace: TraceCtx,
+    frontier_min: usize,
 }
 
 impl<'a> ReorderExec<'a> {
@@ -31,6 +32,7 @@ impl<'a> ReorderExec<'a> {
         ReorderExec {
             exec: Exec::Sequential,
             trace: TraceCtx::disabled(),
+            frontier_min: sparsegraph::DEFAULT_PAR_FRONTIER_MIN,
         }
     }
 
@@ -39,6 +41,7 @@ impl<'a> ReorderExec<'a> {
         ReorderExec {
             exec: Exec::Team(team),
             trace: TraceCtx::disabled(),
+            frontier_min: sparsegraph::DEFAULT_PAR_FRONTIER_MIN,
         }
     }
 
@@ -47,6 +50,7 @@ impl<'a> ReorderExec<'a> {
         ReorderExec {
             exec,
             trace: TraceCtx::disabled(),
+            frontier_min: sparsegraph::DEFAULT_PAR_FRONTIER_MIN,
         }
     }
 
@@ -55,6 +59,22 @@ impl<'a> ReorderExec<'a> {
     pub fn with_trace(mut self, ctx: TraceCtx) -> Self {
         self.trace = ctx;
         self
+    }
+
+    /// Set the level-set parallel-expansion cutover: BFS frontiers
+    /// narrower than `frontier_min` expand sequentially even on a
+    /// team. The ordering produced is identical for every value —
+    /// this tunes dispatch overhead only (default
+    /// [`sparsegraph::DEFAULT_PAR_FRONTIER_MIN`]; DESIGN §9 records
+    /// the measurement behind it).
+    pub fn with_frontier_min(mut self, frontier_min: usize) -> Self {
+        self.frontier_min = frontier_min;
+        self
+    }
+
+    /// The level-set sequential-fallback threshold in effect.
+    pub fn frontier_min(&self) -> usize {
+        self.frontier_min
     }
 
     /// The executor the parallel stages dispatch on.
@@ -103,6 +123,14 @@ mod tests {
         let team = ThreadTeam::new_in(&registry, 3);
         let rx = ReorderExec::on_team(&team);
         assert_eq!(rx.exec().lanes(), 3);
+    }
+
+    #[test]
+    fn frontier_min_defaults_and_overrides() {
+        let rx = ReorderExec::sequential();
+        assert_eq!(rx.frontier_min(), sparsegraph::DEFAULT_PAR_FRONTIER_MIN);
+        let tuned = ReorderExec::sequential().with_frontier_min(256);
+        assert_eq!(tuned.frontier_min(), 256);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::exec::{build_ordering_graph, ReorderExec};
 use crate::traits::{ReorderAlgorithm, ReorderResult};
-use sparsegraph::{bfs_levels_on, connected_components, pseudo_peripheral_vertex_on, Graph};
+use sparsegraph::{bfs_levels_with, connected_components, pseudo_peripheral_vertex_with, Graph};
 use sparsemat::{CsrMatrix, Permutation, SparseError};
 use team::Exec;
 
@@ -38,16 +38,16 @@ impl Gps {
     /// [`bfs_levels_on`], so wide frontiers expand on `exec`'s lanes;
     /// the level structures — and therefore the combined numbering —
     /// are identical for every executor.
-    fn component_order(g: &Graph, start: usize, exec: Exec<'_>) -> Vec<u32> {
+    fn component_order(g: &Graph, start: usize, exec: Exec<'_>, frontier_min: usize) -> Vec<u32> {
         // 1. Pseudo-diameter endpoints.
-        let u = pseudo_peripheral_vertex_on(g, start, exec);
-        let lu = bfs_levels_on(g, u, exec);
+        let u = pseudo_peripheral_vertex_with(g, start, exec, frontier_min);
+        let lu = bfs_levels_with(g, u, exec, frontier_min);
         let deepest = lu.levels.last().expect("nonempty component");
         let v = *deepest
             .iter()
             .min_by_key(|&&w| g.degree(w as usize))
             .expect("deepest level nonempty") as usize;
-        let lv = bfs_levels_on(g, v, exec);
+        let lv = bfs_levels_with(g, v, exec, frontier_min);
         let depth = lu.depth().max(lv.depth());
 
         // 2. Combined levels: vertex w gets candidate pair
@@ -131,7 +131,12 @@ impl ReorderAlgorithm for Gps {
             let mut order = Vec::with_capacity(g.num_vertices());
             for c in comp_ids {
                 let start = comps.members[c][0] as usize;
-                order.extend(Gps::component_order(&g, start, rx.exec()));
+                order.extend(Gps::component_order(
+                    &g,
+                    start,
+                    rx.exec(),
+                    rx.frontier_min(),
+                ));
             }
             order
         };

@@ -11,7 +11,8 @@
 use crate::exec::{build_ordering_graph, ReorderExec};
 use crate::traits::{ReorderAlgorithm, ReorderResult};
 use sparsegraph::{
-    connected_components, expand_frontier_on, pseudo_peripheral_vertex_on, FrontierScratch, Graph,
+    connected_components, expand_frontier_with, pseudo_peripheral_vertex_with, FrontierScratch,
+    Graph, DEFAULT_PAR_FRONTIER_MIN,
 };
 use sparsemat::{CsrMatrix, Permutation, SparseError};
 use team::Exec;
@@ -34,7 +35,7 @@ impl Rcm {
     ///
     /// The BFS is level-synchronised: each level is appended to the
     /// order, then the next level is built by
-    /// [`expand_frontier_on`] — children claimed by their
+    /// [`sparsegraph::expand_frontier_with`] — children claimed by their
     /// first-in-frontier parent and sorted per parent by
     /// `(degree, id)`, exactly the queue discipline of the classic
     /// sequential CM. Wide frontiers expand on the executor's lanes;
@@ -45,6 +46,14 @@ impl Rcm {
     /// many-component (road/circuit) matrices no longer pay a fresh
     /// queue + children allocation per component.
     pub fn cuthill_mckee_order_on(g: &Graph, exec: Exec<'_>) -> Vec<u32> {
+        Rcm::cuthill_mckee_order_with(g, exec, DEFAULT_PAR_FRONTIER_MIN)
+    }
+
+    /// [`Rcm::cuthill_mckee_order_on`] with an explicit level-set
+    /// parallel-expansion cutover (see
+    /// [`ReorderExec::with_frontier_min`]); the order is identical for
+    /// every threshold.
+    pub fn cuthill_mckee_order_with(g: &Graph, exec: Exec<'_>, frontier_min: usize) -> Vec<u32> {
         let n = g.num_vertices();
         let mut order: Vec<u32> = Vec::with_capacity(n);
         let mut visited = vec![false; n];
@@ -54,18 +63,19 @@ impl Rcm {
         // Process components in order of their first (lowest) vertex so
         // the ordering is deterministic.
         for comp in &comps.members {
-            let start = pseudo_peripheral_vertex_on(g, comp[0] as usize, exec);
+            let start = pseudo_peripheral_vertex_with(g, comp[0] as usize, exec, frontier_min);
             visited[start] = true;
             frontier.clear();
             frontier.push(start as u32);
             while !frontier.is_empty() {
                 order.extend_from_slice(&frontier);
-                let next = expand_frontier_on(
+                let next = expand_frontier_with(
                     g,
                     &frontier,
                     |u| !visited[u],
                     &scratch,
                     exec,
+                    frontier_min,
                     |children| children.sort_unstable_by_key(|&u| (g.degree(u as usize), u)),
                 );
                 for &u in &next {
@@ -95,7 +105,7 @@ impl ReorderAlgorithm for Rcm {
         let g = build_ordering_graph(a, rx)?;
         let mut order = {
             let _span = rx.trace().span("reorder.levels");
-            Rcm::cuthill_mckee_order_on(&g, rx.exec())
+            Rcm::cuthill_mckee_order_with(&g, rx.exec(), rx.frontier_min())
         };
         if !self.plain_cm {
             order.reverse();
@@ -228,6 +238,24 @@ mod tests {
                 .unwrap()
                 .perm;
             assert_eq!(seq, par, "RCM diverged at {lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn frontier_min_does_not_change_the_order() {
+        let a = shuffled_band(400, 3, 11);
+        let seq = Rcm::default().compute(&a).unwrap().perm;
+        let registry = telemetry::Registry::new_arc();
+        let team = team::ThreadTeam::new_in(&registry, 4);
+        for frontier_min in [0usize, 16, 1024, usize::MAX] {
+            let tuned = Rcm::default()
+                .compute_on(
+                    &a,
+                    &ReorderExec::on_team(&team).with_frontier_min(frontier_min),
+                )
+                .unwrap()
+                .perm;
+            assert_eq!(seq, tuned, "RCM diverged at frontier_min {frontier_min}");
         }
     }
 

@@ -110,6 +110,41 @@ mod tests {
     }
 
     #[test]
+    fn imbalance_bounded_across_shard_counts() {
+        // 10k synthetic content hashes (128-bit, mixed halves, the
+        // same shape `CsrMatrix::content_hash` produces) routed over
+        // every production shard count: the most loaded shard must
+        // stay within 1.35x of the mean at the default vnode count.
+        const KEYS: usize = 10_000;
+        let keys: Vec<u128> = (0..KEYS as u64)
+            .map(|k| {
+                let lo = splitmix64(k ^ 0xfeed_beef) as u128;
+                let hi = splitmix64(k.wrapping_mul(0x9e37_79b9) ^ 0x0dd) as u128;
+                (hi << 64) | lo
+            })
+            .collect();
+        for shards in [1usize, 2, 4, 8] {
+            let ring = HashRing::new(shards, 32);
+            let mut counts = vec![0usize; shards];
+            for &k in &keys {
+                counts[ring.route(k)] += 1;
+            }
+            let mean = KEYS as f64 / shards as f64;
+            let max = *counts.iter().max().unwrap() as f64;
+            let min = *counts.iter().min().unwrap() as f64;
+            assert_eq!(counts.iter().sum::<usize>(), KEYS);
+            assert!(
+                max / mean < 1.35,
+                "{shards} shards: max load {max} vs mean {mean:.0} ({counts:?})"
+            );
+            assert!(
+                min / mean > 0.65,
+                "{shards} shards: min load {min} vs mean {mean:.0} ({counts:?})"
+            );
+        }
+    }
+
+    #[test]
     fn single_shard_takes_everything() {
         let ring = HashRing::new(1, 8);
         for k in 0..100u128 {

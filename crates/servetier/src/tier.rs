@@ -17,6 +17,7 @@
 use crate::admission::{AdmissionQueue, PushError};
 use crate::hash::HashRing;
 use engine::{AlgoSpec, Engine, EngineConfig, EngineError, MatrixHandle, SubmitOptions};
+use policy::{PolicyConfig, PolicyEngine};
 use reorder::ReorderResult;
 use spmv::KernelKind;
 use std::collections::HashMap;
@@ -83,6 +84,11 @@ pub struct TierConfig {
     pub recorder: Option<Arc<FlightRecorder>>,
     /// Trace sample stride over tier request IDs (`0` = never).
     pub trace_sample_every: u64,
+    /// Reordering policy shared by all shards. The default honours
+    /// every requested reordering ([`policy::PolicyMode::Always`], the
+    /// pre-policy behaviour); the tier overrides the config's registry
+    /// with its own.
+    pub policy: PolicyConfig,
 }
 
 impl Default for TierConfig {
@@ -99,6 +105,10 @@ impl Default for TierConfig {
             registry: None,
             recorder: None,
             trace_sample_every: 0,
+            policy: PolicyConfig {
+                mode: policy::PolicyMode::Always,
+                ..PolicyConfig::default()
+            },
         }
     }
 }
@@ -260,10 +270,18 @@ struct Prepared {
     result: ReorderResult,
 }
 
-/// FIFO cache of prepared matrices keyed by (content hash, algorithm).
+/// LRU cache of prepared matrices keyed by (content hash, algorithm).
+///
+/// A FIFO here (the original design) evicts the *hottest* entry under
+/// a scan-plus-hot-set workload: a popular matrix admitted early ages
+/// to the front of the queue no matter how often it is hit. Recency
+/// ordering keeps the working set resident. Recency is tracked with a
+/// monotone tick per entry and a `BTreeMap<tick, key>` index, so both
+/// `get` and `insert` are O(log n) with no per-hit scan.
 struct PreparedCache {
-    map: HashMap<(u128, AlgoSpec), Arc<Prepared>>,
-    fifo: std::collections::VecDeque<(u128, AlgoSpec)>,
+    map: HashMap<(u128, AlgoSpec), (Arc<Prepared>, u64)>,
+    recency: std::collections::BTreeMap<u64, (u128, AlgoSpec)>,
+    tick: u64,
     capacity: usize,
 }
 
@@ -271,24 +289,41 @@ impl PreparedCache {
     fn new(capacity: usize) -> Self {
         PreparedCache {
             map: HashMap::new(),
-            fifo: std::collections::VecDeque::new(),
+            recency: std::collections::BTreeMap::new(),
+            tick: 0,
             capacity: capacity.max(1),
         }
     }
 
-    fn get(&self, key: &(u128, AlgoSpec)) -> Option<Arc<Prepared>> {
-        self.map.get(key).cloned()
+    /// Look up and touch: a hit moves the entry to most-recently-used.
+    fn get(&mut self, key: &(u128, AlgoSpec)) -> Option<Arc<Prepared>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (value, slot) = self.map.get_mut(key)?;
+        let value = Arc::clone(value);
+        self.recency.remove(slot);
+        *slot = tick;
+        self.recency.insert(tick, *key);
+        Some(value)
     }
 
-    fn insert(&mut self, key: (u128, AlgoSpec), value: Arc<Prepared>) {
-        if self.map.insert(key, value).is_none() {
-            self.fifo.push_back(key);
-            while self.fifo.len() > self.capacity {
-                if let Some(old) = self.fifo.pop_front() {
-                    self.map.remove(&old);
-                }
-            }
+    /// Insert (or refresh) an entry; returns how many entries were
+    /// evicted to make room.
+    fn insert(&mut self, key: (u128, AlgoSpec), value: Arc<Prepared>) -> u64 {
+        self.tick += 1;
+        if let Some((_, old_tick)) = self.map.insert(key, (value, self.tick)) {
+            self.recency.remove(&old_tick);
         }
+        self.recency.insert(self.tick, key);
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            let Some((_, old_key)) = self.recency.pop_first() else {
+                break;
+            };
+            self.map.remove(&old_key);
+            evicted += 1;
+        }
+        evicted
     }
 }
 
@@ -299,6 +334,9 @@ struct ShardMetrics {
     shed_queue_full: Arc<Counter>,
     shed_expired: Arc<Counter>,
     queue_depth: Arc<Gauge>,
+    prepared_hits: Arc<Counter>,
+    prepared_misses: Arc<Counter>,
+    prepared_evictions: Arc<Counter>,
 }
 
 impl ShardMetrics {
@@ -312,6 +350,9 @@ impl ShardMetrics {
             shed_expired: registry
                 .counter_labeled("tier.shed", &[("shard", shard), ("reason", "expired")]),
             queue_depth: registry.gauge_labeled("tier.queue_depth", &labels),
+            prepared_hits: registry.counter_labeled("tier.prepared.hits", &labels),
+            prepared_misses: registry.counter_labeled("tier.prepared.misses", &labels),
+            prepared_evictions: registry.counter_labeled("tier.prepared.evictions", &labels),
         }
     }
 }
@@ -324,6 +365,7 @@ struct ShardInner {
     spmv_team: team::ThreadTeam,
     spmv_threads: usize,
     prepared: Mutex<PreparedCache>,
+    policy: Arc<PolicyEngine>,
     metrics: ShardMetrics,
     /// End-to-end latency histogram per tenant
     /// (`tier.request{tenant=...}`), indexed like the tenant list.
@@ -338,6 +380,9 @@ pub struct ShardStats {
     pub shed_queue_full: u64,
     pub shed_expired: u64,
     pub queue_depth: i64,
+    pub prepared_hits: u64,
+    pub prepared_misses: u64,
+    pub prepared_evictions: u64,
     pub engine: engine::EngineStats,
 }
 
@@ -369,6 +414,7 @@ impl TierStats {
 pub struct ServeTier {
     ring: HashRing,
     shards: Vec<Arc<ShardInner>>,
+    policy: Arc<PolicyEngine>,
     dispatchers: Vec<JoinHandle<()>>,
     tenants: Vec<TenantSpec>,
     /// tenant name → lane index.
@@ -398,6 +444,11 @@ impl ServeTier {
         let weights: Vec<u32> = tenants.iter().map(|t| t.weight).collect();
         let nshards = config.shards.max(1);
         let ring = HashRing::new(nshards, config.vnodes);
+        let policy = {
+            let mut policy_config = config.policy.clone();
+            policy_config.registry = Some(Arc::clone(&registry));
+            Arc::new(PolicyEngine::new(policy_config))
+        };
 
         let mut shards = Vec::with_capacity(nshards);
         for index in 0..nshards {
@@ -420,6 +471,7 @@ impl ServeTier {
                 spmv_team: team::ThreadTeam::new_in(&registry, config.spmv_threads.max(1)),
                 spmv_threads: config.spmv_threads.max(1),
                 prepared: Mutex::new(PreparedCache::new(config.prepared_capacity)),
+                policy: Arc::clone(&policy),
                 metrics: ShardMetrics::new(&registry, &shard_label),
                 tenant_hists,
             }));
@@ -441,6 +493,7 @@ impl ServeTier {
         ServeTier {
             ring,
             shards,
+            policy,
             dispatchers,
             tenants,
             tenant_index,
@@ -457,6 +510,12 @@ impl ServeTier {
     /// The registry the tier and its shards report into.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The reordering policy shared by all shards (decision engine,
+    /// amortization ledger, online corrector).
+    pub fn policy(&self) -> &Arc<PolicyEngine> {
+        &self.policy
     }
 
     /// The flight recorder tracing sampled requests, if configured.
@@ -639,6 +698,9 @@ impl ServeTier {
                     shed_queue_full: s.metrics.shed_queue_full.get(),
                     shed_expired: s.metrics.shed_expired.get(),
                     queue_depth: s.metrics.queue_depth.get(),
+                    prepared_hits: s.metrics.prepared_hits.get(),
+                    prepared_misses: s.metrics.prepared_misses.get(),
+                    prepared_evictions: s.metrics.prepared_evictions.get(),
                     engine: s.engine.stats(),
                 })
                 .collect(),
@@ -707,12 +769,34 @@ fn execute(
     span.arg("algo", request.algo.name());
     span.arg("kernel", request.kernel.name());
     let ctx = span.ctx();
+    let content_hash = request.matrix.content_hash();
+
+    // 0. The policy decision: honour the requested reordering, or
+    //    serve in original order — settled before any reorder work is
+    //    queued, and recorded as its own trace stage.
+    let decision = {
+        let cached = shard
+            .engine
+            .peek_cached(&request.matrix, request.algo)
+            .is_some();
+        let mut decide = ctx.span("policy.decide");
+        decide.arg("mode", shard.policy.mode().as_str());
+        decide.arg("requested", request.algo.name());
+        let decision =
+            shard
+                .policy
+                .decide(request.matrix.matrix(), content_hash, request.algo, cached);
+        decide.arg("chosen", decision.algo.name());
+        decide.arg("reason", decision.reason);
+        decision
+    };
+    let algo = decision.algo;
 
     // 1. The ordering, through the shard engine's caches — with the
     //    deadline attached, so an expiry cancels it pre-reorder.
     let ticket = shard.engine.submit_opts(
         &request.matrix,
-        request.algo,
+        algo,
         SubmitOptions {
             deadline: request.deadline,
             trace: ctx.clone(),
@@ -722,6 +806,13 @@ fn execute(
         EngineError::Expired => TierError::Shed(ShedReason::Expired),
         other => TierError::Engine(other),
     })?;
+    if decision.reorders() {
+        // The ledger bills the one-time cost exactly once per key; a
+        // cache-served ordering re-reports the same figure harmlessly.
+        shard
+            .policy
+            .record_reorder_paid(content_hash, algo, ordering.compute_seconds);
+    }
     // An ordering served from cache is instant, but a computed one may
     // have consumed the whole budget: re-check before the SpMV work.
     if request.deadline.is_some_and(|d| d <= Instant::now()) {
@@ -733,11 +824,15 @@ fn execute(
     //    outside the lock: two dispatchers racing the same key both
     //    build, one insert wins — benign, and the lock never blocks on
     //    an O(nnz) permutation.
-    let key = (request.matrix.content_hash(), request.algo);
+    let key = (content_hash, algo);
     let prepared = shard.prepared.lock().unwrap().get(&key);
     let prepared = match prepared {
-        Some(p) => p,
+        Some(p) => {
+            shard.metrics.prepared_hits.inc();
+            p
+        }
         None => {
+            shard.metrics.prepared_misses.inc();
             let mut permute = ctx.span("reorder.permute");
             permute.arg("rows", request.matrix.matrix().nrows() as u64);
             let reordered = ordering
@@ -747,7 +842,7 @@ fn execute(
                 )
                 .map_err(|e| {
                     TierError::Engine(EngineError::Compute {
-                        algo: request.algo,
+                        algo,
                         message: e.to_string(),
                     })
                 })?;
@@ -756,7 +851,8 @@ fn execute(
                 handle: MatrixHandle::from_matrix(reordered),
                 result: ordering.to_reorder_result(),
             });
-            shard.prepared.lock().unwrap().insert(key, Arc::clone(&p));
+            let evicted = shard.prepared.lock().unwrap().insert(key, Arc::clone(&p));
+            shard.metrics.prepared_evictions.add(evicted);
             p
         }
     };
@@ -771,11 +867,17 @@ fn execute(
     //    index space on both sides.
     let xp = prepared.result.permute_input(&request.x);
     let mut yp = vec![0.0; prepared.handle.matrix().nrows()];
+    let spmv_started = Instant::now();
     {
         let mut compute = ctx.span("serve.spmv");
         compute.arg("kernel", request.kernel.name());
         kernel.execute(&shard.spmv_team, &xp, &mut yp);
     }
+    // Close the feedback loop: the observed service time under the
+    // chosen ordering feeds the ledger and the online corrector.
+    shard
+        .policy
+        .observe_spmv(content_hash, algo, spmv_started.elapsed().as_secs_f64());
     let y = {
         let _unpermute = ctx.span("answer.unpermute");
         prepared.result.unpermute_output(&yp)

@@ -258,6 +258,7 @@ fn sampled_request_records_the_serving_stages() {
         "tier.request",
         "admission.wait",
         "tier.execute",
+        "policy.decide",
         "engine.request",
         "engine.reorder",
         "reorder.permute",
@@ -287,4 +288,106 @@ fn sampled_request_records_the_serving_stages() {
         .trace_chrome_json(request_id)
         .unwrap()
         .contains("\"answer.unpermute\""));
+}
+
+#[test]
+fn adaptive_policy_skips_reordering_for_one_shot_traffic() {
+    use servetier::{PolicyConfig, PolicyMode};
+    let tier = ServeTier::new(TierConfig {
+        shards: 1,
+        queue_capacity: 64,
+        tenants: vec![TenantSpec::new("t0", 1)],
+        registry: Some(telemetry::Registry::new_arc()),
+        policy: PolicyConfig {
+            mode: PolicyMode::Adaptive,
+            ..PolicyConfig::default()
+        },
+        ..TierConfig::default()
+    });
+    // Eight distinct matrices, one request each, all asking for RCM:
+    // below the probe threshold the adaptive policy serves every one
+    // in original order, and no reorder job ever runs.
+    for i in 0..8u64 {
+        let m = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(10 + i as usize, 9), i));
+        let req = request(&m, AlgoSpec::Rcm, KernelKind::OneD);
+        let want = m.matrix().spmv_dense(&req.x);
+        let response = tier.serve(req).unwrap();
+        assert_close(&response.y, &want);
+    }
+    let stats = tier.stats();
+    assert_eq!(stats.served(), 8);
+    let snap = tier.registry().snapshot();
+    // The engine ran identity orderings only — RCM never computed.
+    assert!(
+        snap.histogram("reorder.rcm").is_none(),
+        "cold one-shot keys must not pay for reordering"
+    );
+    assert_eq!(
+        snap.counter_labeled("policy.decisions", &[("choice", "identity")]),
+        Some(8)
+    );
+}
+
+#[test]
+fn adaptive_policy_probes_and_amortizes_hot_keys() {
+    use servetier::{PolicyConfig, PolicyMode};
+    let tier = ServeTier::new(TierConfig {
+        shards: 1,
+        queue_capacity: 64,
+        tenants: vec![TenantSpec::new("t0", 1)],
+        registry: Some(telemetry::Registry::new_arc()),
+        policy: PolicyConfig {
+            mode: PolicyMode::Adaptive,
+            probe_after: 4,
+            ..PolicyConfig::default()
+        },
+        ..TierConfig::default()
+    });
+    let m = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(16, 16), 11));
+    let req = request(&m, AlgoSpec::Rcm, KernelKind::OneD);
+    let want = m.matrix().spmv_dense(&req.x);
+    for _ in 0..12 {
+        let response = tier.serve(req.clone()).unwrap();
+        assert_close(&response.y, &want);
+    }
+    let stats = tier.stats();
+    assert_eq!(stats.served(), 12);
+    let snap = tier.registry().snapshot();
+    let rcm_runs = snap.histogram("reorder.rcm").map_or(0, |h| h.count);
+    assert_eq!(rcm_runs, 1, "a hot key earns exactly one probe reorder");
+    assert_eq!(snap.counter("policy.probes"), Some(1));
+    assert!(
+        snap.counter_labeled("policy.decisions", &[("choice", "reorder")])
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
+#[test]
+fn prepared_cache_is_lru_and_counts_hits_misses_evictions() {
+    let tier = ServeTier::new(TierConfig {
+        shards: 1,
+        queue_capacity: 64,
+        tenants: vec![TenantSpec::new("t0", 1)],
+        prepared_capacity: 2,
+        registry: Some(telemetry::Registry::new_arc()),
+        ..TierConfig::default()
+    });
+    let a = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(12, 12), 1));
+    let b = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(13, 12), 2));
+    let c = MatrixHandle::from_matrix(corpus::scramble(&corpus::mesh2d(14, 12), 3));
+    // Fill the two slots, then keep A hot while C evicts the cold B.
+    for m in [&a, &b, &a, &c, &a] {
+        tier.serve(request(m, AlgoSpec::Rcm, KernelKind::OneD))
+            .unwrap();
+    }
+    // A survived the eviction (LRU keeps the hot entry; FIFO would
+    // have evicted it as the oldest insert): serving A again is a hit.
+    tier.serve(request(&a, AlgoSpec::Rcm, KernelKind::OneD))
+        .unwrap();
+    let stats = tier.stats();
+    let shard = &stats.shards[0];
+    assert_eq!(shard.prepared_misses, 3, "A, B, C each built once");
+    assert_eq!(shard.prepared_hits, 3, "A repeats all hit");
+    assert_eq!(shard.prepared_evictions, 1, "B evicted by C");
 }

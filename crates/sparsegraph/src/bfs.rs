@@ -8,8 +8,14 @@ const FRONTIER_GRAIN: usize = 512;
 
 /// Below this frontier width the one-pass sequential expansion wins:
 /// a team dispatch costs microseconds, claiming a few hundred edges
-/// costs less.
-const PAR_FRONTIER_MIN: usize = 1024;
+/// costs less. BENCH_PR5 showed the 1024 cutover from PR 5 flipping
+/// whole level-set traversals onto the two-phase path on hosts where
+/// the dispatch never pays for itself; `reorder_scaling` re-measured
+/// with the tunable (see DESIGN §9) keeps 4096 as the default — wide
+/// enough that only genuinely massive frontiers pay for a dispatch,
+/// while `ReorderExec::with_frontier_min` lets multicore hosts tune it
+/// back down.
+pub const DEFAULT_PAR_FRONTIER_MIN: usize = 4096;
 
 /// The result of a level-structured breadth-first search.
 ///
@@ -73,8 +79,18 @@ pub fn bfs_levels(g: &Graph, root: usize) -> BfsLevels {
 /// [`bfs_levels`] on an executor: frontiers wide enough to amortise a
 /// dispatch are expanded in parallel via [`expand_frontier_on`], and
 /// the result is byte-identical to the sequential search (see the
-/// determinism argument there).
+/// determinism argument there). Uses the default cutover
+/// [`DEFAULT_PAR_FRONTIER_MIN`]; see [`bfs_levels_with`] for a tuned
+/// threshold.
 pub fn bfs_levels_on(g: &Graph, root: usize, exec: Exec<'_>) -> BfsLevels {
+    bfs_levels_with(g, root, exec, DEFAULT_PAR_FRONTIER_MIN)
+}
+
+/// [`bfs_levels_on`] with an explicit sequential-fallback threshold:
+/// levels narrower than `frontier_min` are expanded by the one-pass
+/// sequential loop even on a team. The threshold changes wall-clock
+/// only — the returned level structure is identical for every value.
+pub fn bfs_levels_with(g: &Graph, root: usize, exec: Exec<'_>, frontier_min: usize) -> BfsLevels {
     if exec.lanes() == 1 {
         return bfs_levels(g, root);
     }
@@ -87,12 +103,13 @@ pub fn bfs_levels_on(g: &Graph, root: usize, exec: Exec<'_>) -> BfsLevels {
     level_of[root] = 0;
     while !frontier.is_empty() {
         let depth = levels.len() + 1;
-        let next = expand_frontier_on(
+        let next = expand_frontier_with(
             g,
             &frontier,
             |u| level_of[u] == usize::MAX,
             &scratch,
             exec,
+            frontier_min,
             |_| {},
         );
         for &u in &next {
@@ -161,9 +178,37 @@ where
     P: Fn(usize) -> bool + Sync,
     S: Fn(&mut Vec<u32>) + Sync,
 {
+    expand_frontier_with(
+        g,
+        frontier,
+        unvisited,
+        scratch,
+        exec,
+        DEFAULT_PAR_FRONTIER_MIN,
+        sort_children,
+    )
+}
+
+/// [`expand_frontier_on`] with an explicit sequential-fallback
+/// threshold (`frontier_min`): frontiers narrower than it always take
+/// the one-pass sequential expansion. Output is identical for every
+/// threshold — only the dispatch decision changes.
+pub fn expand_frontier_with<P, S>(
+    g: &Graph,
+    frontier: &[u32],
+    unvisited: P,
+    scratch: &FrontierScratch,
+    exec: Exec<'_>,
+    frontier_min: usize,
+    sort_children: S,
+) -> Vec<u32>
+where
+    P: Fn(usize) -> bool + Sync,
+    S: Fn(&mut Vec<u32>) + Sync,
+{
     debug_assert!(scratch.len() >= g.num_vertices());
     let claims = &scratch.claims;
-    if exec.lanes() == 1 || frontier.len() < PAR_FRONTIER_MIN {
+    if exec.lanes() == 1 || frontier.len() < frontier_min {
         // One-pass: claims double as claimed-this-level flags, so the
         // first (= minimum-position) parent wins, as in the parallel
         // path.
@@ -329,16 +374,22 @@ mod tests {
         let g = chorded(20_000, 42);
         let registry = telemetry::Registry::new_arc();
         let seq = bfs_levels(&g, 0);
+        // A low explicit threshold forces the two-phase path onto this
+        // graph's levels regardless of where the tuned default sits.
+        const FORCED_MIN: usize = 1024;
         assert!(
-            seq.width() >= PAR_FRONTIER_MIN,
+            seq.width() >= FORCED_MIN,
             "test graph must be wide enough to hit the two-phase path (width {})",
             seq.width()
         );
         for size in [1usize, 2, 4, 8] {
             let t = team::ThreadTeam::new_in(&registry, size);
-            let par = bfs_levels_on(&g, 0, Exec::Team(&t));
+            let par = bfs_levels_with(&g, 0, Exec::Team(&t), FORCED_MIN);
             assert_eq!(seq.level_of, par.level_of, "team size {size}");
             assert_eq!(seq.levels, par.levels, "team size {size}");
+            // The default-threshold entry point must agree as well.
+            let par_default = bfs_levels_on(&g, 0, Exec::Team(&t));
+            assert_eq!(seq.level_of, par_default.level_of, "team size {size}");
         }
     }
 

@@ -1,4 +1,4 @@
-use crate::{bfs_levels_on, Graph};
+use crate::{bfs_levels_with, Graph, DEFAULT_PAR_FRONTIER_MIN};
 use team::Exec;
 
 /// Find a pseudo-peripheral vertex of the component containing `start`,
@@ -15,12 +15,24 @@ pub fn pseudo_peripheral_vertex(g: &Graph, start: usize) -> usize {
 
 /// [`pseudo_peripheral_vertex`] on an executor. The repeated level
 /// structures dominate the finder's cost and parallelise through
-/// [`bfs_levels_on`]; the min-degree candidate selection keeps its
+/// [`crate::bfs_levels_on`]; the min-degree candidate selection keeps its
 /// first-minimum (within-level order) semantics, which parallel BFS
 /// preserves exactly.
 pub fn pseudo_peripheral_vertex_on(g: &Graph, start: usize, exec: Exec<'_>) -> usize {
+    pseudo_peripheral_vertex_with(g, start, exec, DEFAULT_PAR_FRONTIER_MIN)
+}
+
+/// [`pseudo_peripheral_vertex_on`] with an explicit parallel-expansion
+/// cutover (see [`bfs_levels_with`]); the returned vertex is identical
+/// for every threshold.
+pub fn pseudo_peripheral_vertex_with(
+    g: &Graph,
+    start: usize,
+    exec: Exec<'_>,
+    frontier_min: usize,
+) -> usize {
     let mut root = start;
-    let mut b = bfs_levels_on(g, root, exec);
+    let mut b = bfs_levels_with(g, root, exec, frontier_min);
     loop {
         let last = b
             .levels
@@ -34,7 +46,7 @@ pub fn pseudo_peripheral_vertex_on(g: &Graph, start: usize, exec: Exec<'_>) -> u
         if candidate == root {
             return root;
         }
-        let b2 = bfs_levels_on(g, candidate, exec);
+        let b2 = bfs_levels_with(g, candidate, exec, frontier_min);
         if b2.depth() > b.depth() {
             root = candidate;
             b = b2;

@@ -24,7 +24,10 @@ mod predictor;
 mod profiles;
 mod stats;
 
-pub use features::{bandwidth, matrix_features, off_diagonal_nnz, profile, MatrixFeatures};
+pub use features::{
+    bandwidth, matrix_features, off_diagonal_nnz, profile, row_length_variance, x_reuse_estimate,
+    MatrixFeatures,
+};
 pub use predictor::{recommend, Action, PredictorConfig, Recommendation};
 pub use profiles::{performance_profile, ProfileCurve};
 pub use spmv::imbalance_factor;

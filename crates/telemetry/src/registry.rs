@@ -192,6 +192,36 @@ impl Registry {
         self.histogram(&series_name(base, labels))
     }
 
+    /// Look up the histogram `name` **without creating it**. Live
+    /// readers (e.g. the amortization ledger polling `reorder.<algo>`
+    /// or `serve.spmv`) use this so that probing a series that was
+    /// never recorded does not materialise an empty metric in every
+    /// export.
+    pub fn find_histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Histogram(h)) => Some(Arc::clone(h)),
+            _ => None,
+        }
+    }
+
+    /// Look up the counter `name` without creating it (see
+    /// [`Registry::find_histogram`]).
+    pub fn find_counter(&self, name: &str) -> Option<Arc<Counter>> {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Counter(c)) => Some(Arc::clone(c)),
+            _ => None,
+        }
+    }
+
+    /// Look up the gauge `name` without creating it (see
+    /// [`Registry::find_histogram`]).
+    pub fn find_gauge(&self, name: &str) -> Option<Arc<Gauge>> {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Gauge(g)) => Some(Arc::clone(g)),
+            _ => None,
+        }
+    }
+
     /// A point-in-time snapshot of every registered metric, sorted by
     /// name (the exporters' input).
     pub fn snapshot(&self) -> Snapshot {
@@ -292,6 +322,26 @@ mod tests {
         assert_eq!(s.gauge("m.depth"), Some(-2));
         assert_eq!(s.histogram("a.lat").unwrap().count, 1);
         assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn find_does_not_create_and_shares_handles() {
+        let r = Registry::new();
+        assert!(r.find_histogram("never.recorded").is_none());
+        assert!(r.find_counter("never.recorded").is_none());
+        assert!(r.find_gauge("never.recorded").is_none());
+        // Probing must not have materialised empty series.
+        assert!(r.snapshot().histograms.is_empty());
+        assert!(r.snapshot().counters.is_empty());
+        let h = r.histogram("real.series");
+        h.record(42);
+        let found = r.find_histogram("real.series").expect("registered");
+        assert!(Arc::ptr_eq(&h, &found));
+        assert_eq!(found.sum(), 42);
+        // Type-mismatched finds return None rather than panicking.
+        let _ = r.counter("typed.counter");
+        assert!(r.find_histogram("typed.counter").is_none());
+        assert!(r.find_counter("typed.counter").is_some());
     }
 
     #[test]
