@@ -37,6 +37,22 @@ TRACE_DIR="$(mktemp -d)"
 ./target/release/tracecheck "$TRACE_DIR"
 rm -rf "$TRACE_DIR"
 
+# Incremental-reordering bench smoke: splice-after-delta must be
+# byte-identical to a full recompute on both multi-component families
+# before any timing (asserted inside the bench).
+cargo bench -p bench --bench delta_reorder -- --test
+
+# Dynamic-matrix smoke: a traced replay with an open-loop mutator must
+# serve verified answers for delta descendants, and the dumped traces
+# must show the engine actually splicing cached orderings
+# (reorder.splice) rather than recomputing from scratch.
+MUTATE_TRACE_DIR="$(mktemp -d)"
+./target/release/serve --size small --requests 400 --clients 2 \
+    --shards 2 --mutate-rate 20 --mutate-edges 6 \
+    --trace-dir "$MUTATE_TRACE_DIR" --trace-sample-rate 1.0 --seed 7 > /dev/null
+./target/release/tracecheck "$MUTATE_TRACE_DIR" --require reorder.splice
+rm -rf "$MUTATE_TRACE_DIR"
+
 # Serving-tier overload smoke: an open-loop run over four shards with a
 # tight queue and deadlines must deliver verified answers, shed the
 # overflow with a reason, and leave every queue-depth gauge at zero.

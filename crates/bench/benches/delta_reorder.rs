@@ -1,0 +1,280 @@
+//! Incremental reordering: splice-after-delta vs. full recompute.
+//!
+//! A structural edge delta dirties only the components it touches. The
+//! component-structured orderings (`compute_components_on`) let the
+//! engine splice the cached sub-permutations of untouched components
+//! around a recompute of the dirty ones (`splice_ordering_on`) — the
+//! result is byte-identical to a full recompute (asserted here before
+//! any timing), so the only question is how much wall-clock the splice
+//! saves as a function of the dirty fraction.
+//!
+//! Two multi-component corpus families are swept ([`corpus::disjoint_meshes`]
+//! and a [`corpus::disjoint_union`] of scrambled road networks) under
+//! RCM and AMD at 1%, 10% and 50% dirty components. A normal run (no
+//! `--test`) also measures the *serving-side* consequence through a
+//! real engine — time-to-fresh-ordering for a delta descendant with a
+//! warm parent cache (lineage splice) vs. a cold engine (full
+//! recompute) — and records everything in `BENCH_PR8.json` at the
+//! repository root.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use engine::{AlgoSpec, Engine, EngineConfig, MatrixHandle};
+use reorder::{splice_ordering_on, Amd, ComponentOrdering, Rcm, ReorderAlgorithm, ReorderExec};
+use sparsemat::{CsrMatrix, EdgeOp};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Dirty fractions swept: the share of components touched by the delta.
+const DIRTY_PERCENTS: [usize; 3] = [1, 10, 50];
+
+/// Two families of multi-component matrices, both with enough
+/// components that a 1% dirty fraction is still at least one component.
+fn families() -> Vec<(&'static str, CsrMatrix)> {
+    let meshes = corpus::disjoint_meshes(100, 14, 12, 8);
+    let roads: Vec<CsrMatrix> = (0..100u64)
+        .map(|r| corpus::scramble(&corpus::road(13, 12, r), 100 + r))
+        .collect();
+    vec![
+        ("disjoint_meshes", meshes),
+        ("disjoint_roads", corpus::disjoint_union(&roads)),
+    ]
+}
+
+fn algorithms() -> Vec<(&'static str, Box<dyn ReorderAlgorithm>)> {
+    vec![
+        ("rcm", Box::new(Rcm::default())),
+        ("amd", Box::new(Amd::default())),
+    ]
+}
+
+/// A delta that dirties `percent`% of the cached components: one
+/// symmetric off-diagonal removal inside each selected component.
+/// Selection strides across the range table so the dirty components
+/// are spread over the matrix.
+fn delta_for_dirty_percent(
+    a: &CsrMatrix,
+    cached: &ComponentOrdering,
+    percent: usize,
+) -> Vec<EdgeOp> {
+    // Components with at least one off-diagonal edge to remove
+    // (isolated vertices in e.g. road networks form edgeless
+    // singleton components).
+    let eligible: Vec<(usize, usize)> = cached
+        .ranges
+        .iter()
+        .filter_map(|range| {
+            let members = &cached.order[range.start..range.start + range.len];
+            members.iter().find_map(|&v| {
+                let (cols, _) = a.row(v as usize);
+                cols.iter()
+                    .find(|&&c| c != v)
+                    .map(|&c| (v as usize, c as usize))
+            })
+        })
+        .collect();
+    let ncomp = cached.ranges.len();
+    let want = (ncomp * percent).div_ceil(100).max(1).min(eligible.len());
+    let stride = eligible.len() / want;
+    let mut ops = Vec::with_capacity(2 * want);
+    for t in 0..want {
+        let (i, j) = eligible[t * stride];
+        ops.push(EdgeOp::Remove { row: i, col: j });
+        ops.push(EdgeOp::Remove { row: j, col: i });
+    }
+    ops
+}
+
+/// One measurement subject: the mutated matrix, its delta's touched
+/// rows, and the parent's cached ordering to splice around.
+struct Subject {
+    child: CsrMatrix,
+    touched: Vec<u32>,
+    cached: ComponentOrdering,
+}
+
+fn subject(a: &CsrMatrix, algo: &dyn ReorderAlgorithm, percent: usize) -> Subject {
+    let rx = ReorderExec::sequential();
+    let cached = algo
+        .compute_components_on(a, &rx)
+        .expect("parent ordering")
+        .expect("component-capable algorithm");
+    let ops = delta_for_dirty_percent(a, &cached, percent);
+    let mut child = a.clone();
+    let report = child.apply_delta(&ops).expect("delta applies");
+    Subject {
+        child,
+        touched: report.touched_rows,
+        cached,
+    }
+}
+
+fn run_full(s: &Subject, algo: &dyn ReorderAlgorithm) -> ComponentOrdering {
+    algo.compute_components_on(&s.child, &ReorderExec::sequential())
+        .expect("full recompute")
+        .expect("component-capable algorithm")
+}
+
+fn run_splice(s: &Subject, algo: &dyn ReorderAlgorithm) -> ComponentOrdering {
+    let (co, _) = splice_ordering_on(
+        algo,
+        &s.child,
+        &s.cached.order,
+        &s.cached.ranges,
+        &s.touched,
+        &ReorderExec::sequential(),
+    )
+    .expect("splice")
+    .expect("splice accepted");
+    co
+}
+
+fn delta_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_reorder");
+    for (fname, a) in families() {
+        for (aname, algo) in algorithms() {
+            let s = subject(&a, algo.as_ref(), 10);
+            assert_eq!(
+                run_full(&s, algo.as_ref()).order,
+                run_splice(&s, algo.as_ref()).order,
+                "splice diverged from full recompute ({fname}/{aname})"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{fname}/{aname}"), "full"),
+                &s,
+                |b, s| b.iter(|| black_box(run_full(s, algo.as_ref()))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{fname}/{aname}"), "splice_10pct"),
+                &s,
+                |b, s| b.iter(|| black_box(run_splice(s, algo.as_ref()))),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Median-of-`reps` wall time of one call, seconds.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Serving-side freshness: milliseconds from submitting a delta
+/// descendant until its ordering is served, with a warm parent cache
+/// (lineage splice) vs. a cold engine (full recompute).
+fn engine_freshness_ms(a: &CsrMatrix, child: &CsrMatrix, algo: AlgoSpec) -> (f64, f64) {
+    // Private registries: the default is process-global, which would
+    // make `delta_splices` cumulative across the engines built here.
+    let cfg = || EngineConfig {
+        workers: 1,
+        reorder_threads: 1,
+        registry: Some(std::sync::Arc::new(telemetry::Registry::new())),
+        ..EngineConfig::default()
+    };
+    let parent = MatrixHandle::from_matrix(a.clone());
+    let child_handle = MatrixHandle::from_matrix(child.clone());
+
+    let warm = Engine::new(cfg());
+    warm.get(&parent, algo).expect("parent ordering");
+    let t0 = Instant::now();
+    warm.get(&child_handle, algo).expect("spliced ordering");
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(warm.stats().delta_splices, 1, "warm path did not splice");
+
+    let cold = Engine::new(cfg());
+    let t0 = Instant::now();
+    cold.get(&child_handle, algo).expect("full ordering");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (warm_ms, cold_ms)
+}
+
+/// Record the full-vs-splice sweep and the engine freshness numbers in
+/// `BENCH_PR8.json`.
+fn write_bench_json() {
+    let reps = 5;
+    let mut rows = Vec::new();
+    let mut freshness = Vec::new();
+    for (fname, a) in families() {
+        for (aname, algo) in algorithms() {
+            for percent in DIRTY_PERCENTS {
+                let s = subject(&a, algo.as_ref(), percent);
+                let full = run_full(&s, algo.as_ref());
+                let spliced = run_splice(&s, algo.as_ref());
+                assert_eq!(
+                    full.order, spliced.order,
+                    "splice diverged ({fname}/{aname} at {percent}%)"
+                );
+                let full_ms = time_median(reps, || {
+                    black_box(run_full(&s, algo.as_ref()));
+                }) * 1e3;
+                let splice_ms = time_median(reps, || {
+                    black_box(run_splice(&s, algo.as_ref()));
+                }) * 1e3;
+                let dirty_rows = s.touched.len();
+                rows.push(format!(
+                    "    {{ \"family\": \"{fname}\", \"algo\": \"{aname}\", \
+                     \"dirty_components_pct\": {percent}, \"dirty_rows\": {dirty_rows}, \
+                     \"components\": {}, \"full_ms\": {full_ms:.3}, \
+                     \"splice_ms\": {splice_ms:.3}, \"speedup\": {:.2} }}",
+                    s.cached.ranges.len(),
+                    full_ms / splice_ms
+                ));
+            }
+            // Freshness through a real engine at the 10% point.
+            let s = subject(&a, algo.as_ref(), 10);
+            let spec = if aname == "amd" {
+                AlgoSpec::Amd
+            } else {
+                AlgoSpec::Rcm
+            };
+            let (warm_ms, cold_ms) = engine_freshness_ms(&a, &s.child, spec);
+            freshness.push(format!(
+                "    {{ \"family\": \"{fname}\", \"algo\": \"{aname}\", \
+                 \"dirty_components_pct\": 10, \"time_to_fresh_warm_ms\": {warm_ms:.3}, \
+                 \"time_to_fresh_cold_ms\": {cold_ms:.3}, \"speedup\": {:.2} }}",
+                cold_ms / warm_ms
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"delta_reorder\",\n  \"reps\": {reps},\n  \
+         \"note\": \"median of reps; splice re-derives only components touched by the \
+         delta and copies the rest of the cached ordering verbatim (byte-identity \
+         asserted before timing); freshness is the engine-side time from submitting a \
+         delta descendant to a served ordering, warm = lineage splice, cold = full \
+         recompute\",\n  \"sweep\": [\n{}\n  ],\n  \"engine_freshness\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        freshness.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("delta reorder sweep recorded to BENCH_PR8.json"),
+        Err(e) => eprintln!("could not write BENCH_PR8.json: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = delta_reorder
+}
+
+fn main() {
+    benches();
+    // Smoke runs (`--test`, as used by ci.sh) skip the JSON record:
+    // single-iteration timings would only add noise.
+    if !std::env::args().any(|arg| arg == "--test") {
+        write_bench_json();
+    }
+}

@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sparsemat::{CooMatrix, CsrMatrix, Permutation};
 
-fn rng(seed: u64) -> ChaCha8Rng {
+pub(crate) fn rng(seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
 }
 

@@ -22,9 +22,11 @@
 //! where reordering is useless or harmful (§1's challenges).
 
 mod families;
+mod mutation;
 mod spec;
 
 pub use families::*;
+pub use mutation::{disjoint_meshes, disjoint_union, mutation_trace};
 pub use spec::{
     class_representatives, fig1_matrices, overhead_matrices, spd_corpus, standard_corpus,
     CorpusSize, MatrixSpec,

@@ -1,0 +1,261 @@
+//! Dynamic-matrix workloads: multi-component families and mutation traces.
+//!
+//! The incremental-reordering path in `engine` splices cached per-component
+//! sub-permutations when a delta touches only a few components. Exercising
+//! that path needs two things the static families do not provide: matrices
+//! whose component structure is known by construction, and deterministic
+//! streams of structural edits to replay against them. Both live here.
+
+use crate::{mesh2d, scramble};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use sparsemat::{CooMatrix, CsrMatrix, EdgeOp};
+
+/// Block-diagonal union of square matrices with **no** coupling edges.
+///
+/// Unlike [`crate::block_diag`], which ties adjacent blocks into one
+/// connected matrix, the parts here share no edges: if every part is
+/// connected, the result has exactly `parts.len()` connected components,
+/// one per part, occupying consecutive index ranges.
+pub fn disjoint_union(parts: &[CsrMatrix]) -> CsrMatrix {
+    assert!(!parts.is_empty());
+    for p in parts {
+        assert_eq!(p.nrows(), p.ncols(), "disjoint_union needs square parts");
+    }
+    let n: usize = parts.iter().map(|m| m.nrows()).sum();
+    let nnz: usize = parts.iter().map(|m| m.nnz()).sum();
+    let mut coo = CooMatrix::with_capacity(n, n, nnz);
+    let mut off = 0;
+    for m in parts {
+        for (i, j, v) in m.iter() {
+            coo.push(off + i, off + j, v);
+        }
+        off += m.nrows();
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Disjoint union of `regions` independently scrambled 2D meshes.
+///
+/// The result has exactly `regions` connected components. Region sizes
+/// are staggered (`nx + region % 3` columns) so per-component
+/// sub-permutations differ, and each region is scrambled with its own
+/// seed so bandwidth-reducing orderings have real work to do inside
+/// every component.
+pub fn disjoint_meshes(regions: usize, nx: usize, ny: usize, seed: u64) -> CsrMatrix {
+    assert!(regions > 0 && nx > 0 && ny > 0);
+    let mats: Vec<CsrMatrix> = (0..regions)
+        .map(|r| scramble(&mesh2d(nx + r % 3, ny), seed.wrapping_add(r as u64)))
+        .collect();
+    disjoint_union(&mats)
+}
+
+/// Deterministic stream of symmetric structural edits against `a`.
+///
+/// Produces `batches` batches of up to `edges_per_batch` edge edits; each
+/// edit emits both `(i, j)` and `(j, i)` ops so symmetry is preserved.
+/// Every batch is confined to a BFS-local neighborhood of one seed row, so
+/// under component-structured reordering a batch dirties at most the
+/// components it starts in — removals may split a component but can never
+/// touch another, and additions only bridge rows inside the neighborhood.
+///
+/// Batches are generated against an evolving copy of `a`, so replaying them
+/// in order with [`CsrMatrix::apply_delta`] never hits a no-op: removals
+/// always target stored entries and additions always target absent ones.
+/// Diagonal entries are never removed.
+pub fn mutation_trace(
+    a: &CsrMatrix,
+    batches: usize,
+    edges_per_batch: usize,
+    seed: u64,
+) -> Vec<Vec<EdgeOp>> {
+    assert_eq!(a.nrows(), a.ncols(), "mutation_trace needs a square matrix");
+    let n = a.nrows();
+    assert!(n > 1, "mutation_trace needs at least two rows");
+    let mut r = crate::families::rng(seed);
+    let mut cur = a.clone();
+    let mut trace = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let scope = bfs_scope(&cur, r.gen_range(0..n), (4 * edges_per_batch).max(16));
+        let mut ops = Vec::with_capacity(2 * edges_per_batch);
+        for _ in 0..edges_per_batch {
+            if r.gen_bool(0.5) {
+                if let Some((i, j)) = pick_removable(&cur, &scope, &mut r) {
+                    ops.push(EdgeOp::Remove { row: i, col: j });
+                    ops.push(EdgeOp::Remove { row: j, col: i });
+                    cur.apply_delta(&ops[ops.len() - 2..])
+                        .expect("remove in range");
+                }
+            } else if let Some((i, j)) = pick_absent(&cur, &scope, &mut r) {
+                let value = -0.25;
+                ops.push(EdgeOp::Add {
+                    row: i,
+                    col: j,
+                    value,
+                });
+                ops.push(EdgeOp::Add {
+                    row: j,
+                    col: i,
+                    value,
+                });
+                cur.apply_delta(&ops[ops.len() - 2..])
+                    .expect("add in range");
+            }
+        }
+        trace.push(ops);
+    }
+    trace
+}
+
+/// Collect up to `cap` rows reachable from `start` over the symmetric
+/// pattern of `a`, in BFS order. Never leaves `start`'s component.
+fn bfs_scope(a: &CsrMatrix, start: usize, cap: usize) -> Vec<usize> {
+    let mut seen = vec![false; a.nrows()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut scope = Vec::with_capacity(cap);
+    seen[start] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        scope.push(v);
+        if scope.len() >= cap {
+            break;
+        }
+        let (cols, _) = a.row(v);
+        for &c in cols {
+            let c = c as usize;
+            if !seen[c] {
+                seen[c] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    scope
+}
+
+/// Pick a stored off-diagonal symmetric pair with both endpoints in `scope`.
+fn pick_removable(a: &CsrMatrix, scope: &[usize], r: &mut ChaCha8Rng) -> Option<(usize, usize)> {
+    let in_scope = {
+        let mut mask = vec![false; a.nrows()];
+        for &v in scope {
+            mask[v] = true;
+        }
+        mask
+    };
+    for _ in 0..4 * scope.len() {
+        let i = scope[r.gen_range(0..scope.len())];
+        let (cols, _) = a.row(i);
+        if cols.is_empty() {
+            continue;
+        }
+        let j = cols[r.gen_range(0..cols.len())] as usize;
+        if j != i && in_scope[j] && a.get(j, i).is_some() {
+            return Some((i, j));
+        }
+    }
+    None
+}
+
+/// Pick an absent off-diagonal pair with both endpoints in `scope`.
+fn pick_absent(a: &CsrMatrix, scope: &[usize], r: &mut ChaCha8Rng) -> Option<(usize, usize)> {
+    if scope.len() < 2 {
+        return None;
+    }
+    for _ in 0..4 * scope.len() {
+        let i = scope[r.gen_range(0..scope.len())];
+        let j = scope[r.gen_range(0..scope.len())];
+        if i != j && a.get(i, j).is_none() {
+            return Some((i, j));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn components(a: &CsrMatrix) -> usize {
+        let n = a.nrows();
+        let mut seen = vec![false; n];
+        let mut count = 0;
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            count += 1;
+            let mut stack = vec![s];
+            seen[s] = true;
+            while let Some(v) = stack.pop() {
+                let (cols, _) = a.row(v);
+                for &c in cols {
+                    let c = c as usize;
+                    if !seen[c] {
+                        seen[c] = true;
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn disjoint_meshes_has_exactly_that_many_components() {
+        let a = disjoint_meshes(7, 5, 4, 11);
+        assert_eq!(components(&a), 7);
+        assert_eq!(a.nrows(), a.ncols());
+        // Staggered sizes: 5*4 + 6*4 + 7*4 repeated.
+        assert_eq!(a.nrows(), (5 + 6 + 7) * 4 * 2 + 5 * 4);
+    }
+
+    #[test]
+    fn mutation_trace_is_deterministic_and_replayable() {
+        let a = disjoint_meshes(4, 6, 5, 3);
+        let t1 = mutation_trace(&a, 5, 8, 42);
+        let t2 = mutation_trace(&a, 5, 8, 42);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 5);
+        let mut cur = a.clone();
+        for batch in &t1 {
+            assert!(!batch.is_empty());
+            let report = cur.apply_delta(batch).expect("batch applies");
+            // Generated against an evolving copy, so nothing is a no-op.
+            assert_eq!(report.noops, 0);
+            assert_eq!(report.added + report.removed, batch.len());
+        }
+        assert_ne!(cur.content_hash(), a.content_hash());
+    }
+
+    #[test]
+    fn mutation_batches_stay_symmetric_and_off_diagonal() {
+        let a = disjoint_meshes(3, 5, 5, 9);
+        let mut cur = a.clone();
+        for batch in mutation_trace(&a, 6, 6, 7) {
+            cur.apply_delta(&batch).unwrap();
+            for op in &batch {
+                match *op {
+                    EdgeOp::Add { row, col, .. } | EdgeOp::Remove { row, col } => {
+                        assert_ne!(row, col);
+                    }
+                }
+            }
+            // Symmetry preserved after every batch.
+            for (i, j, _) in cur.iter() {
+                assert!(cur.get(j, i).is_some(), "asymmetric at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_trace_never_bridges_components_without_shared_scope() {
+        // BFS scopes cannot leave a component, so additions never connect
+        // two different components: component count can only grow.
+        let a = disjoint_meshes(5, 5, 4, 2);
+        let before = components(&a);
+        let mut cur = a.clone();
+        for batch in mutation_trace(&a, 8, 10, 13) {
+            cur.apply_delta(&batch).unwrap();
+        }
+        assert!(components(&cur) >= before);
+    }
+}

@@ -49,6 +49,12 @@ pub struct CachedOrdering {
     /// entry was loaded from disk; the cost was paid by some earlier
     /// process).
     pub compute_seconds: f64,
+    /// Component→range map for component-structured algorithms (RCM,
+    /// AMD), enabling the delta splice path on descendants of this
+    /// matrix. `None` for global algorithms and for entries loaded
+    /// from the disk tier (the `perm-cache-v1` format does not carry
+    /// ranges; such entries serve exact hits but not splices).
+    pub ranges: Option<Vec<reorder::ComponentRange>>,
 }
 
 impl CachedOrdering {
@@ -116,7 +122,11 @@ impl CacheMetrics {
 
 /// Approximate in-memory footprint of one cached ordering.
 fn entry_bytes(value: &CachedOrdering) -> i64 {
-    (std::mem::size_of::<CachedOrdering>() + value.perm.len() * std::mem::size_of::<u32>()) as i64
+    let ranges = value.ranges.as_ref().map_or(0, |r| {
+        r.len() * std::mem::size_of::<reorder::ComponentRange>()
+    });
+    (std::mem::size_of::<CachedOrdering>() + value.perm.len() * std::mem::size_of::<u32>() + ranges)
+        as i64
 }
 
 /// A point-in-time snapshot of the cache counters.
@@ -518,6 +528,7 @@ fn parse_perm_file(text: &str) -> Option<CachedOrdering> {
         perm,
         symmetric,
         compute_seconds: 0.0,
+        ranges: None,
     })
 }
 
@@ -540,6 +551,7 @@ mod tests {
             perm: Permutation::identity(n),
             symmetric: true,
             compute_seconds: 0.01,
+            ranges: None,
         })
     }
 
@@ -622,6 +634,7 @@ mod tests {
                 perm: perm.clone(),
                 symmetric: false,
                 compute_seconds: 1.5,
+                ranges: None,
             }),
         );
 

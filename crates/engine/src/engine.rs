@@ -166,6 +166,11 @@ pub struct EngineStats {
     pub submitted: u64,
     /// Planned-kernel cache counters.
     pub plans: PlanCacheStats,
+    /// Jobs whose lineage probe found a cached ancestor ordering.
+    pub delta_hits: u64,
+    /// Jobs served by splicing dirty components instead of a full
+    /// recompute.
+    pub delta_splices: u64,
 }
 
 impl EngineStats {
@@ -324,6 +329,8 @@ struct EngineMetrics {
     compute_ns: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     expired: Arc<Counter>,
+    delta_hits: Arc<Counter>,
+    delta_splices: Arc<Counter>,
 }
 
 impl Engine {
@@ -357,6 +364,8 @@ impl Engine {
             compute_ns: Arc::clone(&pool_metrics.compute_ns),
             queue_depth: Arc::clone(&pool_metrics.queue_depth),
             expired: Arc::clone(&pool_metrics.expired),
+            delta_hits: Arc::clone(&pool_metrics.delta_hits),
+            delta_splices: Arc::clone(&pool_metrics.delta_splices),
         };
         let reorder_team = Arc::new(team::ThreadTeam::new_in(
             &registry,
@@ -672,6 +681,8 @@ impl Engine {
             compute_seconds: self.metrics.compute_ns.get() as f64 / 1e9,
             submitted: self.metrics.submitted.get(),
             plans: self.plans.stats(),
+            delta_hits: self.metrics.delta_hits.get(),
+            delta_splices: self.metrics.delta_splices.get(),
         }
     }
 }
@@ -1042,6 +1053,98 @@ mod tests {
             Some(2)
         );
         assert_eq!(snap.counter("engine.submitted"), None);
+    }
+
+    /// Tentpole requirement: a matrix mutated via `apply_delta` is
+    /// served by splicing the cached parent ordering — byte-identical
+    /// to a fresh compute — with the `engine.delta.*` counters and the
+    /// `reorder.splice` trace stage recording it.
+    #[test]
+    fn delta_descendant_splices_from_cached_parent() {
+        use telemetry::trace::EventKind;
+        let engine = traced_engine(1);
+        // Three disjoint paths: components {0..4}, {5..9}, {10..14}.
+        let mut coo = sparsemat::CooMatrix::new(15, 15);
+        for i in 0..15 {
+            coo.push(i, i, 2.0);
+        }
+        for block in 0..3 {
+            for i in (block * 5)..(block * 5 + 4) {
+                coo.push_symmetric(i, i + 1, -1.0);
+            }
+        }
+        let base = sparsemat::CsrMatrix::from_coo(&coo);
+        let parent = MatrixHandle::from_matrix(base.clone());
+        engine.get(&parent, AlgoSpec::Rcm).unwrap();
+
+        // Mutate inside the middle component only.
+        let mut mutated = base.clone();
+        mutated
+            .apply_delta(&[
+                sparsemat::EdgeOp::Remove { row: 7, col: 8 },
+                sparsemat::EdgeOp::Remove { row: 8, col: 7 },
+            ])
+            .unwrap();
+        let child = MatrixHandle::from_matrix(mutated.clone());
+        let spliced = engine.get(&child, AlgoSpec::Rcm).unwrap();
+
+        // Byte-identical to a from-scratch compute on the mutated matrix.
+        let fresh = reorder::ReorderAlgorithm::compute(&reorder::Rcm::default(), &mutated).unwrap();
+        assert_eq!(spliced.perm.order(), fresh.perm.order());
+        assert!(
+            spliced.ranges.is_some(),
+            "spliced entries keep their ranges"
+        );
+
+        let s = engine.stats();
+        assert_eq!(s.jobs_executed, 2);
+        assert_eq!(s.delta_hits, 1);
+        assert_eq!(s.delta_splices, 1);
+        let snap = engine.registry().snapshot();
+        let dirty = snap
+            .gauge("engine.delta.dirty_frac")
+            .expect("dirty fraction recorded");
+        assert!(
+            (0..10_000).contains(&dirty),
+            "only part of the matrix may be re-ordered, got {dirty} bp"
+        );
+
+        // The splice stage lands in the request's trace, under
+        // engine.reorder.
+        let trace_id = engine.trace_id_for(2).expect("request sampled");
+        let snap = engine.recorder().unwrap().snapshot().filter_trace(trace_id);
+        assert!(
+            snap.events()
+                .any(|e| e.name == "reorder.splice" && e.kind == EventKind::Begin),
+            "reorder.splice missing from delta request trace"
+        );
+
+        // A third request for the same child is a plain cache hit: no
+        // further splices.
+        engine.get(&child, AlgoSpec::Rcm).unwrap();
+        assert_eq!(engine.stats().delta_splices, 1);
+    }
+
+    /// Global algorithms never take the splice path, even with lineage.
+    #[test]
+    fn delta_path_skips_non_component_algorithms() {
+        let engine = small_engine();
+        let m = mesh();
+        engine.get(&m, AlgoSpec::Gray).unwrap();
+        let mut mutated = (**m.matrix()).clone();
+        mutated
+            .apply_delta(&[sparsemat::EdgeOp::Add {
+                row: 0,
+                col: 7,
+                value: 1.0,
+            }])
+            .unwrap();
+        let child = MatrixHandle::from_matrix(mutated);
+        engine.get(&child, AlgoSpec::Gray).unwrap();
+        let s = engine.stats();
+        assert_eq!(s.jobs_executed, 2);
+        assert_eq!(s.delta_hits, 0);
+        assert_eq!(s.delta_splices, 0);
     }
 
     #[test]

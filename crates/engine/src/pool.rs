@@ -115,6 +115,13 @@ pub(crate) struct PoolMetrics {
     pub queue_depth: Arc<Gauge>,
     /// Jobs cancelled at dequeue because their deadline had passed.
     pub expired: Arc<Counter>,
+    /// Jobs whose lineage probe found a cached ancestor ordering.
+    pub delta_hits: Arc<Counter>,
+    /// Jobs served by splicing instead of a full recompute.
+    pub delta_splices: Arc<Counter>,
+    /// Dirty fraction of the most recent splice, in basis points
+    /// (10000 = the whole matrix was re-ordered).
+    pub delta_dirty_frac: Arc<Gauge>,
 }
 
 impl PoolMetrics {
@@ -130,6 +137,9 @@ impl PoolMetrics {
             job_duration: registry.histogram_labeled("engine.pool.job", labels),
             queue_depth: registry.gauge_labeled("engine.pool.queue_depth", labels),
             expired: registry.counter_labeled("engine.expired", labels),
+            delta_hits: registry.counter_labeled("engine.delta.hits", labels),
+            delta_splices: registry.counter_labeled("engine.delta.splices", labels),
+            delta_dirty_frac: registry.gauge_labeled("engine.delta.dirty_frac", labels),
         }
     }
 }
@@ -215,12 +225,11 @@ fn process(job: Job, ctx: &WorkerContext) {
         None => TraceSpan::disabled(),
     };
     let rexec = reorder::ReorderExec::on_team(&ctx.reorder_team).with_trace(reorder_span.ctx());
-    let computed = reorder::timed_permutation_on(
-        &ctx.registry,
-        job.key.algo.instantiate().as_ref(),
-        &job.matrix,
-        &rexec,
-    );
+    let algo = job.key.algo.instantiate();
+    let computed = match try_splice(&job, ctx, algo.as_ref(), &rexec) {
+        Some(t) => Ok(t),
+        None => reorder::timed_components_on(&ctx.registry, algo.as_ref(), &job.matrix, &rexec),
+    };
     reorder_span.arg("ok", if computed.is_ok() { "true" } else { "false" });
     drop(reorder_span);
     let elapsed = start.elapsed();
@@ -232,6 +241,7 @@ fn process(job: Job, ctx: &WorkerContext) {
                 perm: t.result.perm,
                 symmetric: t.result.symmetric,
                 compute_seconds: t.elapsed.as_secs_f64(),
+                ranges: t.ranges,
             });
             ctx.cache.insert(job.key, Arc::clone(&cached));
             ctx.metrics.jobs_executed.inc();
@@ -253,6 +263,81 @@ fn process(job: Job, ctx: &WorkerContext) {
     // the key leaves the in-flight map any new request finds it there.
     ctx.inflight.lock().unwrap().remove(&job.key);
     job.slot.fulfil(result);
+}
+
+/// The delta-update path: walk the matrix's lineage newest→oldest,
+/// accumulating the touched-row union, and probe the cache for each
+/// ancestor's ordering under the same algorithm. On a hit with a
+/// component→range map, re-order only the dirty components and splice
+/// the cached sub-permutations back (byte-identical to a full
+/// recompute — see [`reorder::splice_ordering_on`]). Returns `None`
+/// when no ancestor is cached, the algorithm is not
+/// component-structured, or the splice declines — the caller falls
+/// back to the full compute path.
+fn try_splice(
+    job: &Job,
+    ctx: &WorkerContext,
+    algo: &dyn reorder::ReorderAlgorithm,
+    rexec: &reorder::ReorderExec<'_>,
+) -> Option<reorder::TimedComponentReordering> {
+    if !algo.supports_components() || job.matrix.lineage().is_empty() {
+        return None;
+    }
+    // Nearest cached ancestor wins: it has the smallest touched set.
+    let mut touched: Vec<u32> = Vec::new();
+    let mut found: Option<Arc<CachedOrdering>> = None;
+    for hop in job.matrix.lineage().iter().rev() {
+        touched.extend_from_slice(&hop.touched);
+        let key = OrderingKey::new(hop.parent, job.key.algo);
+        if let Some(entry) = ctx.cache.peek(&key) {
+            if entry.ranges.is_some() {
+                found = Some(entry);
+                break;
+            }
+        }
+    }
+    let entry = found?;
+    ctx.metrics.delta_hits.inc();
+    touched.sort_unstable();
+    touched.dedup();
+
+    let mut span = rexec.trace().span("reorder.splice");
+    span.arg("algo", job.key.algo.name());
+    let start = Instant::now();
+    let spliced = reorder::splice_ordering_on(
+        algo,
+        &job.matrix,
+        entry.perm.order(),
+        entry.ranges.as_ref().expect("probe required ranges"),
+        &touched,
+        rexec,
+    )
+    .ok()
+    .flatten();
+    let elapsed = start.elapsed();
+    let (co, report) = match spliced {
+        Some(s) => s,
+        None => {
+            span.arg("ok", "false");
+            return None;
+        }
+    };
+    span.arg("ok", "true");
+    span.arg("recomputed", report.recomputed);
+    span.arg("components", report.components);
+    ctx.metrics.delta_splices.inc();
+    ctx.metrics
+        .delta_dirty_frac
+        .set((report.dirty_frac(job.matrix.nrows()) * 10_000.0) as i64);
+    ctx.registry
+        .histogram("reorder.splice")
+        .record_duration(elapsed);
+    let (result, ranges) = co.into_parts().ok()?;
+    Some(reorder::TimedComponentReordering {
+        result,
+        ranges: Some(ranges),
+        elapsed,
+    })
 }
 
 #[cfg(test)]

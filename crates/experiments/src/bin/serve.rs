@@ -41,6 +41,19 @@
 //!
 //! Usage:
 //!
+//! With `--mutate-rate R` a mutator thread applies `R` structural edge
+//! deltas per second (batches of `--mutate-edges` symmetric edits from
+//! [`corpus::mutation_trace`]) to a rotating subset of the corpus while
+//! the clients replay. Each delta clones the current matrix, applies
+//! the batch (recording content-hash lineage), swaps the served handle
+//! and its dense reference, and then submits a *freshness probe* — an
+//! RCM request for the mutated matrix — timing how long the tier takes
+//! to serve an answer under the new structure. That probe is where the
+//! engine's delta path earns its keep: lineage-affine routing lands the
+//! descendant on the parent's shard, and the cached per-component
+//! ordering is spliced instead of recomputed (`engine.delta.*`
+//! counters, `reorder.splice` trace stage).
+//!
 //! With `--policy {always,never,adaptive}` the tier's reordering
 //! policy is selected: `always` honours every requested algorithm (the
 //! historical behaviour), `never` serves everything in original order,
@@ -54,6 +67,7 @@
 //!       [--skew S] [--seed N] [--cache-capacity N] [--kernel 1d|2d|merge]
 //!       [--policy always|never|adaptive] [--persist-dir DIR]
 //!       [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]
+//!       [--mutate-rate R] [--mutate-edges N]
 //! ```
 
 use corpus::CorpusSize;
@@ -103,6 +117,8 @@ struct ServeOptions {
     export_dir: Option<std::path::PathBuf>,
     trace_dir: Option<std::path::PathBuf>,
     trace_sample_rate: f64,
+    mutate_rate: f64,
+    mutate_edges: usize,
 }
 
 impl Default for ServeOptions {
@@ -127,6 +143,8 @@ impl Default for ServeOptions {
             export_dir: None,
             trace_dir: None,
             trace_sample_rate: 1.0,
+            mutate_rate: 0.0,
+            mutate_edges: 8,
         }
     }
 }
@@ -153,7 +171,8 @@ fn usage() -> ! {
          \x20            [--queue-capacity N] [--workers N] [--reorder-threads N]\n\
          \x20            [--skew S] [--seed N] [--cache-capacity N] [--kernel 1d|2d|merge]\n\
          \x20            [--policy always|never|adaptive] [--persist-dir DIR]\n\
-         \x20            [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]"
+         \x20            [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]\n\
+         \x20            [--mutate-rate R] [--mutate-edges N]"
     );
     std::process::exit(0);
 }
@@ -240,6 +259,14 @@ fn parse_serve_args() -> ServeOptions {
                     num::<f64>(value(&mut it, "--trace-sample-rate"), "--trace-sample-rate")
                         .clamp(0.0, 1.0)
             }
+            "--mutate-rate" => {
+                opts.mutate_rate = num::<f64>(value(&mut it, "--mutate-rate"), "--mutate-rate")
+                    .clamp(0.0, 10_000.0)
+            }
+            "--mutate-edges" => {
+                opts.mutate_edges =
+                    num::<usize>(value(&mut it, "--mutate-edges"), "--mutate-edges").max(1)
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -265,6 +292,19 @@ fn sample_trace(cumulative: &[f64], n: usize, rng: &mut ChaCha8Rng) -> Vec<usize
         })
         .collect()
 }
+
+/// The served state of one matrix: the current handle (a
+/// delta-descendant of the original once the mutator has touched it)
+/// and the dense reference answer matching that exact structure.
+struct DynamicSlot {
+    handle: MatrixHandle,
+    reference: Arc<Vec<f64>>,
+}
+
+/// How many corpus matrices the mutator cycles over. Small on purpose:
+/// revisiting the same matrices means every delta after the first lap
+/// finds its parent's ordering cached, which is the path under test.
+const MUTATE_POOL: usize = 4;
 
 /// What one client thread saw.
 #[derive(Debug, Default, Clone, Copy)]
@@ -384,10 +424,25 @@ fn main() {
             )
         })
         .collect();
-    let references: Vec<Vec<f64>> = handles
+    let references: Vec<Arc<Vec<f64>>> = handles
         .iter()
         .zip(&xs)
-        .map(|(h, x)| h.matrix().spmv_dense(x))
+        .map(|(h, x)| Arc::new(h.matrix().spmv_dense(x)))
+        .collect();
+    // The served state of each matrix. Static by default; under
+    // `--mutate-rate` the mutator thread swaps in delta-descendants
+    // (handle + matching dense reference) while the clients replay, so
+    // every request reads the slot for a consistent (matrix, answer)
+    // pair.
+    let slots: Vec<std::sync::RwLock<DynamicSlot>> = handles
+        .iter()
+        .zip(&references)
+        .map(|(h, r)| {
+            std::sync::RwLock::new(DynamicSlot {
+                handle: h.clone(),
+                reference: Arc::clone(r),
+            })
+        })
         .collect();
     let mut algos = vec![AlgoSpec::Original];
     algos.extend(AlgoSpec::study_suite(cfg.gp_parts, cfg.hp_parts));
@@ -489,16 +544,135 @@ fn main() {
     let deadline = (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms));
     let dump_slots = AtomicUsize::new(0);
     let traced_requests = AtomicUsize::new(0);
+    let stop_mutator = std::sync::atomic::AtomicBool::new(false);
+    let mutations = AtomicUsize::new(0);
+    // Which matrices the mutator cycles over: the first few square ones
+    // (structural deltas need row and column spaces to coincide).
+    let mutable: Vec<usize> = (0..handles.len())
+        .filter(|&i| {
+            let m = handles[i].matrix();
+            m.nrows() == m.ncols() && m.nrows() > 1
+        })
+        .take(MUTATE_POOL)
+        .collect();
+    if opts.mutate_rate > 0.0 {
+        eprintln!(
+            "mutating: {:.1} deltas/s of {} edge(s) over {} matrix(es)",
+            opts.mutate_rate,
+            opts.mutate_edges,
+            mutable.len()
+        );
+    }
     let replay = Instant::now();
     let mut tally = ClientTally::default();
     std::thread::scope(|scope| {
+        if opts.mutate_rate > 0.0 && !mutable.is_empty() {
+            let tier = Arc::clone(&tier);
+            let slots = &slots;
+            let xs = &xs;
+            let stop = &stop_mutator;
+            let mutations = &mutations;
+            let mutable = &mutable;
+            let kernel = opts.kernel;
+            let edges = opts.mutate_edges;
+            let seed = opts.seed;
+            let tenant = tenants[0].name.clone();
+            let interval = Duration::from_secs_f64(1.0 / opts.mutate_rate);
+            let staleness = tier.registry().histogram("serve.mutate.staleness");
+            let trace_dir = opts.trace_dir.clone();
+            let mut probe_dumps = 0usize;
+            scope.spawn(move || {
+                let start = Instant::now();
+                let mut step: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let target =
+                        start + Duration::from_secs_f64(step as f64 * interval.as_secs_f64());
+                    // Sleep in short slices so shutdown is prompt.
+                    while let Some(wait) = target.checked_duration_since(Instant::now()) {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(wait.min(Duration::from_millis(25)));
+                    }
+                    let mi = mutable[step as usize % mutable.len()];
+                    step += 1;
+                    let t0 = Instant::now();
+                    let parent = slots[mi].read().expect("slot lock").handle.clone();
+                    let batch = corpus::mutation_trace(
+                        parent.matrix(),
+                        1,
+                        edges,
+                        seed ^ step.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    )
+                    .pop()
+                    .unwrap_or_default();
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let mut mutated = (**parent.matrix()).clone();
+                    mutated
+                        .apply_delta(&batch)
+                        .expect("mutation batch applies to its own parent");
+                    let child = MatrixHandle::from_matrix(mutated);
+                    let reference = Arc::new(child.matrix().spmv_dense(&xs[mi]));
+                    {
+                        let mut slot = slots[mi].write().expect("slot lock");
+                        slot.handle = child.clone();
+                        slot.reference = Arc::clone(&reference);
+                    }
+                    // Freshness probe: how long from the delta landing
+                    // until the tier serves an answer for the *new*
+                    // structure. Lineage routing sends it to the
+                    // parent's shard, where the engine can splice the
+                    // cached per-component ordering.
+                    let probe = SpmvRequest {
+                        tenant: tenant.clone(),
+                        matrix: child,
+                        algo: AlgoSpec::Rcm,
+                        kernel,
+                        x: Arc::clone(&xs[mi]),
+                        priority: 0,
+                        deadline: None,
+                    };
+                    let ticket = tier.submit(probe);
+                    let request_id = ticket.request_id();
+                    let sampled = ticket.trace_ctx().is_recording();
+                    match ticket.wait() {
+                        Ok(response) => {
+                            verify_answer(&response.y, &reference, mi);
+                            staleness.record_duration(t0.elapsed());
+                            mutations.fetch_add(1, Ordering::Relaxed);
+                            // Dump a few probe traces: they are where
+                            // the `reorder.splice` stage shows up.
+                            if sampled && probe_dumps < TRACE_DUMP_CAP {
+                                if let Some(dir) = &trace_dir {
+                                    if let Some(json) = tier.trace_chrome_json(request_id) {
+                                        std::fs::write(
+                                            dir.join(format!("trace-{request_id}.json")),
+                                            json,
+                                        )
+                                        .expect("writing probe trace JSON");
+                                        probe_dumps += 1;
+                                    }
+                                }
+                            }
+                        }
+                        // Overloaded: the delta still landed, only the
+                        // probe was shed.
+                        Err(TierError::Shed(_)) => {
+                            mutations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("freshness probe for matrix {mi} failed: {other}"),
+                    }
+                }
+            });
+        }
         let chunk = trace.len().div_ceil(opts.clients);
         let mut clients = Vec::new();
         for (ci, slice) in trace.chunks(chunk.max(1)).enumerate() {
             let tier = Arc::clone(&tier);
-            let handles = &handles;
+            let slots = &slots;
             let xs = &xs;
-            let references = &references;
             let keys = &keys;
             let tenants = &tenants;
             let trace_dir = opts.trace_dir.as_deref();
@@ -514,15 +688,16 @@ fn main() {
                 let interval = (offered_load > 0.0)
                     .then(|| Duration::from_secs_f64(clients_n as f64 / offered_load));
                 let start = Instant::now();
-                let mut pending = Vec::new();
+                let mut pending: Vec<(servetier::TierTicket, usize, Arc<Vec<f64>>)> = Vec::new();
                 let resolve = |result: Result<servetier::SpmvResponse, TierError>,
                                key: usize,
+                               reference: &[f64],
                                tally: &mut ClientTally| {
                     match result {
                         Ok(response) => {
                             tally.served += 1;
                             if tally.verified < VERIFY_PER_CLIENT {
-                                verify_answer(&response.y, &references[keys[key].0], key);
+                                verify_answer(&response.y, reference, key);
                                 tally.verified += 1;
                             }
                         }
@@ -539,9 +714,17 @@ fn main() {
                         }
                     }
                     let (mi, algo) = keys[k];
+                    // One consistent (matrix, reference) pair — the
+                    // mutator may swap the slot right after this read,
+                    // but the answer is checked against the structure
+                    // that was actually submitted.
+                    let (handle, reference) = {
+                        let slot = slots[mi].read().expect("slot lock");
+                        (slot.handle.clone(), Arc::clone(&slot.reference))
+                    };
                     let request = SpmvRequest {
                         tenant: tenants[(ci + j) % tenants.len()].name.clone(),
-                        matrix: handles[mi].clone(),
+                        matrix: handle.clone(),
                         algo,
                         kernel,
                         x: Arc::clone(&xs[mi]),
@@ -557,31 +740,25 @@ fn main() {
                     }
                     if interval.is_some() {
                         // Open loop: stash the ticket, keep submitting.
-                        pending.push((ticket, k));
+                        pending.push((ticket, k, reference));
                         continue;
                     }
                     // Closed loop: wait inline, dump sampled requests.
                     let result = ticket.wait();
                     let ok = result.is_ok();
-                    resolve(result, k, &mut tally);
+                    resolve(result, k, &reference, &mut tally);
                     if sampled && ok {
                         if let Some(dir) = trace_dir {
                             if dump_slots.fetch_add(1, Ordering::Relaxed) < TRACE_DUMP_CAP {
                                 trace_spmv_and_dump(
-                                    &tier,
-                                    &handles[mi],
-                                    algo,
-                                    kernel,
-                                    request_id,
-                                    &tctx,
-                                    dir,
+                                    &tier, &handle, algo, kernel, request_id, &tctx, dir,
                                 );
                             }
                         }
                     }
                 }
-                for (ticket, k) in pending {
-                    resolve(ticket.wait(), k, &mut tally);
+                for (ticket, k, reference) in pending {
+                    resolve(ticket.wait(), k, &reference, &mut tally);
                 }
                 tally
             }));
@@ -593,6 +770,7 @@ fn main() {
             tally.shed_expired += t.shed_expired;
             tally.verified += t.verified;
         }
+        stop_mutator.store(true, Ordering::Relaxed);
     });
     let wall = replay.elapsed().as_secs_f64();
     if opts.trace_dir.is_some() {
@@ -681,6 +859,22 @@ fn main() {
             shard.shed_expired,
             shard.queue_depth,
             shard.engine
+        );
+    }
+    if opts.mutate_rate > 0.0 {
+        let delta_hits: u64 = stats.shards.iter().map(|s| s.engine.delta_hits).sum();
+        let delta_splices: u64 = stats.shards.iter().map(|s| s.engine.delta_splices).sum();
+        let (p50, p99, probes) = snap
+            .histogram("serve.mutate.staleness")
+            .map_or((0, 0, 0), |h| (h.p50 / 1_000, h.p99 / 1_000, h.count));
+        println!(
+            "  mutate:     {} deltas | {} lineage hits -> {} splices | freshness p50 {} us p99 {} us ({} probes)",
+            mutations.load(Ordering::Relaxed),
+            delta_hits,
+            delta_splices,
+            p50,
+            p99,
+            probes
         );
     }
     println!(

@@ -23,14 +23,18 @@
 //!    distinct lanes — the per-worker timelines, not a single merged
 //!    track;
 //! 6. in every file, each `reorder.*` sub-stage span (symmetrize,
-//!    levels, permute) opens while a parent reorder stage
+//!    levels, permute, splice) opens while a parent reorder stage
 //!    (`engine.reorder` or `serve.spmv`) is open on the same lane —
-//!    sub-stages nest under their pipeline stage, they never float.
+//!    sub-stages nest under their pipeline stage, they never float;
+//! 7. every stage named with `--require STAGE` appears in at least one
+//!    file — how CI pins workload-specific stages (e.g.
+//!    `--require reorder.splice` after a `--mutate-rate` run proves
+//!    the delta path actually spliced instead of recomputing).
 //!
 //! Exits 0 and prints a per-file event census on success; exits 1
 //! with a diagnostic on the first violated check.
 //!
-//! Usage: `tracecheck DIR`
+//! Usage: `tracecheck DIR [--require STAGE]...`
 
 use serde_json::Value;
 use std::collections::{BTreeMap, BTreeSet};
@@ -55,15 +59,30 @@ const REQUIRED_STAGES: &[&str] = &[
 
 /// Reordering sub-stages: whenever one opens, a parent reorder stage
 /// must already be open on the same lane. (`reorder.symmetrize` and
-/// `reorder.levels` appear only on cache-miss RCM/GPS jobs, so they
-/// are nesting-checked but not required; `reorder.permute` runs on
-/// every dumped request and is required above.)
-const REORDER_SUBSTAGES: &[&str] = &["reorder.symmetrize", "reorder.levels", "reorder.permute"];
+/// `reorder.levels` appear only on cache-miss RCM/GPS jobs and
+/// `reorder.splice` only when a delta descendant finds a cached
+/// ancestor, so they are nesting-checked but not required;
+/// `reorder.permute` runs on every dumped request and is required
+/// above.)
+const REORDER_SUBSTAGES: &[&str] = &[
+    "reorder.symmetrize",
+    "reorder.levels",
+    "reorder.permute",
+    "reorder.splice",
+];
 
 /// Stages a `reorder.*` sub-stage may nest under. `tier.execute` is
 /// the serving tier's per-request stage: its prepared-matrix miss path
 /// applies the ordering right there on the dispatcher lane.
-const REORDER_PARENTS: &[&str] = &["engine.reorder", "serve.spmv", "tier.execute"];
+/// `reorder.splice` is both a sub-stage (it opens under
+/// `engine.reorder`) and a parent: its dirty-component recompute
+/// re-symmetrises the mutated matrix under the splice span.
+const REORDER_PARENTS: &[&str] = &[
+    "engine.reorder",
+    "serve.spmv",
+    "tier.execute",
+    "reorder.splice",
+];
 
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("tracecheck: {msg}");
@@ -175,8 +194,24 @@ fn check_file(path: &Path) -> (BTreeSet<String>, usize) {
 }
 
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: tracecheck DIR");
+    let mut dir: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--require" {
+            required.push(it.next().unwrap_or_else(|| {
+                eprintln!("--require needs a stage name");
+                std::process::exit(2);
+            }));
+        } else if dir.is_none() {
+            dir = Some(arg);
+        } else {
+            eprintln!("usage: tracecheck DIR [--require STAGE]...");
+            std::process::exit(2);
+        }
+    }
+    let dir = dir.unwrap_or_else(|| {
+        eprintln!("usage: tracecheck DIR [--require STAGE]...");
         std::process::exit(2);
     });
     let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
@@ -194,9 +229,11 @@ fn main() {
 
     let mut best_missing: Option<Vec<&str>> = None;
     let mut max_compute_lanes = 0usize;
+    let mut all_names: BTreeSet<String> = BTreeSet::new();
     for path in &files {
         let (names, compute_lanes) = check_file(path);
         max_compute_lanes = max_compute_lanes.max(compute_lanes);
+        all_names.extend(names.iter().cloned());
         let missing: Vec<&str> = REQUIRED_STAGES
             .iter()
             .copied()
@@ -233,10 +270,22 @@ fn main() {
             "no trace shows spmv.team.compute on >= 2 lanes (max seen: {max_compute_lanes})"
         ));
     }
+    for stage in &required {
+        if !all_names.contains(stage) {
+            fail(format_args!(
+                "--require {stage}: no trace file contains that span"
+            ));
+        }
+    }
     println!(
-        "tracecheck: {} file(s) ok — balanced B/E, all {} stages covered, {} worker lane(s)",
+        "tracecheck: {} file(s) ok — balanced B/E, all {} stages covered, {} worker lane(s){}",
         files.len(),
         REQUIRED_STAGES.len(),
-        max_compute_lanes
+        max_compute_lanes,
+        if required.is_empty() {
+            String::new()
+        } else {
+            format!(", required stage(s) present: {}", required.join(", "))
+        }
     );
 }

@@ -20,9 +20,11 @@
 //! element are absorbed — including aggressive absorption of elements
 //! that the scan discovers to be subsets of `Lp`.
 
+use crate::component::{assemble_pieces, ComponentOrdering};
+use crate::exec::{build_ordering_graph, ReorderExec};
 use crate::traits::{ReorderAlgorithm, ReorderResult};
-use sparsegraph::Graph;
-use sparsemat::{CsrMatrix, Permutation, SparseError};
+use sparsegraph::{connected_components, Graph};
+use sparsemat::{CsrMatrix, SparseError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -279,19 +281,69 @@ impl ReorderAlgorithm for Amd {
     }
 
     fn compute(&self, a: &CsrMatrix) -> Result<ReorderResult, SparseError> {
-        let g = Graph::from_matrix(a)?;
-        let order = amd_order(&g, !self.no_aggressive_absorption);
-        Ok(ReorderResult {
-            perm: Permutation::from_new_to_old(order)?,
-            symmetric: true,
-        })
+        self.compute_on(a, &ReorderExec::sequential())
+    }
+
+    fn compute_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<ReorderResult, SparseError> {
+        let co = self
+            .compute_components_on(a, rx)?
+            .expect("AMD is component-structured");
+        Ok(co.into_parts()?.0)
+    }
+
+    fn supports_components(&self) -> bool {
+        true
+    }
+
+    /// One component's AMD bytes: the elimination order of the
+    /// vertex-induced subgraph, mapped back to global ids. Local
+    /// indexing follows `comp`'s ascending order, so the tie-breaking
+    /// inside the quotient-graph heap is a pure function of the
+    /// component — independent of what the rest of the graph looks
+    /// like.
+    fn order_component_on(
+        &self,
+        g: &Graph,
+        comp: &[u32],
+        _rx: &ReorderExec<'_>,
+    ) -> Option<Vec<u32>> {
+        if comp.len() == g.num_vertices() {
+            // Single component: the subgraph is the graph itself.
+            return Some(amd_order(g, !self.no_aggressive_absorption));
+        }
+        let (sub, local_to_global) = g.subgraph(comp);
+        let local = amd_order(&sub, !self.no_aggressive_absorption);
+        Some(local.iter().map(|&l| local_to_global[l as usize]).collect())
+    }
+
+    fn compute_components_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<Option<ComponentOrdering>, SparseError> {
+        let g = build_ordering_graph(a, rx)?;
+        let comps = connected_components(&g);
+        let mut pieces: Vec<(u32, Vec<u32>)> = Vec::with_capacity(comps.count());
+        for comp in &comps.members {
+            let mut sorted = comp.clone();
+            sorted.sort_unstable();
+            let piece = self
+                .order_component_on(&g, &sorted, rx)
+                .expect("AMD orders any component");
+            pieces.push((sorted[0], piece));
+        }
+        Ok(Some(assemble_pieces(self, pieces)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparsemat::CooMatrix;
+    use sparsemat::{CooMatrix, Permutation};
 
     fn grid_matrix(n: usize) -> CsrMatrix {
         // 5-point Laplacian on an n x n grid.

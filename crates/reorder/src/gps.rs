@@ -16,10 +16,11 @@
 //! narrower of their two candidate levels, processed component-wise in
 //! descending component size (the order GPS prescribes).
 
+use crate::component::{assemble_pieces, ComponentOrdering};
 use crate::exec::{build_ordering_graph, ReorderExec};
 use crate::traits::{ReorderAlgorithm, ReorderResult};
 use sparsegraph::{bfs_levels_with, connected_components, pseudo_peripheral_vertex_with, Graph};
-use sparsemat::{CsrMatrix, Permutation, SparseError};
+use sparsemat::{CsrMatrix, SparseError};
 use team::Exec;
 
 /// Gibbs–Poole–Stockmeyer reordering.
@@ -121,39 +122,70 @@ impl ReorderAlgorithm for Gps {
         a: &CsrMatrix,
         rx: &ReorderExec<'_>,
     ) -> Result<ReorderResult, SparseError> {
-        let g = build_ordering_graph(a, rx)?;
-        let mut order = {
-            let _span = rx.trace().span("reorder.levels");
-            let comps = connected_components(&g);
-            // GPS processes components in descending size.
-            let mut comp_ids: Vec<usize> = (0..comps.count()).collect();
-            comp_ids.sort_by_key(|&c| std::cmp::Reverse(comps.members[c].len()));
-            let mut order = Vec::with_capacity(g.num_vertices());
-            for c in comp_ids {
-                let start = comps.members[c][0] as usize;
-                order.extend(Gps::component_order(
-                    &g,
-                    start,
-                    rx.exec(),
-                    rx.frontier_min(),
-                ));
-            }
-            order
-        };
+        let co = self
+            .compute_components_on(a, rx)?
+            .expect("GPS is component-structured");
+        Ok(co.into_parts()?.0)
+    }
+
+    fn supports_components(&self) -> bool {
+        true
+    }
+
+    /// One component's final GPS bytes: the combined-level numbering
+    /// from the component's pseudo-diameter, reversed per piece when
+    /// `reverse` is set (the global reversal decomposes into per-piece
+    /// reversal plus reversed layout).
+    fn order_component_on(
+        &self,
+        g: &Graph,
+        comp: &[u32],
+        rx: &ReorderExec<'_>,
+    ) -> Option<Vec<u32>> {
+        let mut piece = Gps::component_order(g, comp[0] as usize, rx.exec(), rx.frontier_min());
         if self.reverse {
-            order.reverse();
+            piece.reverse();
         }
-        Ok(ReorderResult {
-            perm: Permutation::from_new_to_old(order)?,
-            symmetric: true,
-        })
+        Some(piece)
+    }
+
+    /// GPS numbers components in descending size (ties broken by
+    /// ascending key); the `reverse` flag flips the layout along with
+    /// each piece.
+    fn component_layout(&self, meta: &[(u32, usize)]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..meta.len()).collect();
+        idx.sort_by_key(|&i| (std::cmp::Reverse(meta[i].1), meta[i].0));
+        if self.reverse {
+            idx.reverse();
+        }
+        idx
+    }
+
+    fn compute_components_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<Option<ComponentOrdering>, SparseError> {
+        let g = build_ordering_graph(a, rx)?;
+        let _span = rx.trace().span("reorder.levels");
+        let comps = connected_components(&g);
+        let mut pieces: Vec<(u32, Vec<u32>)> = Vec::with_capacity(comps.count());
+        for comp in &comps.members {
+            let mut piece =
+                Gps::component_order(&g, comp[0] as usize, rx.exec(), rx.frontier_min());
+            if self.reverse {
+                piece.reverse();
+            }
+            pieces.push((comp[0], piece));
+        }
+        Ok(Some(assemble_pieces(self, pieces)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparsemat::CooMatrix;
+    use sparsemat::{CooMatrix, Permutation};
 
     fn bandwidth(a: &CsrMatrix) -> usize {
         a.iter().map(|(i, j, _)| i.abs_diff(j)).max().unwrap_or(0)

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod amd;
+mod component;
 mod exec;
 pub mod gp;
 pub mod gps;
@@ -54,6 +55,7 @@ pub mod sbd;
 mod traits;
 
 pub use amd::Amd;
+pub use component::{splice_ordering_on, ComponentOrdering, ComponentRange, SpliceReport};
 pub use exec::{build_ordering_graph, ReorderExec};
 pub use gp::Gp;
 pub use gps::Gps;
@@ -63,6 +65,6 @@ pub use nd::Nd;
 pub use rcm::Rcm;
 pub use sbd::Sbd;
 pub use traits::{
-    all_algorithms, timed_permutation, timed_permutation_on, Original, ReorderAlgorithm,
-    ReorderResult, TimedReordering,
+    all_algorithms, timed_components_on, timed_permutation, timed_permutation_on, Original,
+    ReorderAlgorithm, ReorderResult, TimedComponentReordering, TimedReordering,
 };

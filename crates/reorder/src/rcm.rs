@@ -8,13 +8,14 @@
 //! practice (§2.1.1). Disconnected components are processed one after
 //! another, each from its own pseudo-peripheral start.
 
+use crate::component::{assemble_pieces, ComponentOrdering};
 use crate::exec::{build_ordering_graph, ReorderExec};
 use crate::traits::{ReorderAlgorithm, ReorderResult};
 use sparsegraph::{
     connected_components, expand_frontier_with, pseudo_peripheral_vertex_with, FrontierScratch,
     Graph, DEFAULT_PAR_FRONTIER_MIN,
 };
-use sparsemat::{CsrMatrix, Permutation, SparseError};
+use sparsemat::{CsrMatrix, SparseError};
 use team::Exec;
 
 /// Reverse Cuthill–McKee reordering.
@@ -63,28 +64,56 @@ impl Rcm {
         // Process components in order of their first (lowest) vertex so
         // the ordering is deterministic.
         for comp in &comps.members {
-            let start = pseudo_peripheral_vertex_with(g, comp[0] as usize, exec, frontier_min);
-            visited[start] = true;
-            frontier.clear();
-            frontier.push(start as u32);
-            while !frontier.is_empty() {
-                order.extend_from_slice(&frontier);
-                let next = expand_frontier_with(
-                    g,
-                    &frontier,
-                    |u| !visited[u],
-                    &scratch,
-                    exec,
-                    frontier_min,
-                    |children| children.sort_unstable_by_key(|&u| (g.degree(u as usize), u)),
-                );
-                for &u in &next {
-                    visited[u as usize] = true;
-                }
-                frontier = next;
-            }
+            Rcm::cm_component_into(
+                g,
+                comp[0] as usize,
+                &mut visited,
+                &scratch,
+                &mut frontier,
+                &mut order,
+                exec,
+                frontier_min,
+            );
         }
         order
+    }
+
+    /// Append the Cuthill–McKee order of one component (identified by
+    /// any member vertex) to `order`, sharing the visited flags and
+    /// frontier scratch across calls. The component's sub-order depends
+    /// only on its own subgraph — the invariant the delta splice path
+    /// relies on.
+    #[allow(clippy::too_many_arguments)]
+    fn cm_component_into(
+        g: &Graph,
+        comp_seed: usize,
+        visited: &mut [bool],
+        scratch: &FrontierScratch,
+        frontier: &mut Vec<u32>,
+        order: &mut Vec<u32>,
+        exec: Exec<'_>,
+        frontier_min: usize,
+    ) {
+        let start = pseudo_peripheral_vertex_with(g, comp_seed, exec, frontier_min);
+        visited[start] = true;
+        frontier.clear();
+        frontier.push(start as u32);
+        while !frontier.is_empty() {
+            order.extend_from_slice(frontier);
+            let next = expand_frontier_with(
+                g,
+                frontier,
+                |u| !visited[u],
+                scratch,
+                exec,
+                frontier_min,
+                |children| children.sort_unstable_by_key(|&u| (g.degree(u as usize), u)),
+            );
+            for &u in &next {
+                visited[u as usize] = true;
+            }
+            *frontier = next;
+        }
     }
 }
 
@@ -102,25 +131,96 @@ impl ReorderAlgorithm for Rcm {
         a: &CsrMatrix,
         rx: &ReorderExec<'_>,
     ) -> Result<ReorderResult, SparseError> {
-        let g = build_ordering_graph(a, rx)?;
-        let mut order = {
-            let _span = rx.trace().span("reorder.levels");
-            Rcm::cuthill_mckee_order_with(&g, rx.exec(), rx.frontier_min())
-        };
+        let co = self
+            .compute_components_on(a, rx)?
+            .expect("RCM is component-structured");
+        Ok(co.into_parts()?.0)
+    }
+
+    fn supports_components(&self) -> bool {
+        true
+    }
+
+    /// One component's final RCM bytes: the CM breadth-first order from
+    /// the component's pseudo-peripheral vertex, reversed per piece
+    /// (unless `plain_cm`). Reversing each piece and laying pieces out
+    /// in descending key order is exactly the classic global reversal
+    /// of the ascending CM concatenation.
+    fn order_component_on(
+        &self,
+        g: &Graph,
+        comp: &[u32],
+        rx: &ReorderExec<'_>,
+    ) -> Option<Vec<u32>> {
+        let n = g.num_vertices();
+        let mut visited = vec![false; n];
+        let scratch = FrontierScratch::new(n);
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut piece: Vec<u32> = Vec::with_capacity(comp.len());
+        Rcm::cm_component_into(
+            g,
+            comp[0] as usize,
+            &mut visited,
+            &scratch,
+            &mut frontier,
+            &mut piece,
+            rx.exec(),
+            rx.frontier_min(),
+        );
         if !self.plain_cm {
-            order.reverse();
+            piece.reverse();
         }
-        Ok(ReorderResult {
-            perm: Permutation::from_new_to_old(order)?,
-            symmetric: true,
-        })
+        Some(piece)
+    }
+
+    fn component_layout(&self, meta: &[(u32, usize)]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..meta.len()).collect();
+        if self.plain_cm {
+            idx.sort_by_key(|&i| meta[i].0);
+        } else {
+            idx.sort_by_key(|&i| std::cmp::Reverse(meta[i].0));
+        }
+        idx
+    }
+
+    fn compute_components_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<Option<ComponentOrdering>, SparseError> {
+        let g = build_ordering_graph(a, rx)?;
+        let _span = rx.trace().span("reorder.levels");
+        let n = g.num_vertices();
+        let mut visited = vec![false; n];
+        let scratch = FrontierScratch::new(n);
+        let mut frontier: Vec<u32> = Vec::new();
+        let comps = connected_components(&g);
+        let mut pieces: Vec<(u32, Vec<u32>)> = Vec::with_capacity(comps.members.len());
+        for comp in &comps.members {
+            let mut piece: Vec<u32> = Vec::with_capacity(comp.len());
+            Rcm::cm_component_into(
+                &g,
+                comp[0] as usize,
+                &mut visited,
+                &scratch,
+                &mut frontier,
+                &mut piece,
+                rx.exec(),
+                rx.frontier_min(),
+            );
+            if !self.plain_cm {
+                piece.reverse();
+            }
+            pieces.push((comp[0], piece));
+        }
+        Ok(Some(assemble_pieces(self, pieces)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparsemat::CooMatrix;
+    use sparsemat::{CooMatrix, Permutation};
 
     /// Bandwidth of a square matrix: max |i - j| over stored entries.
     fn bandwidth(a: &CsrMatrix) -> usize {

@@ -1,4 +1,6 @@
+use crate::component::{ComponentOrdering, ComponentRange};
 use crate::exec::ReorderExec;
+use sparsegraph::Graph;
 use sparsemat::{CsrMatrix, Permutation, SparseError};
 use std::time::{Duration, Instant};
 use team::Exec;
@@ -105,6 +107,56 @@ pub trait ReorderAlgorithm {
             elapsed: start.elapsed(),
         })
     }
+
+    /// Whether this algorithm is *component-structured*: its ordering
+    /// decomposes into independent per-component sub-permutations
+    /// arranged by [`ReorderAlgorithm::component_layout`], so deltas
+    /// can be served by re-ordering dirty components only (see
+    /// [`crate::splice_ordering_on`]). RCM, GPS and AMD are; global
+    /// algorithms (ND, GP, HP, Gray) are not.
+    fn supports_components(&self) -> bool {
+        false
+    }
+
+    /// Order one connected component of the (symmetrised) ordering
+    /// graph. `comp` lists the component's members sorted ascending, so
+    /// `comp[0]` is the canonical key. Returns the component's final
+    /// sub-permutation — exactly the bytes the full ordering places in
+    /// that component's range — or `None` when the algorithm is not
+    /// component-structured.
+    fn order_component_on(
+        &self,
+        g: &Graph,
+        comp: &[u32],
+        rx: &ReorderExec<'_>,
+    ) -> Option<Vec<u32>> {
+        let _ = (g, comp, rx);
+        None
+    }
+
+    /// Layout discipline: given `(key, len)` per component piece,
+    /// return the piece indices in final concatenation order. Must be a
+    /// total order on the metadata (keys are unique component minima)
+    /// so the layout is independent of enumeration order. The default
+    /// is ascending key.
+    fn component_layout(&self, meta: &[(u32, usize)]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..meta.len()).collect();
+        idx.sort_by_key(|&i| meta[i].0);
+        idx
+    }
+
+    /// Compute the ordering together with its explicit component→range
+    /// map, or `Ok(None)` when the algorithm is not
+    /// component-structured. When `Some`, the flat order is
+    /// byte-identical to [`ReorderAlgorithm::compute_on`].
+    fn compute_components_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<Option<ComponentOrdering>, SparseError> {
+        let _ = (a, rx);
+        Ok(None)
+    }
 }
 
 /// A reordering together with the time it took to compute.
@@ -159,6 +211,60 @@ pub fn timed_permutation_on(
         Err(_) => registry.counter("reorder.failed").inc(),
     }
     timed
+}
+
+/// A reordering plus, when the algorithm is component-structured, its
+/// component→range map — what the engine caches so later deltas can be
+/// spliced instead of recomputed.
+#[derive(Debug, Clone)]
+pub struct TimedComponentReordering {
+    /// The reordering itself.
+    pub result: ReorderResult,
+    /// Component ranges in layout order, `None` for global algorithms.
+    pub ranges: Option<Vec<ComponentRange>>,
+    /// Wall-clock computation time.
+    pub elapsed: Duration,
+}
+
+/// [`timed_permutation_on`] variant that also surfaces the component
+/// range map (via [`ReorderAlgorithm::compute_components_on`]) under
+/// the same telemetry: `reorder.<algo>` histogram span,
+/// `reorder.<algo>.nnz_per_s` gauge, `reorder.failed` counter. Global
+/// algorithms fall through to the flat path and return `ranges: None`.
+pub fn timed_components_on(
+    registry: &telemetry::Registry,
+    algo: &dyn ReorderAlgorithm,
+    a: &CsrMatrix,
+    rx: &ReorderExec<'_>,
+) -> Result<TimedComponentReordering, SparseError> {
+    let name = algo.name().to_lowercase();
+    let hist = registry.histogram(&format!("reorder.{name}"));
+    let _span = registry.span_on("reorder", &hist);
+    let start = Instant::now();
+    let computed = match algo.compute_components_on(a, rx) {
+        Ok(Some(co)) => co
+            .into_parts()
+            .map(|(result, ranges)| (result, Some(ranges))),
+        Ok(None) => algo.compute_on(a, rx).map(|result| (result, None)),
+        Err(e) => Err(e),
+    };
+    let elapsed = start.elapsed();
+    match &computed {
+        Ok(_) => {
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 {
+                registry
+                    .gauge(&format!("reorder.{name}.nnz_per_s"))
+                    .set((a.nnz() as f64 / secs) as i64);
+            }
+        }
+        Err(_) => registry.counter("reorder.failed").inc(),
+    }
+    computed.map(|(result, ranges)| TimedComponentReordering {
+        result,
+        ranges,
+        elapsed,
+    })
 }
 
 /// The identity "ordering" — the baseline every speedup in the paper is

@@ -533,10 +533,18 @@ impl ServeTier {
         &self.tenants
     }
 
-    /// The shard that owns a matrix (consistent hash of its content
-    /// address).
+    /// The shard that owns a matrix: consistent hash of its *lineage
+    /// root* — the oldest recorded ancestor for a mutated matrix, its
+    /// own content address otherwise. Routing by lineage keeps a
+    /// matrix and its delta descendants on the same shard, so the
+    /// descendant's reorder finds the parent's cached component ranges
+    /// and splices instead of recomputing.
     pub fn route(&self, matrix: &MatrixHandle) -> usize {
-        self.ring.route(matrix.content_hash())
+        let key = matrix
+            .matrix()
+            .lineage_root()
+            .unwrap_or_else(|| matrix.content_hash());
+        self.ring.route(key)
     }
 
     /// The engine of the shard owning `matrix` — escape hatch for

@@ -96,6 +96,67 @@ fn distinct_matrices_spread_over_shards_deterministically() {
     );
 }
 
+/// Lineage-affine routing: a mutated matrix lands on the shard that
+/// owns its ancestor, so the delta splice path finds the parent's
+/// cached component ranges — and the served answer is still exact.
+#[test]
+fn delta_descendants_route_to_the_parents_shard_and_splice() {
+    use sparsemat::EdgeOp;
+    let tier = tier(4, 64);
+    for seed in 0..8u64 {
+        let base = corpus::scramble(&corpus::mesh2d(6 + (seed % 4) as usize, 7), seed);
+        let parent = MatrixHandle::from_matrix(base.clone());
+        let mut mutated = base;
+        let (r, c) = mutated
+            .iter()
+            .find(|&(i, j, _)| i != j)
+            .map(|(i, j, _)| (i, j))
+            .expect("mesh has off-diagonal entries");
+        mutated
+            .apply_delta(&[
+                EdgeOp::Remove { row: r, col: c },
+                EdgeOp::Remove { row: c, col: r },
+            ])
+            .unwrap();
+        let child = MatrixHandle::from_matrix(mutated);
+        assert_ne!(parent.content_hash(), child.content_hash());
+        assert_eq!(
+            tier.route(&parent),
+            tier.route(&child),
+            "seed {seed}: delta child must stay on its parent's shard"
+        );
+    }
+
+    // End-to-end: serve the parent, mutate, serve the child — the
+    // child's ordering is spliced from the parent's cached ranges and
+    // the numeric answer is still exact.
+    let base = corpus::scramble(&corpus::mesh2d(12, 12), 3);
+    let parent = MatrixHandle::from_matrix(base.clone());
+    tier.serve(request(&parent, AlgoSpec::Rcm, KernelKind::Merge))
+        .unwrap();
+    let mut mutated = base;
+    let (r, c) = mutated
+        .iter()
+        .find(|&(i, j, _)| i != j)
+        .map(|(i, j, _)| (i, j))
+        .unwrap();
+    mutated
+        .apply_delta(&[
+            EdgeOp::Remove { row: r, col: c },
+            EdgeOp::Remove { row: c, col: r },
+        ])
+        .unwrap();
+    let child = MatrixHandle::from_matrix(mutated);
+    let req = request(&child, AlgoSpec::Rcm, KernelKind::Merge);
+    let want = child.matrix().spmv_dense(&req.x);
+    let response = tier.serve(req).unwrap();
+    assert_close(&response.y, &want);
+    assert_eq!(response.shard, tier.route(&parent));
+    let stats = tier.engine_for(&child).stats();
+    assert_eq!(stats.delta_hits, 1, "child must probe the parent entry");
+    assert_eq!(stats.delta_splices, 1, "child must splice, not recompute");
+}
+
 #[test]
 fn full_queue_sheds_with_reason() {
     // One dispatcher, capacity 2, and a stream of distinct matrices

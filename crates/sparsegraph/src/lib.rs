@@ -17,6 +17,7 @@ mod bfs;
 mod components;
 mod graph;
 mod hypergraph;
+mod incremental;
 mod peripheral;
 
 pub use bfs::{
@@ -26,6 +27,7 @@ pub use bfs::{
 pub use components::{connected_components, Components};
 pub use graph::Graph;
 pub use hypergraph::Hypergraph;
+pub use incremental::{ComponentDelta, IncrementalComponents};
 pub use peripheral::{
     pseudo_peripheral_vertex, pseudo_peripheral_vertex_on, pseudo_peripheral_vertex_with,
 };

@@ -1,6 +1,86 @@
 use crate::symmetrize::PAR_ROW_GRAIN;
 use crate::{ColIdx, CooMatrix, CscMatrix, Permutation, SparseError};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
 use team::{Exec, SliceWriter};
+
+/// A single structural edge mutation applied by
+/// [`CsrMatrix::apply_delta`].
+///
+/// The API is structural: `Add` inserts a new stored entry (and is a
+/// no-op if the entry already exists — it never overwrites a value),
+/// `Remove` deletes a stored entry (no-op if absent). Values of
+/// untouched entries are never changed, so
+/// `apply_delta(add e); apply_delta(remove e)` round-trips both the
+/// pattern and the content hash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeOp {
+    /// Insert entry `(row, col)` with `value` if not already stored.
+    Add {
+        /// Row index of the entry.
+        row: usize,
+        /// Column index of the entry.
+        col: usize,
+        /// Value stored iff the entry did not exist.
+        value: f64,
+    },
+    /// Delete entry `(row, col)` if stored.
+    Remove {
+        /// Row index of the entry.
+        row: usize,
+        /// Column index of the entry.
+        col: usize,
+    },
+}
+
+impl EdgeOp {
+    fn cell(&self) -> (usize, usize) {
+        match *self {
+            EdgeOp::Add { row, col, .. } => (row, col),
+            EdgeOp::Remove { row, col } => (row, col),
+        }
+    }
+}
+
+/// What a [`CsrMatrix::apply_delta`] call actually did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaReport {
+    /// Entries inserted.
+    pub added: usize,
+    /// Entries deleted.
+    pub removed: usize,
+    /// Ops that changed nothing (add of an existing entry, remove of an
+    /// absent one).
+    pub noops: usize,
+    /// Sorted, deduplicated indices touched by the *effective* ops:
+    /// **both** endpoints of every inserted/deleted entry. Including the
+    /// column endpoint is what lets component-structured consumers
+    /// conclude that a component containing no touched index is
+    /// structurally unchanged in the (symmetrised) ordering graph.
+    pub touched_rows: Vec<u32>,
+}
+
+impl DeltaReport {
+    /// True if the batch changed the stored structure at all.
+    pub fn changed(&self) -> bool {
+        self.added + self.removed > 0
+    }
+}
+
+/// One recorded mutation hop: the content hash of the matrix this one
+/// was derived from, plus the indices the delta touched (see
+/// [`DeltaReport::touched_rows`]). Hops are kept oldest-first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageHop {
+    /// `content_hash()` of the matrix *before* the delta was applied.
+    pub parent: u128,
+    /// Endpoints of every effective op in that delta, sorted, deduped.
+    pub touched: Vec<u32>,
+}
+
+/// Bound on the recorded ancestor chain: hops older than this are
+/// dropped, so a delta-aware cache probes at most this many ancestors.
+pub const LINEAGE_CAP: usize = 8;
 
 /// A sparse matrix in compressed sparse row (CSR) format.
 ///
@@ -9,16 +89,57 @@ use team::{Exec, SliceWriter};
 /// entries, with `rowptr[i]..rowptr[i+1]` delimiting the nonzeros of
 /// row `i` in `colidx`/`values`. Column indices are 32-bit and values
 /// are `f64`, matching the storage convention of the paper (§4.1).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The content hash is memoised and every mutating path
+/// ([`CsrMatrix::values_mut`], [`CsrMatrix::apply_delta`]) invalidates
+/// the memo, so a stale hash can never be served. Equality compares
+/// content only (shape, pattern, values) — never the memo or the
+/// mutation lineage.
+#[derive(Debug, Clone)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
     rowptr: Vec<usize>,
     colidx: Vec<ColIdx>,
     values: Vec<f64>,
+    /// Memoised `content_hash`; reset on every mutation.
+    hash_memo: OnceLock<u128>,
+    /// Recent mutation ancestry, oldest hop first, at most
+    /// [`LINEAGE_CAP`] entries.
+    lineage: Vec<LineageHop>,
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.rowptr == other.rowptr
+            && self.colidx == other.colidx
+            && self.values == other.values
+    }
 }
 
 impl CsrMatrix {
+    /// The one true constructor behind every building path: fresh memo,
+    /// empty lineage.
+    fn new_raw(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<ColIdx>,
+        values: Vec<f64>,
+    ) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+            hash_memo: OnceLock::new(),
+            lineage: Vec::new(),
+        }
+    }
+
     /// Construct from raw parts, validating every structural invariant.
     pub fn from_parts(
         nrows: usize,
@@ -81,13 +202,7 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(CsrMatrix {
-            nrows,
-            ncols,
-            rowptr,
-            colidx,
-            values,
-        })
+        Ok(CsrMatrix::new_raw(nrows, ncols, rowptr, colidx, values))
     }
 
     /// Construct from raw parts without validation.
@@ -106,13 +221,7 @@ impl CsrMatrix {
         debug_assert_eq!(rowptr.len(), nrows + 1);
         debug_assert_eq!(colidx.len(), values.len());
         debug_assert_eq!(*rowptr.last().unwrap(), colidx.len());
-        CsrMatrix {
-            nrows,
-            ncols,
-            rowptr,
-            colidx,
-            values,
-        }
+        CsrMatrix::new_raw(nrows, ncols, rowptr, colidx, values)
     }
 
     /// Convert from COO, sorting entries and summing duplicates.
@@ -163,24 +272,18 @@ impl CsrMatrix {
             }
             rowptr.push(colidx.len());
         }
-        CsrMatrix {
-            nrows,
-            ncols,
-            rowptr,
-            colidx,
-            values,
-        }
+        CsrMatrix::new_raw(nrows, ncols, rowptr, colidx, values)
     }
 
     /// The `n`-by-`n` identity matrix.
     pub fn identity(n: usize) -> Self {
-        CsrMatrix {
-            nrows: n,
-            ncols: n,
-            rowptr: (0..=n).collect(),
-            colidx: (0..n as u32).collect(),
-            values: vec![1.0; n],
-        }
+        CsrMatrix::new_raw(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n as u32).collect(),
+            vec![1.0; n],
+        )
     }
 
     /// Number of rows.
@@ -226,8 +329,13 @@ impl CsrMatrix {
     }
 
     /// Mutable access to values (the pattern stays fixed).
+    ///
+    /// Handing out mutable access invalidates the memoised content
+    /// hash: the next [`CsrMatrix::content_hash`] call rehashes, so no
+    /// in-place mutation path can serve a stale hash.
     #[inline]
     pub fn values_mut(&mut self) -> &mut [f64] {
+        self.hash_memo.take();
         &mut self.values
     }
 
@@ -303,13 +411,7 @@ impl CsrMatrix {
                 next[c as usize] += 1;
             }
         }
-        CsrMatrix {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            rowptr: rowptr_t,
-            colidx: colidx_t,
-            values: values_t,
-        }
+        CsrMatrix::new_raw(self.ncols, self.nrows, rowptr_t, colidx_t, values_t)
     }
 
     /// Convert to compressed sparse column form.
@@ -388,13 +490,7 @@ impl CsrMatrix {
                 }
             });
         }
-        Ok(CsrMatrix {
-            nrows: n,
-            ncols: n,
-            rowptr,
-            colidx,
-            values,
-        })
+        Ok(CsrMatrix::new_raw(n, n, rowptr, colidx, values))
     }
 
     /// Row-only permutation `B = P A` (used by the unsymmetric Gray
@@ -429,13 +525,7 @@ impl CsrMatrix {
                 }
             });
         }
-        CsrMatrix {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            rowptr,
-            colidx,
-            values,
-        }
+        CsrMatrix::new_raw(self.nrows, self.ncols, rowptr, colidx, values)
     }
 
     /// Column-only permutation `B = A Pᵀ` (columns move to their new
@@ -478,13 +568,7 @@ impl CsrMatrix {
                 }
             });
         }
-        CsrMatrix {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            rowptr,
-            colidx,
-            values,
-        }
+        CsrMatrix::new_raw(self.nrows, self.ncols, rowptr, colidx, values)
     }
 
     /// Row pointers of a row-permuted copy: the prefix sum of the old
@@ -501,13 +585,13 @@ impl CsrMatrix {
 
     /// The structural pattern with all values set to 1.0.
     pub fn pattern(&self) -> CsrMatrix {
-        CsrMatrix {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            rowptr: self.rowptr.clone(),
-            colidx: self.colidx.clone(),
-            values: vec![1.0; self.nnz()],
-        }
+        CsrMatrix::new_raw(
+            self.nrows,
+            self.ncols,
+            self.rowptr.clone(),
+            self.colidx.clone(),
+            vec![1.0; self.nnz()],
+        )
     }
 
     /// True if both matrices have the same sparsity pattern.
@@ -558,7 +642,14 @@ impl CsrMatrix {
     /// The hash is two independent FNV-1a streams over the same byte
     /// sequence, packed into a `u128`; it is stable across runs,
     /// platforms and compiler versions (no `DefaultHasher` seeds).
+    ///
+    /// Memoised: repeated calls on an unmutated matrix are O(1). Every
+    /// mutating path resets the memo.
     pub fn content_hash(&self) -> u128 {
+        *self.hash_memo.get_or_init(|| self.compute_content_hash())
+    }
+
+    fn compute_content_hash(&self) -> u128 {
         const BASIS_LO: u64 = 0xcbf2_9ce4_8422_2325;
         const BASIS_HI: u64 = 0x6c62_272e_07bb_0142;
         const PRIME: u64 = 0x100_0000_01b3;
@@ -584,6 +675,129 @@ impl CsrMatrix {
             absorb(v.to_bits());
         }
         ((hi as u128) << 64) | lo as u128
+    }
+
+    /// Apply a batch of structural edge mutations in place.
+    ///
+    /// Semantics per op are documented on [`EdgeOp`]; within one batch
+    /// the **last** op on each `(row, col)` cell wins (so
+    /// `[Add e, Remove e]` in a single batch is a plain remove, and
+    /// duplicate ops collapse). The rebuild is a streaming merge:
+    /// untouched rows are copied verbatim, touched rows are merged with
+    /// their (column-sorted) ops, so the whole batch costs
+    /// `O(nnz + ops log ops)`.
+    ///
+    /// On success the matrix records a [`LineageHop`] — the pre-delta
+    /// content hash plus the touched endpoints — and invalidates the
+    /// hash memo. A batch that changes nothing (all no-ops) records no
+    /// hop and keeps the memo. Out-of-bounds indices fail the whole
+    /// batch before anything is modified.
+    pub fn apply_delta(&mut self, ops: &[EdgeOp]) -> Result<DeltaReport, SparseError> {
+        // Dedupe to last-op-wins per cell; BTreeMap iteration then
+        // yields ops grouped by row with columns ascending, exactly the
+        // order the merge below consumes.
+        let mut per_cell: BTreeMap<(usize, usize), EdgeOp> = BTreeMap::new();
+        for op in ops {
+            let (row, col) = op.cell();
+            if row >= self.nrows || col >= self.ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row,
+                    col,
+                    nrows: self.nrows,
+                    ncols: self.ncols,
+                });
+            }
+            per_cell.insert((row, col), *op);
+        }
+        let mut report = DeltaReport::default();
+        if per_cell.is_empty() {
+            return Ok(report);
+        }
+        let parent = self.content_hash();
+
+        let mut touched: Vec<u32> = Vec::new();
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx: Vec<ColIdx> = Vec::with_capacity(self.nnz() + per_cell.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.nnz() + per_cell.len());
+        let mut cell_iter = per_cell.iter().peekable();
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let mut k = 0usize;
+            while let Some(&(&(row, col), op)) = cell_iter.peek() {
+                if row != i {
+                    break;
+                }
+                cell_iter.next();
+                // Flush existing entries strictly left of the op column.
+                while k < cols.len() && (cols[k] as usize) < col {
+                    colidx.push(cols[k]);
+                    values.push(vals[k]);
+                    k += 1;
+                }
+                let present = k < cols.len() && cols[k] as usize == col;
+                match (op, present) {
+                    (EdgeOp::Add { .. }, true) | (EdgeOp::Remove { .. }, false) => {
+                        report.noops += 1;
+                        if present {
+                            colidx.push(cols[k]);
+                            values.push(vals[k]);
+                            k += 1;
+                        }
+                    }
+                    (EdgeOp::Add { value, .. }, false) => {
+                        colidx.push(col as ColIdx);
+                        values.push(*value);
+                        report.added += 1;
+                        touched.push(row as u32);
+                        touched.push(col as u32);
+                    }
+                    (EdgeOp::Remove { .. }, true) => {
+                        k += 1; // skip the stored entry
+                        report.removed += 1;
+                        touched.push(row as u32);
+                        touched.push(col as u32);
+                    }
+                }
+            }
+            colidx.extend_from_slice(&cols[k..]);
+            values.extend_from_slice(&vals[k..]);
+            rowptr.push(colidx.len());
+        }
+
+        if !report.changed() {
+            return Ok(report);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        report.touched_rows = touched.clone();
+        self.rowptr = rowptr;
+        self.colidx = colidx;
+        self.values = values;
+        self.hash_memo.take();
+        self.lineage.push(LineageHop { parent, touched });
+        if self.lineage.len() > LINEAGE_CAP {
+            self.lineage.remove(0);
+        }
+        Ok(report)
+    }
+
+    /// The content hash of the matrix this one was most recently
+    /// derived from via [`CsrMatrix::apply_delta`], if any.
+    pub fn parent_hash(&self) -> Option<u128> {
+        self.lineage.last().map(|hop| hop.parent)
+    }
+
+    /// The recorded mutation ancestry, oldest hop first (bounded by
+    /// [`LINEAGE_CAP`]). `lineage().last()` is the immediate parent.
+    pub fn lineage(&self) -> &[LineageHop] {
+        &self.lineage
+    }
+
+    /// The oldest recorded ancestor's hash — a stable identity across a
+    /// (bounded) chain of deltas, used for lineage-affine routing.
+    pub fn lineage_root(&self) -> Option<u128> {
+        self.lineage.first().map(|hop| hop.parent)
     }
 }
 
@@ -777,6 +991,151 @@ mod tests {
         assert_ne!(a.content_hash(), d.content_hash());
         // Identical content hashes identically (fresh clone).
         assert_eq!(a.content_hash(), a.clone().content_hash());
+    }
+
+    #[test]
+    fn content_hash_memo_never_goes_stale() {
+        // Regression: the hash is memoised, so every in-place mutation
+        // path must invalidate the memo or a stale hash would be served.
+        let mut a = small();
+        let h0 = a.content_hash();
+        assert_eq!(a.content_hash(), h0, "memoised re-read must agree");
+
+        // values_mut invalidates even if the caller writes nothing...
+        let _ = a.values_mut();
+        assert_eq!(a.content_hash(), h0, "same content, same hash");
+        // ...and a real write rehashes to something new.
+        a.values_mut()[0] += 1.0;
+        let h1 = a.content_hash();
+        assert_ne!(h0, h1);
+
+        // apply_delta invalidates on structural change.
+        let report = a
+            .apply_delta(&[EdgeOp::Add {
+                row: 1,
+                col: 2,
+                value: 9.0,
+            }])
+            .unwrap();
+        assert!(report.changed());
+        let h2 = a.content_hash();
+        assert_ne!(h1, h2);
+
+        // A pure no-op batch keeps both content and hash.
+        let report = a
+            .apply_delta(&[
+                EdgeOp::Add {
+                    row: 1,
+                    col: 2,
+                    value: 123.0,
+                },
+                EdgeOp::Remove { row: 0, col: 1 },
+            ])
+            .unwrap();
+        assert_eq!(report.noops, 2);
+        assert!(!report.changed());
+        assert_eq!(a.content_hash(), h2);
+    }
+
+    #[test]
+    fn apply_delta_add_and_remove() {
+        let mut a = small();
+        let before = a.clone();
+        let report = a
+            .apply_delta(&[
+                EdgeOp::Add {
+                    row: 0,
+                    col: 1,
+                    value: 7.0,
+                },
+                EdgeOp::Remove { row: 2, col: 0 },
+                EdgeOp::Add {
+                    row: 1,
+                    col: 1,
+                    value: -1.0,
+                }, // exists: structural no-op, value kept
+            ])
+            .unwrap();
+        a.validate().unwrap();
+        assert_eq!((report.added, report.removed, report.noops), (1, 1, 1));
+        // Both endpoints of each effective op are reported.
+        assert_eq!(report.touched_rows, vec![0, 1, 2]);
+        assert_eq!(a.get(0, 1), Some(7.0));
+        assert_eq!(a.get(2, 0), None);
+        assert_eq!(a.get(1, 1), Some(3.0), "add on existing keeps value");
+        assert_eq!(a.nnz(), before.nnz());
+        // Lineage points at the pre-delta hash.
+        assert_eq!(a.parent_hash(), Some(before.content_hash()));
+        assert_eq!(a.lineage().len(), 1);
+        assert_eq!(a.lineage()[0].touched, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn apply_delta_last_op_wins_within_batch() {
+        let mut a = small();
+        let report = a
+            .apply_delta(&[
+                EdgeOp::Add {
+                    row: 0,
+                    col: 1,
+                    value: 7.0,
+                },
+                EdgeOp::Remove { row: 0, col: 1 },
+            ])
+            .unwrap();
+        // Collapses to a remove of an absent entry: a no-op.
+        assert!(!report.changed());
+        assert_eq!(report.noops, 1);
+        assert_eq!(a, small());
+    }
+
+    #[test]
+    fn apply_delta_rejects_out_of_bounds() {
+        let mut a = small();
+        let before = a.clone();
+        let err = a
+            .apply_delta(&[
+                EdgeOp::Add {
+                    row: 0,
+                    col: 1,
+                    value: 7.0,
+                },
+                EdgeOp::Remove { row: 5, col: 0 },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { row: 5, .. }));
+        // The whole batch fails before anything is modified.
+        assert_eq!(a, before);
+        assert!(a.lineage().is_empty());
+    }
+
+    #[test]
+    fn lineage_chain_is_bounded() {
+        let mut a = small();
+        let root = a.content_hash();
+        let mut hashes = vec![root];
+        for k in 0..LINEAGE_CAP + 3 {
+            let on = k % 2 == 0;
+            let op = if on {
+                EdgeOp::Add {
+                    row: 1,
+                    col: 0,
+                    value: k as f64 + 1.0,
+                }
+            } else {
+                EdgeOp::Remove { row: 1, col: 0 }
+            };
+            assert!(a.apply_delta(&[op]).unwrap().changed());
+            hashes.push(a.content_hash());
+        }
+        assert_eq!(a.lineage().len(), LINEAGE_CAP);
+        // Newest hop is the immediate parent; the root has rolled off.
+        let n = hashes.len();
+        assert_eq!(a.parent_hash(), Some(hashes[n - 2]));
+        assert_eq!(a.lineage_root(), Some(hashes[n - 1 - LINEAGE_CAP]));
+        // Clones carry the lineage; fresh builds have none.
+        assert_eq!(a.clone().lineage(), a.lineage());
+        assert!(small().parent_hash().is_none());
     }
 
     #[test]

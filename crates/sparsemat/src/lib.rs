@@ -38,7 +38,7 @@ mod symmetrize;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, DeltaReport, EdgeOp, LineageHop, LINEAGE_CAP};
 pub use dense::{axpy, dot, norm2, DenseVector};
 pub use error::SparseError;
 pub use market::{read_matrix_market, read_matrix_market_str, write_matrix_market, MarketHeader};

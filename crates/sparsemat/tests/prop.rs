@@ -1,7 +1,7 @@
 //! Property-based tests for the sparse matrix substrate.
 
 use proptest::prelude::*;
-use sparsemat::{symmetrize_pattern, CooMatrix, CsrMatrix, Permutation};
+use sparsemat::{symmetrize_pattern, CooMatrix, CsrMatrix, EdgeOp, Permutation};
 
 /// Strategy: a random COO matrix with dimensions up to 24 and up to 80
 /// entries (duplicates allowed, as permitted by the builder).
@@ -191,6 +191,106 @@ proptest! {
         // p.then(p⁻¹) maps position k to p.new_to_old(p.old_to_new(k)) = k.
         prop_assert!(p.then(&p.inverse()).is_identity());
         prop_assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn apply_delta_add_then_remove_round_trips(
+        coo in square_coo_strategy(),
+        cells in proptest::collection::vec((0usize..24, 0usize..24, -5.0f64..5.0), 1..40),
+    ) {
+        let a = CsrMatrix::from_coo(&coo);
+        let n = a.nrows();
+        let h0 = a.content_hash();
+
+        // Add ops over pseudo-random cells *absent* from A (an add of an
+        // existing entry is a structural no-op, so removing it afterwards
+        // would delete original content — not a round trip). Duplicate
+        // ops on the same cell and self-edges (row == col) stay in.
+        let adds: Vec<EdgeOp> = cells
+            .iter()
+            .map(|&(r, c, v)| (r % n, c % n, v))
+            .filter(|&(r, c, _)| a.get(r, c).is_none())
+            .map(|(row, col, value)| EdgeOp::Add { row, col, value })
+            .collect();
+        let removes: Vec<EdgeOp> = adds
+            .iter()
+            .map(|op| match *op {
+                EdgeOp::Add { row, col, .. } => EdgeOp::Remove { row, col },
+                EdgeOp::Remove { .. } => unreachable!("adds only"),
+            })
+            .collect();
+
+        let mut m = a.clone();
+        let fwd = m.apply_delta(&adds).unwrap();
+        prop_assert!(m.validate().is_ok());
+        prop_assert_eq!(m.nnz(), a.nnz() + fwd.added);
+        if fwd.changed() {
+            prop_assert_ne!(m.content_hash(), h0);
+            prop_assert_eq!(m.parent_hash(), Some(h0));
+            let mid = m.content_hash();
+            let back = m.apply_delta(&removes).unwrap();
+            prop_assert_eq!(back.removed, fwd.added);
+            prop_assert_eq!(m.parent_hash(), Some(mid));
+            // Both hops report the same touched endpoints.
+            prop_assert_eq!(&back.touched_rows, &fwd.touched_rows);
+        } else {
+            prop_assert!(m.apply_delta(&removes).unwrap().noops == removes.len());
+        }
+        // Pattern, values and content hash are all restored.
+        prop_assert!(m.validate().is_ok());
+        prop_assert!(m.same_pattern(&a));
+        prop_assert_eq!(&m, &a);
+        prop_assert_eq!(m.content_hash(), h0);
+    }
+
+    #[test]
+    fn apply_delta_matches_from_coo_rebuild(
+        coo in square_coo_strategy(),
+        cells in proptest::collection::vec((0usize..24, 0usize..24, -5.0f64..5.0), 1..30),
+    ) {
+        // The streaming merge must agree with the ground truth: rebuild
+        // the mutated matrix from scratch via COO.
+        let a = CsrMatrix::from_coo(&coo);
+        let n = a.nrows();
+        let ops: Vec<EdgeOp> = cells
+            .iter()
+            .enumerate()
+            .map(|(k, &(r, c, v))| {
+                if k % 3 == 0 {
+                    EdgeOp::Remove { row: r % n, col: c % n }
+                } else {
+                    EdgeOp::Add { row: r % n, col: c % n, value: v }
+                }
+            })
+            .collect();
+        let mut m = a.clone();
+        m.apply_delta(&ops).unwrap();
+        prop_assert!(m.validate().is_ok());
+
+        // Ground truth: batch semantics are last-op-wins per cell, so
+        // dedupe first, then apply each surviving op to an entry map.
+        let mut truth: std::collections::BTreeMap<(usize, usize), f64> =
+            a.iter().map(|(i, j, v)| ((i, j), v)).collect();
+        let mut last: std::collections::BTreeMap<(usize, usize), EdgeOp> = Default::default();
+        for op in &ops {
+            let (r, c) = match *op {
+                EdgeOp::Add { row, col, .. } | EdgeOp::Remove { row, col } => (row, col),
+            };
+            last.insert((r, c), *op);
+        }
+        for ((r, c), op) in last {
+            match op {
+                EdgeOp::Add { value, .. } => {
+                    truth.entry((r, c)).or_insert(value);
+                }
+                EdgeOp::Remove { .. } => {
+                    truth.remove(&(r, c));
+                }
+            }
+        }
+        let got: std::collections::BTreeMap<(usize, usize), f64> =
+            m.iter().map(|(i, j, v)| ((i, j), v)).collect();
+        prop_assert_eq!(got, truth);
     }
 
     #[test]

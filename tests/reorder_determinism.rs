@@ -8,7 +8,7 @@
 //! (band, FEM mesh, R-MAT, road) plus the structural edge cases
 //! (disconnected blocks, empty rows) at team sizes 1, 2, 4 and 8.
 
-use reorder::{Gps, Rcm, ReorderAlgorithm, ReorderExec};
+use reorder::{splice_ordering_on, Amd, Gps, Rcm, ReorderAlgorithm, ReorderExec};
 use sparsemat::{symmetrize_pattern, symmetrize_pattern_on, CooMatrix, CsrMatrix, Permutation};
 use team::{Exec, ThreadTeam};
 
@@ -157,6 +157,67 @@ fn permutation_application_is_byte_identical_across_team_sizes() {
                 team.size()
             );
         });
+    }
+}
+
+/// The dynamic-matrix contract: splicing a cached component-structured
+/// ordering after an edge delta must reproduce, byte for byte, what a
+/// full recompute on the mutated matrix produces — for every
+/// component-capable algorithm, every corpus family, and every team
+/// size. This is what lets the engine serve delta-descendants from
+/// spliced orderings without ever changing an answer.
+#[test]
+fn splice_after_delta_is_byte_identical_to_full_recompute() {
+    let algos: Vec<(&'static str, Box<dyn ReorderAlgorithm>)> = vec![
+        ("rcm", Box::new(Rcm::default())),
+        ("cm", Box::new(Rcm { plain_cm: true })),
+        ("gps", Box::new(Gps::default())),
+        ("gps_rev", Box::new(Gps { reverse: true })),
+        ("amd", Box::new(Amd::default())),
+    ];
+    for (name, a) in family_matrices() {
+        // A deterministic symmetric edit batch against this family.
+        let batch = corpus::mutation_trace(&a, 1, 6, 0xD1F7 ^ a.nrows() as u64)
+            .pop()
+            .unwrap();
+        let mut child = a.clone();
+        let report = child.apply_delta(&batch).expect(name);
+        for (algo_name, algo) in &algos {
+            let seq = ReorderExec::sequential();
+            let cached = algo
+                .compute_components_on(&a, &seq)
+                .expect(name)
+                .expect("component-capable algorithm");
+            let full = algo
+                .compute_components_on(&child, &seq)
+                .expect(name)
+                .expect("component-capable algorithm");
+            for_each_team(|team| {
+                let rx = ReorderExec::on_team(team);
+                let (spliced, _) = splice_ordering_on(
+                    algo.as_ref(),
+                    &child,
+                    &cached.order,
+                    &cached.ranges,
+                    &report.touched_rows,
+                    &rx,
+                )
+                .expect(name)
+                .expect("splice accepted");
+                assert_eq!(
+                    full.order,
+                    spliced.order,
+                    "{algo_name} splice diverged from full recompute on {name} at {} lanes",
+                    team.size()
+                );
+                assert_eq!(
+                    full.ranges,
+                    spliced.ranges,
+                    "{algo_name} splice ranges diverged on {name} at {} lanes",
+                    team.size()
+                );
+            });
+        }
     }
 }
 
