@@ -75,4 +75,31 @@ cargo bench -p bench --bench policy_serve -- --test
 # axis (no artifacts written, agreement gate not enforced).
 ./target/release/frontier --size small --test > /dev/null
 
+# Ops-plane smoke: a listening serve must expose live metrics, health,
+# and SLO accounting over HTTP while the replay runs. The linger keeps
+# the server up after the replay so the curls race nothing.
+OPS_ADDR="127.0.0.1:17117"
+./target/release/serve --size small --requests 300 --clients 2 \
+    --offered-load 150 --listen "$OPS_ADDR" --listen-linger-ms 12000 \
+    --seed 7 > /dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    if curl -sf "http://$OPS_ADDR/healthz" > /dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+curl -sf "http://$OPS_ADDR/healthz" | grep -q '"status":"ok"'
+curl -sf "http://$OPS_ADDR/readyz" > /dev/null
+curl -sf "http://$OPS_ADDR/metrics" > /tmp/ops_metrics.txt
+grep -q '^tier_admitted' /tmp/ops_metrics.txt
+grep -q '^slo_budget_remaining' /tmp/ops_metrics.txt
+curl -sf "http://$OPS_ADDR/slo.json" | grep -q '"tenants"'
+curl -sf "http://$OPS_ADDR/profile?seconds=0.3" | grep -q '# samples'
+wait "$SERVE_PID"
+rm -f /tmp/ops_metrics.txt
+
+# Bench trajectory tripwire: fresh team-dispatch and splice probes must
+# run against the recorded BENCH_PR*.json baselines (smoke mode:
+# structural validation only, thresholds not enforced).
+./target/release/benchdiff --test > /dev/null
+
 echo "ci: all gates passed"

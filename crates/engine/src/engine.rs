@@ -337,6 +337,20 @@ impl Engine {
     /// Start an engine: builds the cache and spawns the worker pool.
     pub fn new(config: EngineConfig) -> Self {
         let registry = config.registry.unwrap_or_else(Registry::global);
+        // `# HELP` descriptions for the engine's metric families
+        // (idempotent; surfaces on the ops server's /metrics).
+        registry.describe("engine.submitted", "Ordering requests submitted.");
+        registry.describe(
+            "engine.coalesced",
+            "Ordering requests coalesced onto an identical in-flight job.",
+        );
+        registry.describe("engine.submit", "Submit-path latency, nanoseconds.");
+        registry.describe("engine.cache.hits", "Ordering-cache hits.");
+        registry.describe("engine.cache.misses", "Ordering-cache misses.");
+        registry.describe(
+            "engine.cache.resident",
+            "Orderings currently resident in the cache.",
+        );
         let labels: Vec<(&str, &str)> = config
             .metric_labels
             .iter()

@@ -1,0 +1,286 @@
+//! Compare a fresh micro-benchmark run against the recorded
+//! `BENCH_PR*.json` trajectory at the repository root.
+//!
+//! Two probes, chosen because each guards a tentpole optimisation from
+//! an earlier PR and runs in well under a second:
+//!
+//! 1. **Team dispatch** (vs. `BENCH_PR3.json`): per-call cost of the
+//!    1D SpMV kernel on the persistent [`ThreadTeam`], on the same
+//!    deliberately tiny matrix the original bench used. A regression
+//!    here means the executor hot path grew per-call overhead.
+//! 2. **Splice vs. full recompute** (vs. `BENCH_PR8.json`): the RCM
+//!    1%-dirty point of the `disjoint_meshes` family. A regression
+//!    here means incremental reordering lost its advantage.
+//!
+//! Tolerances are deliberately generous (5x on absolute per-call time,
+//! 4x on relative speedup) — this is a tripwire for order-of-magnitude
+//! regressions on shared CI hardware, not a precision benchmark.
+//! Results are written to `results/benchdiff.json`.
+//!
+//! Usage: `benchdiff [--test]`
+//!
+//! `--test` (the ci.sh mode) validates that the baseline files parse
+//! and carry the expected fields, runs both probes at smoke iteration
+//! counts, and exits 0 without enforcing thresholds — structural
+//! validation, not a timing gate.
+
+use reorder::{splice_ordering_on, ComponentOrdering, Rcm, ReorderAlgorithm, ReorderExec};
+use sparsemat::{CsrMatrix, EdgeOp};
+use spmv::{spmv_1d, Plan1d, ThreadTeam};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+/// Baseline numbers extracted from the trajectory files.
+struct Baseline {
+    team_us_per_call: f64,
+    splice_speedup: f64,
+    splice_full_ms: f64,
+    splice_splice_ms: f64,
+}
+
+/// Load the two baseline files, failing with a clear message when a
+/// file is missing or its schema drifted.
+fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let read = |name: &str| -> Result<serde_json::Value, String> {
+        let text = std::fs::read_to_string(root.join(name))
+            .map_err(|e| format!("{name}: {e} (run from the repository, or re-record it)"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{name}: parse error: {e:?}"))
+    };
+
+    let pr3 = read("BENCH_PR3.json")?;
+    let team_us_per_call = pr3
+        .get("team_us_per_call")
+        .and_then(serde_json::Value::as_f64)
+        .ok_or("BENCH_PR3.json: missing team_us_per_call")?;
+
+    let pr8 = read("BENCH_PR8.json")?;
+    let sweep = pr8
+        .get("sweep")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("BENCH_PR8.json: missing sweep array")?;
+    let row = sweep
+        .iter()
+        .find(|r| {
+            r.get("family").and_then(serde_json::Value::as_str) == Some("disjoint_meshes")
+                && r.get("algo").and_then(serde_json::Value::as_str) == Some("rcm")
+                && r.get("dirty_components_pct")
+                    .and_then(serde_json::Value::as_u64)
+                    == Some(1)
+        })
+        .ok_or("BENCH_PR8.json: no disjoint_meshes/rcm/1% sweep row")?;
+    let field = |name: &str| -> Result<f64, String> {
+        row.get(name)
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("BENCH_PR8.json: sweep row missing {name}"))
+    };
+    Ok(Baseline {
+        team_us_per_call,
+        splice_speedup: field("speedup")?,
+        splice_full_ms: field("full_ms")?,
+        splice_splice_ms: field("splice_ms")?,
+    })
+}
+
+/// Mean seconds per call of `f` over `iters` calls, after warm-up.
+fn time_per_call(iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Median seconds of one call over `reps` calls, after warm-up.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Probe 1: per-call team dispatch cost, microseconds. Same matrix and
+/// shape as the `team_overhead` bench that recorded BENCH_PR3.json.
+fn probe_team_us(iters: u32) -> f64 {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+    let a = corpus::scramble(&corpus::mesh2d(24, 24), 1);
+    let plan = Plan1d::new(&a, threads);
+    let team = ThreadTeam::new(threads);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 13) as f64).collect();
+    let mut y = vec![0.0; a.nrows()];
+    time_per_call(iters, || spmv_1d(&a, &plan, &team, black_box(&x), &mut y)) * 1e6
+}
+
+/// A delta dirtying one component of `a`: remove one symmetric
+/// off-diagonal edge inside the first component that has one.
+fn one_component_delta(a: &CsrMatrix, cached: &ComponentOrdering) -> Vec<EdgeOp> {
+    for range in &cached.ranges {
+        let members = &cached.order[range.start..range.start + range.len];
+        for &v in members {
+            let (cols, _) = a.row(v as usize);
+            if let Some(&c) = cols.iter().find(|&&c| c != v) {
+                return vec![
+                    EdgeOp::Remove {
+                        row: v as usize,
+                        col: c as usize,
+                    },
+                    EdgeOp::Remove {
+                        row: c as usize,
+                        col: v as usize,
+                    },
+                ];
+            }
+        }
+    }
+    panic!("no off-diagonal edge in any component");
+}
+
+/// Probe 2: full-vs-splice times at ~1% dirty on the BENCH_PR8 mesh
+/// family (smaller in `--test` mode), milliseconds.
+fn probe_splice_ms(reps: usize, regions: usize) -> (f64, f64) {
+    let a = corpus::disjoint_meshes(regions, 14, 12, 8);
+    let algo = Rcm::default();
+    let rx = ReorderExec::sequential();
+    let cached = algo
+        .compute_components_on(&a, &rx)
+        .expect("parent ordering")
+        .expect("RCM is component-capable");
+    let ops = one_component_delta(&a, &cached);
+    let mut child = a.clone();
+    let report = child.apply_delta(&ops).expect("delta applies");
+
+    let run_full = || {
+        black_box(
+            algo.compute_components_on(&child, &rx)
+                .expect("full recompute")
+                .expect("component-capable"),
+        );
+    };
+    let run_splice = || {
+        black_box(
+            splice_ordering_on(
+                &algo,
+                &child,
+                &cached.order,
+                &cached.ranges,
+                &report.touched_rows,
+                &rx,
+            )
+            .expect("splice")
+            .expect("splice accepted"),
+        );
+    };
+    let full_ms = time_median(reps, run_full) * 1e3;
+    let splice_ms = time_median(reps, run_splice) * 1e3;
+    (full_ms, splice_ms)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|arg| arg == "--test");
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+
+    let baseline = match load_baseline(root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("benchdiff: baseline error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "baseline: team {:.3} us/call; splice {:.3} ms vs full {:.3} ms ({:.2}x)",
+        baseline.team_us_per_call,
+        baseline.splice_splice_ms,
+        baseline.splice_full_ms,
+        baseline.splice_speedup
+    );
+
+    // Smoke counts keep --test under a second; real runs match the
+    // original benches' scale closely enough for a 5x tripwire.
+    let (iters, reps, regions) = if test_mode {
+        (50, 3, 20)
+    } else {
+        (2_000, 5, 100)
+    };
+
+    let team_us = probe_team_us(iters);
+    let (full_ms, splice_ms) = probe_splice_ms(reps, regions);
+    let speedup = full_ms / splice_ms;
+    println!(
+        "fresh:    team {team_us:.3} us/call; splice {splice_ms:.3} ms vs full \
+         {full_ms:.3} ms ({speedup:.2}x)"
+    );
+
+    let mut failures = Vec::new();
+    if !test_mode {
+        // Absolute tripwire on the executor hot path.
+        let team_limit = baseline.team_us_per_call * 5.0;
+        if team_us > team_limit {
+            failures.push(format!(
+                "team dispatch {team_us:.3} us/call exceeds 5x baseline ({team_limit:.3})"
+            ));
+        }
+        // Relative tripwire on incremental reordering: the splice must
+        // keep at least a quarter of its recorded advantage and still
+        // beat the full recompute outright.
+        let speedup_floor = (baseline.splice_speedup / 4.0).max(1.0);
+        if speedup < speedup_floor {
+            failures.push(format!(
+                "splice speedup {speedup:.2}x fell below floor {speedup_floor:.2}x \
+                 (baseline {:.2}x)",
+                baseline.splice_speedup
+            ));
+        }
+    }
+
+    let results_dir = root.join("results");
+    let out = format!(
+        "{{\n  \"bench\": \"benchdiff\",\n  \"mode\": \"{}\",\n  \
+         \"team_us_per_call\": {{ \"baseline\": {:.3}, \"fresh\": {:.3} }},\n  \
+         \"splice_1pct\": {{ \"baseline_speedup\": {:.2}, \"fresh_speedup\": {:.2}, \
+         \"fresh_full_ms\": {:.3}, \"fresh_splice_ms\": {:.3} }},\n  \
+         \"regressions\": [{}]\n}}\n",
+        if test_mode { "test" } else { "full" },
+        baseline.team_us_per_call,
+        team_us,
+        baseline.splice_speedup,
+        speedup,
+        full_ms,
+        splice_ms,
+        failures
+            .iter()
+            .map(|f| format!("\"{}\"", f.replace('"', "'")))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if std::fs::create_dir_all(&results_dir)
+        .and_then(|()| std::fs::write(results_dir.join("benchdiff.json"), &out))
+        .is_ok()
+    {
+        println!("recorded to results/benchdiff.json");
+    }
+
+    if failures.is_empty() {
+        println!(
+            "benchdiff: ok — fresh run within tolerance of the recorded trajectory{}",
+            if test_mode {
+                " (smoke mode, thresholds not enforced)"
+            } else {
+                ""
+            }
+        );
+    } else {
+        for f in &failures {
+            eprintln!("benchdiff: REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

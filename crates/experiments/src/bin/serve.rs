@@ -119,6 +119,8 @@ struct ServeOptions {
     trace_sample_rate: f64,
     mutate_rate: f64,
     mutate_edges: usize,
+    listen: Option<String>,
+    listen_linger_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -145,16 +147,19 @@ impl Default for ServeOptions {
             trace_sample_rate: 1.0,
             mutate_rate: 0.0,
             mutate_edges: 8,
+            listen: None,
+            listen_linger_ms: 0,
         }
     }
 }
 
 impl ServeOptions {
     /// The tier's sampling stride: trace every N-th request. A rate of
-    /// 1.0 traces everything, 0.01 every hundredth request, 0 (or a
-    /// missing `--trace-dir`) nothing.
+    /// 1.0 traces everything, 0.01 every hundredth request, 0 nothing.
+    /// Tracing is on when anything consumes it: a `--trace-dir` to
+    /// dump into, or a `--listen` ops server answering `/traces`.
     fn trace_stride(&self) -> u64 {
-        if self.trace_dir.is_none() || self.trace_sample_rate <= 0.0 {
+        if (self.trace_dir.is_none() && self.listen.is_none()) || self.trace_sample_rate <= 0.0 {
             0
         } else if self.trace_sample_rate >= 1.0 {
             1
@@ -172,7 +177,8 @@ fn usage() -> ! {
          \x20            [--skew S] [--seed N] [--cache-capacity N] [--kernel 1d|2d|merge]\n\
          \x20            [--policy always|never|adaptive] [--persist-dir DIR]\n\
          \x20            [--export-dir DIR] [--trace-dir DIR] [--trace-sample-rate R]\n\
-         \x20            [--mutate-rate R] [--mutate-edges N]"
+         \x20            [--mutate-rate R] [--mutate-edges N]\n\
+         \x20            [--listen ADDR] [--listen-linger-ms MS]"
     );
     std::process::exit(0);
 }
@@ -266,6 +272,11 @@ fn parse_serve_args() -> ServeOptions {
             "--mutate-edges" => {
                 opts.mutate_edges =
                     num::<usize>(value(&mut it, "--mutate-edges"), "--mutate-edges").max(1)
+            }
+            "--listen" => opts.listen = Some(value(&mut it, "--listen")),
+            "--listen-linger-ms" => {
+                opts.listen_linger_ms =
+                    num(value(&mut it, "--listen-linger-ms"), "--listen-linger-ms")
             }
             "--help" | "-h" => usage(),
             other => {
@@ -491,12 +502,23 @@ fn main() {
     );
 
     // --- The tier. ---------------------------------------------------
-    let recorder = opts
-        .trace_dir
-        .as_ref()
-        .map(|_| FlightRecorder::new(TRACE_RING_CAPACITY));
+    // The recorder feeds --trace-dir dumps and the ops server's
+    // /traces routes; either consumer brings it up.
+    let recorder = (opts.trace_dir.is_some() || opts.listen.is_some())
+        .then(|| FlightRecorder::new(TRACE_RING_CAPACITY));
     let tenants: Vec<TenantSpec> = (0..opts.tenants)
         .map(|i| TenantSpec::new(format!("t{i}"), i as u32 + 1))
+        .collect();
+    // Per-tenant SLOs: the configured deadline is the latency
+    // objective (50 ms when serving without deadlines), 99% required.
+    let slo_latency_ms = if opts.deadline_ms > 0 {
+        opts.deadline_ms as f64
+    } else {
+        50.0
+    };
+    let slo_specs: Vec<obsv::SloSpec> = tenants
+        .iter()
+        .map(|t| obsv::SloSpec::new(&t.name, slo_latency_ms, 0.99))
         .collect();
     let tier = Arc::new(ServeTier::new(TierConfig {
         shards: opts.shards,
@@ -516,8 +538,27 @@ fn main() {
             mode: opts.policy,
             ..PolicyConfig::default()
         },
+        slo: slo_specs,
+        // With an ops server attached, /readyz holds traffic until the
+        // first answer proves the path end to end.
+        min_warm_serves: u64::from(opts.listen.is_some()),
         ..TierConfig::default()
     }));
+    // --- The ops plane (--listen): HTTP server + SLO ticker. ---------
+    let _slo_ticker = opts
+        .listen
+        .as_ref()
+        .and_then(|_| tier.slo())
+        .map(|slo| slo.start(Duration::from_millis(200)));
+    let _obsv_server = opts.listen.as_ref().map(|addr| {
+        let mut config = obsv::ObsvConfig::new(addr.clone(), Arc::clone(tier.registry()));
+        config.source = Some(Arc::clone(&tier) as Arc<dyn obsv::OpsSource>);
+        config.slo = tier.slo().cloned();
+        let server =
+            obsv::ObsvServer::start(config).unwrap_or_else(|e| panic!("--listen {addr}: {e}"));
+        eprintln!("ops server: http://{}/", server.local_addr());
+        server
+    });
     if let Some(dir) = &opts.trace_dir {
         std::fs::create_dir_all(dir).expect("creating --trace-dir");
         eprintln!(
@@ -924,6 +965,13 @@ fn main() {
             println!("--- telemetry snapshot (prometheus) ---");
             print!("{}", snap.to_prometheus());
         }
+    }
+
+    // Keep the ops server scrapeable after the replay finishes —
+    // smoke tests curl the endpoints without racing the run.
+    if opts.listen.is_some() && opts.listen_linger_ms > 0 {
+        eprintln!("ops server: lingering {} ms", opts.listen_linger_ms);
+        std::thread::sleep(Duration::from_millis(opts.listen_linger_ms));
     }
 
     if hit_rate < 0.5 {

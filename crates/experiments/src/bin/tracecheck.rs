@@ -32,9 +32,12 @@
 //!    the delta path actually spliced instead of recomputing).
 //!
 //! Exits 0 and prints a per-file event census on success; exits 1
-//! with a diagnostic on the first violated check.
+//! with a diagnostic on the first violated check. With `--summary`, a
+//! per-stage table (span count, total and mean duration across every
+//! file) prints after the census — the quick "where did the time go"
+//! read on a trace directory without opening a viewer.
 //!
-//! Usage: `tracecheck DIR [--require STAGE]...`
+//! Usage: `tracecheck DIR [--require STAGE]... [--summary]`
 
 use serde_json::Value;
 use std::collections::{BTreeMap, BTreeSet};
@@ -89,10 +92,17 @@ fn fail(msg: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
+/// Per-stage duration accumulator: span count and total microseconds.
+#[derive(Default, Clone, Copy)]
+struct StageTotals {
+    count: u64,
+    total_us: f64,
+}
+
 /// Validate one Chrome-trace file; returns the set of span names it
-/// contains and the number of distinct lanes carrying
-/// `spmv.team.compute`.
-fn check_file(path: &Path) -> (BTreeSet<String>, usize) {
+/// contains, the number of distinct lanes carrying
+/// `spmv.team.compute`, and per-stage duration totals.
+fn check_file(path: &Path) -> (BTreeSet<String>, usize, BTreeMap<String, StageTotals>) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(format_args!("{}: {e}", path.display())));
     let doc = serde_json::from_str(&text)
@@ -107,9 +117,11 @@ fn check_file(path: &Path) -> (BTreeSet<String>, usize) {
 
     let mut names: BTreeSet<String> = BTreeSet::new();
     let mut compute_lanes: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut totals: BTreeMap<String, StageTotals> = BTreeMap::new();
     // Per-lane open-span stack: Chrome matches each E against the most
-    // recent unmatched B on the same (pid, tid).
-    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    // recent unmatched B on the same (pid, tid). Each entry carries
+    // its B timestamp (Chrome "ts" is microseconds) for --summary.
+    let mut stacks: BTreeMap<(u64, u64), Vec<(String, f64)>> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let field = |key: &str| {
             ev.get(key)
@@ -137,6 +149,7 @@ fn check_file(path: &Path) -> (BTreeSet<String>, usize) {
             field("pid").as_u64().unwrap_or(0),
             field("tid").as_u64().unwrap_or(0),
         );
+        let ts = ev.get("ts").and_then(Value::as_f64).unwrap_or(0.0);
         match ph.as_str() {
             "B" => {
                 names.insert(name.clone());
@@ -147,7 +160,7 @@ fn check_file(path: &Path) -> (BTreeSet<String>, usize) {
                 if REORDER_SUBSTAGES.contains(&name.as_str())
                     && !stack
                         .iter()
-                        .any(|open| REORDER_PARENTS.contains(&open.as_str()))
+                        .any(|(open, _)| REORDER_PARENTS.contains(&open.as_str()))
                 {
                     fail(format_args!(
                         "{}: event {i}: '{name}' opened on lane {lane:?} with no \
@@ -156,21 +169,25 @@ fn check_file(path: &Path) -> (BTreeSet<String>, usize) {
                         REORDER_PARENTS.join(" or "),
                     ));
                 }
-                stack.push(name);
+                stack.push((name, ts));
             }
             "E" => {
-                let open = stacks.entry(lane).or_default().pop().unwrap_or_else(|| {
-                    fail(format_args!(
-                        "{}: event {i}: E '{name}' on lane {lane:?} with no open span",
-                        path.display()
-                    ))
-                });
+                let (open, opened_ts) =
+                    stacks.entry(lane).or_default().pop().unwrap_or_else(|| {
+                        fail(format_args!(
+                            "{}: event {i}: E '{name}' on lane {lane:?} with no open span",
+                            path.display()
+                        ))
+                    });
                 if open != name {
                     fail(format_args!(
                         "{}: event {i}: E '{name}' closes open span '{open}' on lane {lane:?}",
                         path.display()
                     ));
                 }
+                let entry = totals.entry(name).or_default();
+                entry.count += 1;
+                entry.total_us += (ts - opened_ts).max(0.0);
             }
             "i" => {
                 names.insert(name);
@@ -183,19 +200,20 @@ fn check_file(path: &Path) -> (BTreeSet<String>, usize) {
         }
     }
     for (lane, stack) in &stacks {
-        if let Some(open) = stack.last() {
+        if let Some((open, _)) = stack.last() {
             fail(format_args!(
                 "{}: lane {lane:?} ends with unclosed span '{open}'",
                 path.display()
             ));
         }
     }
-    (names, compute_lanes.len())
+    (names, compute_lanes.len(), totals)
 }
 
 fn main() {
     let mut dir: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
+    let mut summary = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         if arg == "--require" {
@@ -203,15 +221,17 @@ fn main() {
                 eprintln!("--require needs a stage name");
                 std::process::exit(2);
             }));
+        } else if arg == "--summary" {
+            summary = true;
         } else if dir.is_none() {
             dir = Some(arg);
         } else {
-            eprintln!("usage: tracecheck DIR [--require STAGE]...");
+            eprintln!("usage: tracecheck DIR [--require STAGE]... [--summary]");
             std::process::exit(2);
         }
     }
     let dir = dir.unwrap_or_else(|| {
-        eprintln!("usage: tracecheck DIR [--require STAGE]...");
+        eprintln!("usage: tracecheck DIR [--require STAGE]... [--summary]");
         std::process::exit(2);
     });
     let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
@@ -230,10 +250,16 @@ fn main() {
     let mut best_missing: Option<Vec<&str>> = None;
     let mut max_compute_lanes = 0usize;
     let mut all_names: BTreeSet<String> = BTreeSet::new();
+    let mut stage_totals: BTreeMap<String, StageTotals> = BTreeMap::new();
     for path in &files {
-        let (names, compute_lanes) = check_file(path);
+        let (names, compute_lanes, totals) = check_file(path);
         max_compute_lanes = max_compute_lanes.max(compute_lanes);
         all_names.extend(names.iter().cloned());
+        for (name, t) in totals {
+            let entry = stage_totals.entry(name).or_default();
+            entry.count += t.count;
+            entry.total_us += t.total_us;
+        }
         let missing: Vec<&str> = REQUIRED_STAGES
             .iter()
             .copied()
@@ -275,6 +301,22 @@ fn main() {
             fail(format_args!(
                 "--require {stage}: no trace file contains that span"
             ));
+        }
+    }
+    if summary {
+        println!("stage summary across {} file(s):", files.len());
+        println!(
+            "  {:<24} {:>8} {:>14} {:>12}",
+            "stage", "spans", "total (us)", "mean (us)"
+        );
+        for (name, t) in &stage_totals {
+            println!(
+                "  {:<24} {:>8} {:>14.1} {:>12.1}",
+                name,
+                t.count,
+                t.total_us,
+                t.total_us / t.count.max(1) as f64
+            );
         }
     }
     println!(

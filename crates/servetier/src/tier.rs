@@ -21,7 +21,7 @@ use policy::{PolicyConfig, PolicyEngine};
 use reorder::ReorderResult;
 use spmv::KernelKind;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -89,6 +89,16 @@ pub struct TierConfig {
     /// pre-policy behaviour); the tier overrides the config's registry
     /// with its own.
     pub policy: PolicyConfig,
+    /// Requests the tier must have served before [`ServeTier::readiness`]
+    /// reports ready (`0` = ready as soon as all dispatchers are live).
+    /// Lets a deployment keep traffic away until caches are warm.
+    pub min_warm_serves: u64,
+    /// Per-tenant service-level objectives. Non-empty builds an
+    /// [`obsv::SloTracker`] over the tier's own `tier.request{tenant}`
+    /// histograms and `tier.shed_tenant{tenant}` counters, reachable
+    /// via [`ServeTier::slo`] (tick it yourself or hand it to an
+    /// `obsv::ObsvServer` / background ticker).
+    pub slo: Vec<obsv::SloSpec>,
 }
 
 impl Default for TierConfig {
@@ -109,6 +119,8 @@ impl Default for TierConfig {
                 mode: policy::PolicyMode::Always,
                 ..PolicyConfig::default()
             },
+            min_warm_serves: 0,
+            slo: Vec::new(),
         }
     }
 }
@@ -370,6 +382,18 @@ struct ShardInner {
     /// End-to-end latency histogram per tenant
     /// (`tier.request{tenant=...}`), indexed like the tenant list.
     tenant_hists: Vec<Arc<Histogram>>,
+    /// Sheds attributed per tenant (`tier.shed_tenant{tenant=...}`) —
+    /// the SLO tracker's "bad due to shedding" input. Shard-agnostic
+    /// series, so all shards share the same counters.
+    tenant_shed: Vec<Arc<Counter>>,
+}
+
+/// Shared readiness state: what `/readyz` asks.
+struct ReadyState {
+    expected_dispatchers: usize,
+    live_dispatchers: AtomicUsize,
+    draining: AtomicBool,
+    min_warm_serves: u64,
 }
 
 /// Point-in-time statistics for one shard.
@@ -415,7 +439,7 @@ pub struct ServeTier {
     ring: HashRing,
     shards: Vec<Arc<ShardInner>>,
     policy: Arc<PolicyEngine>,
-    dispatchers: Vec<JoinHandle<()>>,
+    dispatchers: Mutex<Vec<JoinHandle<()>>>,
     tenants: Vec<TenantSpec>,
     /// tenant name → lane index.
     tenant_index: HashMap<String, usize>,
@@ -425,12 +449,15 @@ pub struct ServeTier {
     shed_unknown_tenant: Arc<Counter>,
     next_request: AtomicU64,
     traced: Mutex<std::collections::VecDeque<(u64, u64)>>,
+    ready: Arc<ReadyState>,
+    slo: Option<Arc<obsv::SloTracker>>,
 }
 
 impl ServeTier {
     /// Build the shards and start their dispatchers.
     pub fn new(config: TierConfig) -> Self {
         let registry = config.registry.unwrap_or_else(Registry::global);
+        describe_tier_metrics(&registry);
         let tenants = if config.tenants.is_empty() {
             vec![TenantSpec::new("default", 1)]
         } else {
@@ -464,6 +491,10 @@ impl ServeTier {
                 .iter()
                 .map(|t| registry.histogram_labeled("tier.request", &[("tenant", &t.name)]))
                 .collect();
+            let tenant_shed = tenants
+                .iter()
+                .map(|t| registry.counter_labeled("tier.shed_tenant", &[("tenant", &t.name)]))
+                .collect();
             shards.push(Arc::new(ShardInner {
                 index,
                 engine: Engine::new(engine_config),
@@ -474,27 +505,49 @@ impl ServeTier {
                 policy: Arc::clone(&policy),
                 metrics: ShardMetrics::new(&registry, &shard_label),
                 tenant_hists,
+                tenant_shed,
             }));
         }
 
+        let ready = Arc::new(ReadyState {
+            expected_dispatchers: nshards * config.dispatchers_per_shard.max(1),
+            live_dispatchers: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            min_warm_serves: config.min_warm_serves,
+        });
         let mut dispatchers = Vec::new();
         for shard in &shards {
             for d in 0..config.dispatchers_per_shard.max(1) {
                 let shard = Arc::clone(shard);
+                let ready_state = Arc::clone(&ready);
                 dispatchers.push(
                     std::thread::Builder::new()
                         .name(format!("tier-shard{}-d{d}", shard.index))
-                        .spawn(move || dispatch_loop(&shard))
+                        .spawn(move || {
+                            ready_state.live_dispatchers.fetch_add(1, Ordering::Release);
+                            dispatch_loop(&shard);
+                            ready_state.live_dispatchers.fetch_sub(1, Ordering::Release);
+                        })
                         .expect("spawn tier dispatcher"),
                 );
             }
         }
 
+        let slo = (!config.slo.is_empty()).then(|| {
+            obsv::SloTracker::new(
+                Arc::clone(&registry),
+                obsv::SloConfig {
+                    specs: config.slo.clone(),
+                    ..obsv::SloConfig::default()
+                },
+            )
+        });
+
         ServeTier {
             ring,
             shards,
             policy,
-            dispatchers,
+            dispatchers: Mutex::new(dispatchers),
             tenants,
             tenant_index,
             shed_unknown_tenant: registry
@@ -504,6 +557,8 @@ impl ServeTier {
             sample_every: config.trace_sample_every,
             next_request: AtomicU64::new(0),
             traced: Mutex::new(std::collections::VecDeque::new()),
+            ready,
+            slo,
         }
     }
 
@@ -586,6 +641,7 @@ impl ServeTier {
         let now = Instant::now();
         if request.deadline.is_some_and(|d| d <= now) {
             shard.metrics.shed_expired.inc();
+            shard.tenant_shed[tenant_index].inc();
             ticket.root.ctx().instant("tier.expired");
             slot.fulfil(Err(TierError::Shed(ShedReason::Expired)));
             return ticket;
@@ -612,13 +668,17 @@ impl ServeTier {
                 let reason = match push_error {
                     PushError::QueueFull => {
                         shard.metrics.shed_queue_full.inc();
+                        shard.tenant_shed[tenant_index].inc();
                         ShedReason::QueueFull
                     }
                     PushError::UnknownTenant => {
                         self.shed_unknown_tenant.inc();
                         ShedReason::UnknownTenant
                     }
-                    PushError::ShuttingDown => ShedReason::ShuttingDown,
+                    PushError::ShuttingDown => {
+                        shard.tenant_shed[tenant_index].inc();
+                        ShedReason::ShuttingDown
+                    }
                 };
                 ticket.root.ctx().instant("tier.shed");
                 slot.fulfil(Err(TierError::Shed(reason)));
@@ -694,6 +754,59 @@ impl ServeTier {
         (!snap.is_empty()).then_some(snap)
     }
 
+    /// The SLO tracker, when [`TierConfig::slo`] named any tenants.
+    pub fn slo(&self) -> Option<&Arc<obsv::SloTracker>> {
+        self.slo.as_ref()
+    }
+
+    /// Should this tier receive traffic? `Err(reason)` while
+    /// dispatchers are still coming up, the configured warm-up serve
+    /// count has not been reached, or the tier is draining. This is
+    /// the `/readyz` answer (via [`obsv::OpsSource`]).
+    pub fn readiness(&self) -> Result<(), String> {
+        if self.ready.draining.load(Ordering::Acquire) {
+            return Err("draining".to_string());
+        }
+        let live = self.ready.live_dispatchers.load(Ordering::Acquire);
+        let expected = self.ready.expected_dispatchers;
+        if live < expected {
+            return Err(format!("{live}/{expected} dispatchers live"));
+        }
+        let served: u64 = self.shards.iter().map(|s| s.metrics.served.get()).sum();
+        if served < self.ready.min_warm_serves {
+            return Err(format!(
+                "warming: {served}/{} serves",
+                self.ready.min_warm_serves
+            ));
+        }
+        Ok(())
+    }
+
+    /// Graceful shutdown: mark not-ready, close the admission queues,
+    /// join the dispatchers, and fulfil everything still queued as
+    /// [`ShedReason::ShuttingDown`]. Idempotent; [`Drop`] calls it.
+    pub fn drain(&self) {
+        self.ready.draining.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        let handles: Vec<JoinHandle<()>> = self.dispatchers.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Whatever was admitted but never dequeued resolves as shed —
+        // no ticket is left hanging.
+        for shard in &self.shards {
+            for queued in shard.queue.drain_remaining() {
+                shard.metrics.queue_depth.dec();
+                shard.tenant_shed[queued.tenant_index].inc();
+                queued
+                    .slot
+                    .fulfil(Err(TierError::Shed(ShedReason::ShuttingDown)));
+            }
+        }
+    }
+
     /// Statistics snapshot across all shards.
     pub fn stats(&self) -> TierStats {
         TierStats {
@@ -719,28 +832,70 @@ impl ServeTier {
 
 impl Drop for ServeTier {
     fn drop(&mut self) {
-        for shard in &self.shards {
-            shard.queue.close();
-        }
-        for handle in self.dispatchers.drain(..) {
-            let _ = handle.join();
-        }
-        // Whatever was admitted but never dequeued resolves as shed —
-        // no ticket is left hanging.
-        for shard in &self.shards {
-            for queued in shard.queue.drain_remaining() {
-                shard.metrics.queue_depth.dec();
-                queued
-                    .slot
-                    .fulfil(Err(TierError::Shed(ShedReason::ShuttingDown)));
-            }
-        }
+        self.drain();
     }
+}
+
+/// What the ops HTTP server asks the tier.
+impl obsv::OpsSource for ServeTier {
+    fn ready(&self) -> Result<(), String> {
+        self.readiness()
+    }
+
+    fn health_detail(&self) -> String {
+        let stats = self.stats();
+        let queued: i64 = stats.shards.iter().map(|s| s.queue_depth).sum();
+        format!(
+            "\"shards\":{},\"queued\":{queued},\"served\":{},\"shed\":{},\"draining\":{}",
+            stats.shards.len(),
+            stats.served(),
+            stats.shed(),
+            self.ready.draining.load(Ordering::Acquire),
+        )
+    }
+
+    fn trace_index(&self) -> Vec<(u64, u64)> {
+        self.traced.lock().unwrap().iter().copied().collect()
+    }
+
+    fn request_trace_json(&self, request_id: u64) -> Option<String> {
+        self.trace_chrome_json(request_id)
+    }
+}
+
+/// Register `# HELP` descriptions for the tier's metric families once
+/// per registry (idempotent; last description wins).
+fn describe_tier_metrics(registry: &Registry) {
+    registry.describe("tier.admitted", "Requests admitted to a shard queue.");
+    registry.describe("tier.served", "Requests answered end to end.");
+    registry.describe("tier.shed", "Requests refused, by shard and reason.");
+    registry.describe(
+        "tier.shed_tenant",
+        "Requests refused, attributed to the submitting tenant (feeds the SLO tracker).",
+    );
+    registry.describe("tier.queue_depth", "Requests currently queued per shard.");
+    registry.describe(
+        "tier.request",
+        "End-to-end request latency per tenant, nanoseconds.",
+    );
+    registry.describe("tier.prepared.hits", "Prepared-matrix cache hits.");
+    registry.describe("tier.prepared.misses", "Prepared-matrix cache misses.");
+    registry.describe(
+        "tier.prepared.evictions",
+        "Prepared-matrix cache entries evicted.",
+    );
 }
 
 /// A shard dispatcher: pop, expire-or-execute, fulfil, repeat.
 fn dispatch_loop(shard: &ShardInner) {
-    while let Some(queued) = shard.queue.pop() {
+    loop {
+        // Publish idle time on the stage board so a live profile shows
+        // dispatchers waiting for work, not just executing it.
+        let queued = {
+            let _stage = telemetry::stage("tier.dispatch.wait");
+            shard.queue.pop()
+        };
+        let Some(queued) = queued else { break };
         shard.metrics.queue_depth.dec();
         let dequeued = Instant::now();
         // The queue-wait interval, learned after the fact.
@@ -749,6 +904,7 @@ fn dispatch_loop(shard: &ShardInner) {
             .complete("admission.wait", queued.submitted, dequeued, Vec::new());
         if queued.request.deadline.is_some_and(|d| d <= dequeued) {
             shard.metrics.shed_expired.inc();
+            shard.tenant_shed[queued.tenant_index].inc();
             queued.trace.instant("tier.expired");
             queued
                 .slot
@@ -758,9 +914,16 @@ fn dispatch_loop(shard: &ShardInner) {
         let result = execute(shard, &queued, dequeued);
         if result.is_ok() {
             shard.metrics.served.inc();
-            shard.tenant_hists[queued.tenant_index].record_duration(queued.submitted.elapsed());
+            // Sampled requests pin their trace ID onto the latency
+            // histogram as an exemplar — the `/metrics` ↔ `/traces/<id>`
+            // bridge.
+            shard.tenant_hists[queued.tenant_index].record_duration_exemplar(
+                queued.submitted.elapsed(),
+                queued.trace.trace_id().unwrap_or(0),
+            );
         } else if matches!(result, Err(TierError::Shed(ShedReason::Expired))) {
             shard.metrics.shed_expired.inc();
+            shard.tenant_shed[queued.tenant_index].inc();
         }
         queued.slot.fulfil(result);
     }
@@ -787,6 +950,7 @@ fn execute(
             .engine
             .peek_cached(&request.matrix, request.algo)
             .is_some();
+        let _stage = telemetry::stage("policy.decide");
         let mut decide = ctx.span("policy.decide");
         decide.arg("mode", shard.policy.mode().as_str());
         decide.arg("requested", request.algo.name());
@@ -802,18 +966,21 @@ fn execute(
 
     // 1. The ordering, through the shard engine's caches — with the
     //    deadline attached, so an expiry cancels it pre-reorder.
-    let ticket = shard.engine.submit_opts(
-        &request.matrix,
-        algo,
-        SubmitOptions {
-            deadline: request.deadline,
-            trace: ctx.clone(),
-        },
-    );
-    let ordering = ticket.wait().map_err(|e| match e {
-        EngineError::Expired => TierError::Shed(ShedReason::Expired),
-        other => TierError::Engine(other),
-    })?;
+    let ordering = {
+        let _stage = telemetry::stage("engine.request");
+        let ticket = shard.engine.submit_opts(
+            &request.matrix,
+            algo,
+            SubmitOptions {
+                deadline: request.deadline,
+                trace: ctx.clone(),
+            },
+        );
+        ticket.wait().map_err(|e| match e {
+            EngineError::Expired => TierError::Shed(ShedReason::Expired),
+            other => TierError::Engine(other),
+        })?
+    };
     if decision.reorders() {
         // The ledger bills the one-time cost exactly once per key; a
         // cache-served ordering re-reports the same figure harmlessly.
@@ -841,6 +1008,7 @@ fn execute(
         }
         None => {
             shard.metrics.prepared_misses.inc();
+            let _stage = telemetry::stage("reorder.permute");
             let mut permute = ctx.span("reorder.permute");
             permute.arg("rows", request.matrix.matrix().nrows() as u64);
             let reordered = ordering
@@ -866,10 +1034,12 @@ fn execute(
     };
 
     // 3. The planned kernel for the reordered matrix (plan cache).
-    let kernel =
+    let kernel = {
+        let _stage = telemetry::stage("engine.plan");
         shard
             .engine
-            .plan_traced(&prepared.handle, request.kernel, shard.spmv_threads, &ctx);
+            .plan_traced(&prepared.handle, request.kernel, shard.spmv_threads, &ctx)
+    };
 
     // 4. Permute in, multiply, permute out: the caller sees original
     //    index space on both sides.
@@ -877,6 +1047,7 @@ fn execute(
     let mut yp = vec![0.0; prepared.handle.matrix().nrows()];
     let spmv_started = Instant::now();
     {
+        let _stage = telemetry::stage("serve.spmv");
         let mut compute = ctx.span("serve.spmv");
         compute.arg("kernel", request.kernel.name());
         kernel.execute(&shard.spmv_team, &xp, &mut yp);
@@ -887,6 +1058,7 @@ fn execute(
         .policy
         .observe_spmv(content_hash, algo, spmv_started.elapsed().as_secs_f64());
     let y = {
+        let _stage = telemetry::stage("answer.unpermute");
         let _unpermute = ctx.span("answer.unpermute");
         prepared.result.unpermute_output(&yp)
     };

@@ -452,3 +452,130 @@ fn prepared_cache_is_lru_and_counts_hits_misses_evictions() {
     assert_eq!(shard.prepared_hits, 3, "A repeats all hit");
     assert_eq!(shard.prepared_evictions, 1, "B evicted by C");
 }
+
+#[test]
+fn readiness_tracks_warmup_load_and_drain() {
+    let tier = ServeTier::new(TierConfig {
+        shards: 1,
+        queue_capacity: 64,
+        tenants: vec![TenantSpec::new("t0", 1)],
+        dispatchers_per_shard: 1,
+        min_warm_serves: 1,
+        registry: Some(telemetry::Registry::new_arc()),
+        ..TierConfig::default()
+    });
+    // Fresh tier: nothing served yet, so the warm-up gate holds it
+    // not-ready (dispatchers may or may not be live yet — either
+    // reason is a refusal).
+    assert!(tier.readiness().is_err(), "fresh tier must not be ready");
+
+    let matrix = MatrixHandle::from_matrix(corpus::mesh2d(12, 12));
+    tier.serve(request(&matrix, AlgoSpec::Rcm, KernelKind::OneD))
+        .unwrap();
+    // One serve satisfies min_warm_serves, and the (single) dispatcher
+    // registered itself live before popping the request.
+    assert_eq!(tier.readiness(), Ok(()), "warm tier under load is ready");
+
+    // Draining flips readiness off and stays off; drain is idempotent.
+    tier.drain();
+    assert_eq!(tier.readiness(), Err("draining".to_string()));
+    tier.drain();
+    // Submissions after drain resolve as shutdown sheds, not hangs.
+    let verdict = tier
+        .submit(request(&matrix, AlgoSpec::Rcm, KernelKind::OneD))
+        .wait();
+    assert!(
+        matches!(verdict, Err(TierError::Shed(ShedReason::ShuttingDown))),
+        "expected shutdown shed, got {verdict:?}"
+    );
+}
+
+#[test]
+fn slo_tracker_burns_budget_on_a_known_shed_stream() {
+    use servetier::SloSpec;
+    let registry = telemetry::Registry::new_arc();
+    let tier = ServeTier::new(TierConfig {
+        shards: 1,
+        queue_capacity: 64,
+        tenants: vec![TenantSpec::new("t0", 1)],
+        registry: Some(Arc::clone(&registry)),
+        // Objective 0.9 with a latency bound generous enough that
+        // every *served* request is good: only sheds burn budget.
+        slo: vec![SloSpec::new("t0", 60_000.0, 0.9)],
+        ..TierConfig::default()
+    });
+    let matrix = MatrixHandle::from_matrix(corpus::mesh2d(12, 12));
+
+    // 8 good serves + 2 deterministic sheds (deadline already passed
+    // at submission) = 10 total, bad fraction 0.2 on a 0.1 budget.
+    for _ in 0..8 {
+        tier.serve(request(&matrix, AlgoSpec::Rcm, KernelKind::OneD))
+            .unwrap();
+    }
+    for _ in 0..2 {
+        let mut req = request(&matrix, AlgoSpec::Rcm, KernelKind::OneD);
+        req.deadline = Some(Instant::now());
+        let verdict = tier.submit(req).wait();
+        assert!(
+            matches!(verdict, Err(TierError::Shed(ShedReason::Expired))),
+            "expected expired shed, got {verdict:?}"
+        );
+    }
+
+    // The sheds landed on the per-tenant attribution counter.
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter_labeled("tier.shed_tenant", &[("tenant", "t0")]),
+        Some(2)
+    );
+
+    let slo = tier.slo().expect("configured SLO builds a tracker");
+    slo.tick();
+    // Lifetime: 0.2 bad on a 0.1 budget -> exhausted (clamped to 0).
+    assert_eq!(slo.budget_remaining("t0"), Some(0.0));
+    // Windowed: all traffic arrived between the construction baseline
+    // and this tick, so the short window sees burn 0.2/0.1 = 2.0.
+    let burn = slo.burn_rate("t0", 1).unwrap();
+    assert!((burn - 2.0).abs() < 1e-9, "burn {burn}");
+
+    // Derived gauges surface in the shared registry (and therefore in
+    // /metrics and the periodic reporter).
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.gauge_labeled("slo.budget_remaining", &[("tenant", "t0")]),
+        Some(0)
+    );
+    // The tier's default windows are [5, 30, 150]; with only the
+    // construction baseline and one tick recorded, each clamps to the
+    // same single-interval delta.
+    assert_eq!(
+        snap.gauge_labeled("slo.burn_rate", &[("tenant", "t0"), ("window", "5")]),
+        Some(2000)
+    );
+}
+
+#[test]
+fn slow_serves_burn_budget_without_any_sheds() {
+    use servetier::SloSpec;
+    let registry = telemetry::Registry::new_arc();
+    let tier = ServeTier::new(TierConfig {
+        shards: 1,
+        queue_capacity: 64,
+        tenants: vec![TenantSpec::new("t0", 1)],
+        registry: Some(Arc::clone(&registry)),
+        // A latency threshold of (effectively) zero: every serve is
+        // "slow", so the latency leg alone must exhaust the budget.
+        slo: vec![SloSpec::new("t0", 0.0, 0.99)],
+        ..TierConfig::default()
+    });
+    let matrix = MatrixHandle::from_matrix(corpus::mesh2d(12, 12));
+    for _ in 0..5 {
+        tier.serve(request(&matrix, AlgoSpec::Rcm, KernelKind::OneD))
+            .unwrap();
+    }
+    let slo = tier.slo().unwrap();
+    slo.tick();
+    let status = &slo.status()[0];
+    assert_eq!((status.total, status.bad), (5, 5));
+    assert_eq!(slo.budget_remaining("t0"), Some(0.0));
+}

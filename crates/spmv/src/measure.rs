@@ -383,6 +383,37 @@ mod tests {
         );
     }
 
+    /// The acceptance bound from the issue, stage-board edition: with
+    /// no profiler session active, a `telemetry::stage` guard is one
+    /// relaxed atomic load and must add < 2% to a small-matrix SpMV
+    /// iteration — the continuous profiler is free when nobody is
+    /// sampling.
+    #[test]
+    fn disabled_stage_board_adds_under_two_percent() {
+        const STAGES: u32 = 100_000;
+        let t0 = Instant::now();
+        for _ in 0..STAGES {
+            let g = telemetry::stage("spmv.measure");
+            std::hint::black_box(&g);
+        }
+        let stage_ns = t0.elapsed().as_nanos() as f64 / STAGES as f64;
+
+        let registry = telemetry::Registry::new_arc();
+        let a = banded(500, 2);
+        let cfg = MeasureConfig {
+            repetitions: 20,
+            warmup: 2,
+            nthreads: 1,
+        };
+        let m = measure_spmv_in(&registry, &a, KernelKind::OneD, &cfg);
+        let iter_ns = m.min_time * 1e9;
+        assert!(
+            stage_ns < 0.02 * iter_ns,
+            "disabled stage guard costs {stage_ns:.1}ns, {:.3}% of a {iter_ns:.0}ns SpMV iteration",
+            100.0 * stage_ns / iter_ns
+        );
+    }
+
     #[test]
     fn traced_measurement_produces_stage_and_lane_events() {
         use telemetry::trace::{EventKind, FlightRecorder};

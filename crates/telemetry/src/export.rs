@@ -39,8 +39,12 @@ fn json_f64(v: f64) -> String {
 }
 
 fn json_histogram(h: &HistogramSnapshot) -> String {
+    let exemplar = match h.exemplar {
+        Some((value, trace)) => format!(",\"exemplar\":{{\"value\":{value},\"trace\":{trace}}}"),
+        None => String::new(),
+    };
     format!(
-        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}{}}}",
         h.count,
         h.sum,
         h.min,
@@ -49,7 +53,8 @@ fn json_histogram(h: &HistogramSnapshot) -> String {
         h.p50,
         h.p90,
         h.p99,
-        h.p999
+        h.p999,
+        exemplar
     )
 }
 
@@ -111,12 +116,36 @@ impl Snapshot {
                 None => (sanitize(name), ""),
             }
         }
-        fn type_line(out: &mut String, seen: &mut Vec<String>, base: &str, kind: &str) {
+        /// Escape a `# HELP` description per the text exposition
+        /// format: backslash and newline only (double quotes are legal
+        /// in HELP text, unlike in label values).
+        fn help_escape(text: &str) -> String {
+            let mut out = String::with_capacity(text.len());
+            for c in text.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        // Descriptions are registered under dotted base names; the
+        // exposition needs them under the sanitised base.
+        let help: Vec<(String, &str)> = self
+            .help
+            .iter()
+            .map(|(base, text)| (sanitize(base), text.as_str()))
+            .collect();
+        let type_line = move |out: &mut String, seen: &mut Vec<String>, base: &str, kind: &str| {
             if !seen.iter().any(|s| s == base) {
+                if let Some((_, text)) = help.iter().find(|(b, _)| b == base) {
+                    let _ = writeln!(out, "# HELP {base} {}", help_escape(text));
+                }
                 let _ = writeln!(out, "# TYPE {base} {kind}");
                 seen.push(base.to_string());
             }
-        }
+        };
         let mut out = String::new();
         let mut seen = Vec::new();
         for (name, v) in &self.counters {
@@ -264,6 +293,120 @@ mod tests {
         );
         assert!(p.contains("tier_request_sum{tenant=\"t0\"} 100\n"), "{p}");
         assert!(p.contains("tier_request_count{tenant=\"t0\"} 1\n"), "{p}");
+    }
+
+    /// Un-escape one Prometheus label value (`\\`, `\"`, `\n`) — the
+    /// consumer side of the exposition format, for the round-trip test.
+    fn unescape_label_value(escaped: &str) -> String {
+        let mut out = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    /// Parse `name{k="v",...} value` lines back into
+    /// `(name, labels, value)`, un-escaping label values.
+    fn parse_series(line: &str) -> (String, Vec<(String, String)>, String) {
+        let (name_labels, value) = line.rsplit_once(' ').expect("metric line");
+        let Some((name, rest)) = name_labels.split_once('{') else {
+            return (name_labels.to_string(), Vec::new(), value.to_string());
+        };
+        let block = rest.strip_suffix('}').expect("closed label block");
+        let mut labels = Vec::new();
+        let mut remaining = block;
+        while !remaining.is_empty() {
+            let (key, rest) = remaining.split_once("=\"").expect("label key");
+            // The value runs to the next unescaped quote.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in rest.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end.expect("closing quote");
+            labels.push((key.to_string(), unescape_label_value(&rest[..end])));
+            remaining = rest[end + 1..]
+                .strip_prefix(',')
+                .unwrap_or(&rest[end + 1..]);
+        }
+        (name.to_string(), labels, value.to_string())
+    }
+
+    /// Satellite requirement: HELP lines come from metric
+    /// descriptions, hostile label values survive an
+    /// escape-then-parse round trip, and both follow the exposition
+    /// format's escaping rules.
+    #[test]
+    fn help_and_label_escaping_round_trip() {
+        let r = Registry::new();
+        r.describe(
+            "tier.shed",
+            "Requests shed by reason.\nBackslash: \\ stays.",
+        );
+        r.describe("tier.admitted", "Requests admitted to a shard queue.");
+        let hostile = "quote\" backslash\\ newline\n done";
+        r.counter_labeled("tier.shed", &[("reason", hostile)])
+            .add(3);
+        r.counter_labeled("tier.admitted", &[("shard", "0")]).add(7);
+        let p = r.snapshot().to_prometheus();
+
+        // HELP precedes TYPE, newline escaped, description intact.
+        assert!(
+            p.contains(
+                "# HELP tier_shed Requests shed by reason.\\nBackslash: \\\\ stays.\n# TYPE tier_shed counter\n"
+            ),
+            "{p}"
+        );
+        assert!(
+            p.contains("# HELP tier_admitted Requests admitted to a shard queue.\n"),
+            "{p}"
+        );
+        // Every metric line is single-line (escaping worked) and the
+        // hostile label value round-trips exactly.
+        let shed_line = p
+            .lines()
+            .find(|l| l.starts_with("tier_shed{"))
+            .expect("tier_shed series line");
+        let (name, labels, value) = parse_series(shed_line);
+        assert_eq!(name, "tier_shed");
+        assert_eq!(value, "3");
+        assert_eq!(labels, vec![("reason".to_string(), hostile.to_string())]);
+    }
+
+    #[test]
+    fn json_carries_exemplars() {
+        let r = Registry::new();
+        let h = r.histogram_labeled("tier.request", &[("tenant", "t0")]);
+        h.record(5);
+        h.record_exemplar(1234, 42);
+        let j = r.snapshot().to_json();
+        assert!(
+            j.contains("\"exemplar\":{\"value\":1234,\"trace\":42}"),
+            "{j}"
+        );
+        // Histograms without exemplars omit the field entirely.
+        r.histogram("plain.series").record(9);
+        let j = r.snapshot().to_json();
+        let plain = j.split("\"plain.series\":").nth(1).unwrap();
+        assert!(!plain.split('}').next().unwrap().contains("exemplar"));
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Last exemplar: an observed value and the trace ID of the request
+    /// that produced it (0 = none yet). Two independent relaxed atomics
+    /// — a racing pair of exemplar writers can interleave value and
+    /// trace, which is acceptable for a debugging breadcrumb and keeps
+    /// the hot path lock-free.
+    exemplar_value: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 impl std::fmt::Debug for Histogram {
@@ -93,6 +100,8 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -113,6 +122,48 @@ impl Histogram {
     pub fn record_duration(&self, d: Duration) {
         let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
         self.record(nanos.max(1));
+    }
+
+    /// Record a value and remember it as this series' **exemplar**:
+    /// a concrete observation tied to the flight-recorder trace that
+    /// produced it, exported in the JSON snapshot so "p99 is high" can
+    /// be answered with "look at trace N". Last writer wins.
+    #[inline]
+    pub fn record_exemplar(&self, value: u64, trace_id: u64) {
+        self.record(value);
+        if trace_id != 0 {
+            self.exemplar_value.store(value, Ordering::Relaxed);
+            self.exemplar_trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// [`Histogram::record_duration`] with an exemplar trace ID (see
+    /// [`Histogram::record_exemplar`]).
+    #[inline]
+    pub fn record_duration_exemplar(&self, d: Duration, trace_id: u64) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.record_exemplar(nanos.max(1), trace_id);
+    }
+
+    /// The last recorded exemplar, as `(value, trace_id)`; `None`
+    /// until any exemplar is recorded.
+    pub fn exemplar(&self) -> Option<(u64, u64)> {
+        let trace = self.exemplar_trace.load(Ordering::Relaxed);
+        (trace != 0).then(|| (self.exemplar_value.load(Ordering::Relaxed), trace))
+    }
+
+    /// Number of recorded values **below the bucket containing
+    /// `threshold`** — the bucket-accurate count of observations under
+    /// a latency objective. Values sharing `threshold`'s bucket are
+    /// excluded (a conservative undercount bounded by one bucket,
+    /// ≤ 6.25% relative — the same quantisation as the quantiles), so
+    /// an SLO's "good" count never claims observations that may have
+    /// breached the threshold.
+    pub fn count_below(&self, threshold: u64) -> u64 {
+        self.buckets[..bucket_index(threshold)]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Number of recorded values.
@@ -226,6 +277,7 @@ impl Histogram {
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
             p999: self.quantile(0.999),
+            exemplar: self.exemplar(),
         }
     }
 }
@@ -251,6 +303,8 @@ pub struct HistogramSnapshot {
     pub p99: u64,
     /// 99.9th percentile, accurate to one bucket.
     pub p999: u64,
+    /// Last `(value, trace_id)` exemplar, if any was recorded.
+    pub exemplar: Option<(u64, u64)>,
 }
 
 #[cfg(test)]
@@ -373,6 +427,42 @@ mod tests {
         assert_eq!(h.max(), n);
     }
 
+    #[test]
+    fn count_below_is_bucket_accurate_and_conservative() {
+        let h = Histogram::new();
+        for v in [1u64, 5, 10, 100, 1_000, 1_000_000] {
+            h.record(v);
+        }
+        // Small values land in exact (width-1) buckets: precise counts.
+        assert_eq!(h.count_below(1), 0);
+        assert_eq!(h.count_below(2), 1);
+        assert_eq!(h.count_below(10), 2);
+        assert_eq!(h.count_below(11), 3);
+        // Everything below a huge threshold counts.
+        assert_eq!(h.count_below(u64::MAX), 6);
+        // Conservative: a value sharing the threshold's bucket is
+        // excluded, never over-counted as "good".
+        let same_bucket = 1_000_000 + 1;
+        assert_eq!(bucket_index(same_bucket), bucket_index(1_000_000));
+        assert_eq!(h.count_below(same_bucket), 5);
+    }
+
+    #[test]
+    fn exemplar_tracks_last_traced_observation() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar(), None);
+        h.record(10); // untraced recording leaves no exemplar
+        assert_eq!(h.exemplar(), None);
+        h.record_exemplar(500, 7);
+        h.record_duration_exemplar(Duration::from_nanos(900), 9);
+        assert_eq!(h.exemplar(), Some((900, 9)));
+        assert_eq!(h.count(), 3, "exemplar recordings still count");
+        assert_eq!(h.snapshot().exemplar, Some((900, 9)));
+        // trace_id 0 means "not traced": value recorded, exemplar kept.
+        h.record_exemplar(123, 0);
+        assert_eq!(h.exemplar(), Some((900, 9)));
+    }
+
     /// Exact quantile of a sorted sample at the same rank the histogram
     /// uses.
     fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
@@ -404,6 +494,48 @@ mod tests {
                     "q={q}: exact {exact} (bucket {be}) vs estimate {est} (bucket {bq})"
                 );
             }
+        }
+
+        /// Satellite requirement: folding per-rep shards into one
+        /// histogram observation-by-observation is indistinguishable
+        /// from recording the concatenated stream into a single
+        /// histogram — exact count and sum, and identical bucket
+        /// occupancy (hence identical quantiles at every q).
+        #[test]
+        fn shard_merge_equals_concatenated_stream(
+            shards in proptest::collection::vec(
+                proptest::collection::vec(1u64..1_000_000_000, 0..60),
+                1..8,
+            )
+        ) {
+            let merged = Histogram::new();
+            let single = Histogram::new();
+            for shard_values in &shards {
+                // One shard per measurement rep, folded immediately —
+                // the measurement loop's aggregation pattern.
+                let shard = Histogram::new();
+                for &v in shard_values {
+                    shard.record(v);
+                    single.record(v);
+                }
+                merged.merge_from(&shard);
+            }
+            prop_assert_eq!(merged.count(), single.count());
+            prop_assert_eq!(merged.sum(), single.sum());
+            prop_assert_eq!(merged.min(), single.min());
+            prop_assert_eq!(merged.max(), single.max());
+            for (i, (m, s)) in merged.buckets.iter().zip(single.buckets.iter()).enumerate() {
+                prop_assert_eq!(
+                    m.load(Ordering::Relaxed),
+                    s.load(Ordering::Relaxed),
+                    "bucket {} diverged", i
+                );
+            }
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                prop_assert_eq!(merged.quantile(q), single.quantile(q), "q={}", q);
+            }
+            let threshold = 1_000u64;
+            prop_assert_eq!(merged.count_below(threshold), single.count_below(threshold));
         }
     }
 }

@@ -26,6 +26,13 @@
 //!   that crosses threads with explicit parenting, and Chrome-trace/
 //!   Perfetto JSON plus plain-text summary exporters
 //!   ([`TraceSnapshot::to_chrome_json`], [`TraceSnapshot::summary`]).
+//! - **Stage board** ([`stage()`], [`sample_stages`]) — every open
+//!   [`Span`] (and explicit [`StageGuard`]) publishes its label on a
+//!   process-global per-thread stack while a profiling
+//!   [`StageSession`] is active, so a sampler can ask "what stage is
+//!   every thread in right now" and fold the answers into a live
+//!   flamegraph. Disabled (the default), publishing costs one relaxed
+//!   atomic load.
 //!
 //! Metric names are dotted lowercase paths (`engine.cache.hits`);
 //! every duration histogram records **nanoseconds**. The full naming
@@ -60,6 +67,7 @@ mod metrics;
 mod registry;
 mod report;
 mod span;
+pub mod stage;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
@@ -67,6 +75,7 @@ pub use metrics::{Counter, Gauge};
 pub use registry::{series_name, Registry, Snapshot};
 pub use report::{compact_line, Reporter};
 pub use span::{current_depth, current_path, Span};
+pub use stage::{sample_stages, stage, stages_enabled, StageGuard, StageSession};
 pub use trace::{ArgValue, FlightRecorder, TraceCtx, TraceSnapshot, TraceSpan};
 
 use std::sync::Arc;

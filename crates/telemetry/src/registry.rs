@@ -92,6 +92,10 @@ impl Metric {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Base metric name → human description, emitted as `# HELP` lines
+    /// by the Prometheus exporter. Keyed by **base** name (no label
+    /// block): all series of one base share a description.
+    help: Mutex<BTreeMap<String, String>>,
     /// Span switch: when false, [`Registry::span`] returns inert spans
     /// that never read the clock (the "cheap when idle" guarantee).
     /// Counters, gauges and direct histogram recording stay live.
@@ -103,8 +107,19 @@ impl Registry {
     pub fn new() -> Self {
         Registry {
             metrics: Mutex::new(BTreeMap::new()),
+            help: Mutex::new(BTreeMap::new()),
             spans_enabled: AtomicBool::new(true),
         }
+    }
+
+    /// Attach a human description to the **base** metric name `base`
+    /// (no label block), surfaced as a `# HELP` line in the Prometheus
+    /// exposition. Describing the same base again overwrites.
+    pub fn describe(&self, base: &str, description: &str) {
+        self.help
+            .lock()
+            .unwrap()
+            .insert(base.to_string(), description.to_string());
     }
 
     /// A fresh registry behind an `Arc` (the shape every consumer
@@ -234,6 +249,13 @@ impl Registry {
                 Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
             }
         }
+        snap.help = self
+            .help
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         snap
     }
 }
@@ -247,6 +269,9 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64)>,
     /// `(name, summary)` for every histogram, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(base name, description)` for every described metric, sorted
+    /// by base name (the exporter's `# HELP` source).
+    pub help: Vec<(String, String)>,
 }
 
 impl Snapshot {

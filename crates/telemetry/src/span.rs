@@ -14,6 +14,7 @@
 
 use crate::histogram::Histogram;
 use crate::registry::Registry;
+use crate::stage::{stage, StageGuard};
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
@@ -42,6 +43,10 @@ pub struct Span {
 struct SpanLive {
     start: Instant,
     hist: Arc<Histogram>,
+    /// Publishes the span's label on the live stage board
+    /// ([`crate::sample_stages`]) for the continuous profiler; inert
+    /// (one relaxed load) unless a profiling session is active.
+    _stage: StageGuard,
 }
 
 impl Span {
@@ -56,6 +61,7 @@ impl Span {
             live: Some(SpanLive {
                 start: Instant::now(),
                 hist,
+                _stage: stage(label),
             }),
         }
     }
