@@ -45,12 +45,14 @@ cargo bench -p bench --bench delta_reorder -- --test
 # Dynamic-matrix smoke: a traced replay with an open-loop mutator must
 # serve verified answers for delta descendants, and the dumped traces
 # must show the engine actually splicing cached orderings
-# (reorder.splice) rather than recomputing from scratch.
+# (reorder.splice) rather than recomputing from scratch, plus the AMD
+# round-phase sub-stages (reorder.amd.update) on fresh AMD computes.
 MUTATE_TRACE_DIR="$(mktemp -d)"
 ./target/release/serve --size small --requests 400 --clients 2 \
     --shards 2 --mutate-rate 20 --mutate-edges 6 \
     --trace-dir "$MUTATE_TRACE_DIR" --trace-sample-rate 1.0 --seed 7 > /dev/null
-./target/release/tracecheck "$MUTATE_TRACE_DIR" --require reorder.splice
+./target/release/tracecheck "$MUTATE_TRACE_DIR" --require reorder.splice \
+    --require reorder.amd.update
 rm -rf "$MUTATE_TRACE_DIR"
 
 # Serving-tier overload smoke: an open-loop run over four shards with a

@@ -22,7 +22,7 @@
 
 use bench::host_threads;
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use reorder::{Rcm, ReorderAlgorithm, ReorderExec};
+use reorder::{amd_order_on, amd_order_single, Amd, Nd, Rcm, ReorderAlgorithm, ReorderExec};
 use sparsemat::{symmetrize_pattern_on, CsrMatrix};
 use spmv::ThreadTeam;
 use std::hint::black_box;
@@ -31,6 +31,10 @@ use team::Exec;
 
 /// Team sizes the scaling record covers.
 const LANES: [usize; 3] = [1, 2, 4];
+
+/// Team sizes the AMD round-parallel record (`BENCH_PR10.json`)
+/// covers.
+const AMD_LANES: [usize; 4] = [1, 2, 4, 8];
 
 /// An R-MAT graph: wide, skewed BFS frontiers — the case level-set
 /// parallelism is for.
@@ -67,17 +71,31 @@ const STAGES: [Stage; 4] = [
     ("rcm_end_to_end", stage_end_to_end),
 ];
 
+fn stage_amd(a: &CsrMatrix, exec: Exec<'_>) {
+    let rx = ReorderExec::on_exec(exec);
+    black_box(Amd::default().compute_on(a, &rx).expect("AMD"));
+}
+
+fn stage_nd(a: &CsrMatrix, exec: Exec<'_>) {
+    let rx = ReorderExec::on_exec(exec);
+    black_box(Nd::default().compute_on(a, &rx).expect("ND"));
+}
+
+/// The fill-reducing orderings whose hot path is AMD's round-based
+/// multiple elimination (ND orders its leaves with AMD).
+const AMD_STAGES: [Stage; 2] = [("amd_end_to_end", stage_amd), ("nd_end_to_end", stage_nd)];
+
 fn reorder_scaling(c: &mut Criterion) {
     let a = bench_matrix();
     let mut group = c.benchmark_group("reorder_scaling");
-    for (name, stage) in STAGES {
-        group.bench_with_input(BenchmarkId::new(name, "seq"), &a, |b, m| {
+    for (name, stage) in STAGES.iter().chain(AMD_STAGES.iter()) {
+        group.bench_with_input(BenchmarkId::new(*name, "seq"), &a, |b, m| {
             b.iter(|| stage(m, Exec::Sequential))
         });
         for lanes in LANES {
             let team = ThreadTeam::new(lanes);
             group.bench_with_input(
-                BenchmarkId::new(name, format!("team{lanes}")),
+                BenchmarkId::new(*name, format!("team{lanes}")),
                 &a,
                 |b, m| b.iter(|| stage(m, Exec::Team(&team))),
             );
@@ -157,6 +175,87 @@ fn write_bench_json() {
     }
 }
 
+/// Record the AMD round-parallel numbers in `BENCH_PR10.json`: the
+/// end-to-end AMD and ND stages across team sizes, plus the
+/// round-based-vs-single-elimination overhead on the raw ordering
+/// (same graph, no matrix plumbing) that gates the multiple-elimination
+/// rework.
+fn write_bench_pr10_json() {
+    let a = bench_matrix();
+    let g = sparsegraph::Graph::from_matrix(&a).expect("ordering graph");
+
+    // Determinism first: the numbers below are only comparable because
+    // the outputs are identical (round_min 0 forces the parallel
+    // update path even on small rounds).
+    let seq_perm = Amd::default().compute(&a).expect("AMD").perm;
+    for lanes in AMD_LANES {
+        let team = ThreadTeam::new(lanes);
+        let rx = ReorderExec::on_team(&team).with_amd_round_min(0);
+        let par = Amd::default().compute_on(&a, &rx).expect("AMD").perm;
+        assert_eq!(seq_perm, par, "parallel AMD diverged at {lanes} lanes");
+    }
+
+    let reps = 5;
+    let single_ms = time_stage(reps, || {
+        black_box(amd_order_single(&g, true));
+    }) * 1e3;
+    let rx_seq = ReorderExec::sequential();
+    let (_, stats) = amd_order_on(&g, true, 0, &rx_seq);
+    let round_seq_ms = time_stage(reps, || {
+        black_box(amd_order_on(&g, true, 0, &rx_seq));
+    }) * 1e3;
+
+    let mut stage_json = Vec::new();
+    for (name, stage) in AMD_STAGES {
+        let seq = time_stage(reps, || stage(&a, Exec::Sequential));
+        let mut team_entries = Vec::new();
+        for lanes in AMD_LANES {
+            let team = ThreadTeam::new(lanes);
+            let t = time_stage(reps, || stage(&a, Exec::Team(&team)));
+            team_entries.push(format!(
+                "{{ \"lanes\": {lanes}, \"ms\": {:.3}, \"speedup_vs_seq\": {:.3} }}",
+                t * 1e3,
+                seq / t
+            ));
+        }
+        stage_json.push(format!(
+            "    {{\n      \"stage\": \"{name}\",\n      \"sequential_ms\": {:.3},\n      \
+             \"team\": [{}]\n    }}",
+            seq * 1e3,
+            team_entries.join(", ")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"reorder_scaling (amd multiple elimination)\",\n  \
+         \"matrix\": \"rmat(14, 8, 42)\",\n  \"nrows\": {},\n  \"nnz\": {},\n  \
+         \"host_threads\": {},\n  \"reps\": {},\n  \
+         \"note\": \"median of reps; team sizes above host_threads oversubscribe the \
+         host, so speedup_vs_seq > 1 is only expected when host_threads > 1\",\n  \
+         \"amd_single_elimination_ms\": {:.3},\n  \"amd_round_based_seq_ms\": {:.3},\n  \
+         \"amd_team1_overhead\": {:.4},\n  \
+         \"amd_stats\": {{ \"rounds\": {}, \"pivots\": {}, \"max_round\": {}, \
+         \"merges\": {} }},\n  \"stages\": [\n{}\n  ]\n}}\n",
+        a.nrows(),
+        a.nnz(),
+        host_threads(),
+        reps,
+        single_ms,
+        round_seq_ms,
+        round_seq_ms / single_ms,
+        stats.rounds,
+        stats.pivots,
+        stats.max_round,
+        stats.merges,
+        stage_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("AMD round-parallel scaling recorded to BENCH_PR10.json"),
+        Err(e) => eprintln!("could not write BENCH_PR10.json: {e}"),
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -172,5 +271,6 @@ fn main() {
     // single-iteration timings would only add noise.
     if !std::env::args().any(|arg| arg == "--test") {
         write_bench_json();
+        write_bench_pr10_json();
     }
 }

@@ -11,6 +11,10 @@
 //! 2. **Splice vs. full recompute** (vs. `BENCH_PR8.json`): the RCM
 //!    1%-dirty point of the `disjoint_meshes` family. A regression
 //!    here means incremental reordering lost its advantage.
+//! 3. **AMD ordering** (vs. `BENCH_PR10.json`): the round-based
+//!    multiple-elimination `amd_order_on` on the same R-MAT graph the
+//!    original bench recorded, sequential path. A regression here
+//!    means the quotient-graph round machinery grew per-pivot cost.
 //!
 //! Tolerances are deliberately generous (5x on absolute per-call time,
 //! 4x on relative speedup) — this is a tripwire for order-of-magnitude
@@ -37,6 +41,7 @@ struct Baseline {
     splice_speedup: f64,
     splice_full_ms: f64,
     splice_splice_ms: f64,
+    amd_seq_ms: f64,
 }
 
 /// Load the two baseline files, failing with a clear message when a
@@ -74,11 +79,18 @@ fn load_baseline(root: &Path) -> Result<Baseline, String> {
             .and_then(serde_json::Value::as_f64)
             .ok_or_else(|| format!("BENCH_PR8.json: sweep row missing {name}"))
     };
+    let pr10 = read("BENCH_PR10.json")?;
+    let amd_seq_ms = pr10
+        .get("amd_round_based_seq_ms")
+        .and_then(serde_json::Value::as_f64)
+        .ok_or("BENCH_PR10.json: missing amd_round_based_seq_ms")?;
+
     Ok(Baseline {
         team_us_per_call,
         splice_speedup: field("speedup")?,
         splice_full_ms: field("full_ms")?,
         splice_splice_ms: field("splice_ms")?,
+        amd_seq_ms,
     })
 }
 
@@ -184,6 +196,23 @@ fn probe_splice_ms(reps: usize, regions: usize) -> (f64, f64) {
     (full_ms, splice_ms)
 }
 
+/// Probe 3: the round-based AMD ordering, sequential path,
+/// milliseconds. Full runs use the exact BENCH_PR10 graph
+/// (`rmat(14, 8, 42)`); `--test` runs a smaller cousin, which is why
+/// the threshold is only enforced in full mode.
+fn probe_amd_ms(reps: usize, test_mode: bool) -> f64 {
+    let a = if test_mode {
+        corpus::rmat(11, 6, 7)
+    } else {
+        corpus::rmat(14, 8, 42)
+    };
+    let g = sparsegraph::Graph::from_matrix(&a).expect("ordering graph");
+    let rx = ReorderExec::sequential();
+    time_median(reps, || {
+        black_box(reorder::amd_order_on(&g, true, 0, &rx));
+    }) * 1e3
+}
+
 fn main() {
     let test_mode = std::env::args().any(|arg| arg == "--test");
     let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
@@ -196,11 +225,13 @@ fn main() {
         }
     };
     println!(
-        "baseline: team {:.3} us/call; splice {:.3} ms vs full {:.3} ms ({:.2}x)",
+        "baseline: team {:.3} us/call; splice {:.3} ms vs full {:.3} ms ({:.2}x); \
+         amd {:.3} ms",
         baseline.team_us_per_call,
         baseline.splice_splice_ms,
         baseline.splice_full_ms,
-        baseline.splice_speedup
+        baseline.splice_speedup,
+        baseline.amd_seq_ms
     );
 
     // Smoke counts keep --test under a second; real runs match the
@@ -214,9 +245,10 @@ fn main() {
     let team_us = probe_team_us(iters);
     let (full_ms, splice_ms) = probe_splice_ms(reps, regions);
     let speedup = full_ms / splice_ms;
+    let amd_ms = probe_amd_ms(reps, test_mode);
     println!(
         "fresh:    team {team_us:.3} us/call; splice {splice_ms:.3} ms vs full \
-         {full_ms:.3} ms ({speedup:.2}x)"
+         {full_ms:.3} ms ({speedup:.2}x); amd {amd_ms:.3} ms"
     );
 
     let mut failures = Vec::new();
@@ -239,6 +271,13 @@ fn main() {
                 baseline.splice_speedup
             ));
         }
+        // Absolute tripwire on the AMD round machinery.
+        let amd_limit = baseline.amd_seq_ms * 5.0;
+        if amd_ms > amd_limit {
+            failures.push(format!(
+                "amd ordering {amd_ms:.3} ms exceeds 5x baseline ({amd_limit:.3})"
+            ));
+        }
     }
 
     let results_dir = root.join("results");
@@ -247,6 +286,7 @@ fn main() {
          \"team_us_per_call\": {{ \"baseline\": {:.3}, \"fresh\": {:.3} }},\n  \
          \"splice_1pct\": {{ \"baseline_speedup\": {:.2}, \"fresh_speedup\": {:.2}, \
          \"fresh_full_ms\": {:.3}, \"fresh_splice_ms\": {:.3} }},\n  \
+         \"amd_seq_ms\": {{ \"baseline\": {:.3}, \"fresh\": {:.3} }},\n  \
          \"regressions\": [{}]\n}}\n",
         if test_mode { "test" } else { "full" },
         baseline.team_us_per_call,
@@ -255,6 +295,8 @@ fn main() {
         speedup,
         full_ms,
         splice_ms,
+        baseline.amd_seq_ms,
+        amd_ms,
         failures
             .iter()
             .map(|f| format!("\"{}\"", f.replace('"', "'")))

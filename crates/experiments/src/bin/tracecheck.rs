@@ -72,6 +72,9 @@ const REORDER_SUBSTAGES: &[&str] = &[
     "reorder.levels",
     "reorder.permute",
     "reorder.splice",
+    "reorder.amd.select",
+    "reorder.amd.eliminate",
+    "reorder.amd.update",
 ];
 
 /// Stages a `reorder.*` sub-stage may nest under. `tier.execute` is

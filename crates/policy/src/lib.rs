@@ -599,6 +599,40 @@ mod tests {
     }
 
     #[test]
+    fn amd_reorder_cost_reads_the_live_gauge() {
+        let a = matrix();
+        let (policy, registry) = engine(PolicyMode::Adaptive);
+        let nnz = a.nnz() as f64;
+        // Drive the key to the probe threshold with no calibration
+        // yet: the probe prices AMD at the conservative default rate.
+        for _ in 1..8 {
+            policy.decide(&a, 11, AlgoSpec::Amd, false);
+            policy.observe_spmv(11, AlgoSpec::Original, 0.004);
+        }
+        let cold = policy.decide(&a, 11, AlgoSpec::Amd, false);
+        assert_eq!(cold.reason, "probe");
+        let want = nnz / default_nnz_per_s(AlgoSpec::Amd);
+        assert!(
+            (cold.predicted_reorder_seconds - want).abs() < 1e-12,
+            "cold AMD cost {} != default-rate cost {want}",
+            cold.predicted_reorder_seconds
+        );
+
+        // Once the reorder crate publishes a live throughput (the
+        // `reorder.amd.nnz_per_s` gauge from `timed_permutation_on`),
+        // the next pricing uses it instead of the default.
+        registry.gauge("reorder.amd.nnz_per_s").set(8_000_000);
+        let hot = policy.decide(&a, 11, AlgoSpec::Amd, false);
+        assert_eq!(hot.reason, "probe");
+        let want = nnz / 8e6;
+        assert!(
+            (hot.predicted_reorder_seconds - want).abs() < 1e-12,
+            "calibrated AMD cost {} != gauge-rate cost {want}",
+            hot.predicted_reorder_seconds
+        );
+    }
+
+    #[test]
     fn decisions_are_counted_in_telemetry() {
         let a = matrix();
         let (policy, registry) = engine(PolicyMode::Adaptive);

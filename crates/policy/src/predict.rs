@@ -67,13 +67,18 @@ impl FeatureSummary {
 /// `reorder.<algo>.nnz_per_s` calibration arrives. Deliberately
 /// conservative (slower than typical) so the cold policy under-commits
 /// rather than paying for reorders that never amortise.
+///
+/// The AMD figure reflects the round-based multiple-elimination
+/// implementation measured in `BENCH_PR10.json` (~1.3 Mnnz/s on an
+/// R-MAT graph, ~3 Mnnz/s on meshes): the old 6e6 default was
+/// optimistic, which made the cold policy *over*-commit to AMD.
 pub fn default_nnz_per_s(algo: AlgoSpec) -> f64 {
     match algo {
         AlgoSpec::Original => f64::INFINITY,
         AlgoSpec::Rcm => 20e6,
         AlgoSpec::Gray => 30e6,
-        AlgoSpec::Amd => 6e6,
-        AlgoSpec::Nd => 2e6,
+        AlgoSpec::Amd => 2e6,
+        AlgoSpec::Nd => 1e6,
         AlgoSpec::Gp { .. } => 3e6,
         AlgoSpec::Hp { .. } => 1.5e6,
     }
@@ -261,6 +266,17 @@ mod tests {
         assert!((cold - 0.05).abs() < 1e-9, "default RCM rate is 20M nnz/s");
         assert!((hot - 0.01).abs() < 1e-9, "calibrated rate wins");
         assert_eq!(p.reorder_seconds(1_000_000, AlgoSpec::Original, None), 0.0);
+    }
+
+    #[test]
+    fn amd_default_rate_matches_the_round_based_implementation() {
+        // Pinned to the BENCH_PR10 measurement of round-based multiple
+        // elimination: conservative against the ~1.3–3 Mnnz/s range.
+        let p = Predictor::new();
+        let cold = p.reorder_seconds(2_000_000, AlgoSpec::Amd, None);
+        assert!((cold - 1.0).abs() < 1e-9, "default AMD rate is 2M nnz/s");
+        let hot = p.reorder_seconds(2_000_000, AlgoSpec::Amd, Some(4e6));
+        assert!((hot - 0.5).abs() < 1e-9, "calibrated AMD rate wins");
     }
 
     #[test]

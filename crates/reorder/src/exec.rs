@@ -23,6 +23,7 @@ pub struct ReorderExec<'a> {
     exec: Exec<'a>,
     trace: TraceCtx,
     frontier_min: usize,
+    amd_round_min: usize,
 }
 
 impl<'a> ReorderExec<'a> {
@@ -33,6 +34,7 @@ impl<'a> ReorderExec<'a> {
             exec: Exec::Sequential,
             trace: TraceCtx::disabled(),
             frontier_min: sparsegraph::DEFAULT_PAR_FRONTIER_MIN,
+            amd_round_min: crate::amd::DEFAULT_AMD_ROUND_MIN,
         }
     }
 
@@ -42,6 +44,7 @@ impl<'a> ReorderExec<'a> {
             exec: Exec::Team(team),
             trace: TraceCtx::disabled(),
             frontier_min: sparsegraph::DEFAULT_PAR_FRONTIER_MIN,
+            amd_round_min: crate::amd::DEFAULT_AMD_ROUND_MIN,
         }
     }
 
@@ -51,6 +54,7 @@ impl<'a> ReorderExec<'a> {
             exec,
             trace: TraceCtx::disabled(),
             frontier_min: sparsegraph::DEFAULT_PAR_FRONTIER_MIN,
+            amd_round_min: crate::amd::DEFAULT_AMD_ROUND_MIN,
         }
     }
 
@@ -75,6 +79,23 @@ impl<'a> ReorderExec<'a> {
     /// The level-set sequential-fallback threshold in effect.
     pub fn frontier_min(&self) -> usize {
         self.frontier_min
+    }
+
+    /// Set the AMD round-update cutover: elimination rounds touching
+    /// fewer than `amd_round_min` variables run their quotient-graph
+    /// update inline even on a team. Like
+    /// [`ReorderExec::with_frontier_min`], the ordering produced is
+    /// identical for every value — this tunes dispatch overhead only
+    /// (default [`crate::amd::DEFAULT_AMD_ROUND_MIN`]; DESIGN §9
+    /// records the reasoning).
+    pub fn with_amd_round_min(mut self, amd_round_min: usize) -> Self {
+        self.amd_round_min = amd_round_min;
+        self
+    }
+
+    /// The AMD round-update sequential-fallback threshold in effect.
+    pub fn amd_round_min(&self) -> usize {
+        self.amd_round_min
     }
 
     /// The executor the parallel stages dispatch on.
@@ -131,6 +152,14 @@ mod tests {
         assert_eq!(rx.frontier_min(), sparsegraph::DEFAULT_PAR_FRONTIER_MIN);
         let tuned = ReorderExec::sequential().with_frontier_min(256);
         assert_eq!(tuned.frontier_min(), 256);
+    }
+
+    #[test]
+    fn amd_round_min_defaults_and_overrides() {
+        let rx = ReorderExec::sequential();
+        assert_eq!(rx.amd_round_min(), crate::amd::DEFAULT_AMD_ROUND_MIN);
+        let tuned = ReorderExec::sequential().with_amd_round_min(16);
+        assert_eq!(tuned.amd_round_min(), 16);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod rcm;
 pub mod sbd;
 mod traits;
 
-pub use amd::Amd;
+pub use amd::{amd_order, amd_order_on, amd_order_single, Amd, AmdStats, DEFAULT_AMD_ROUND_MIN};
 pub use component::{splice_ordering_on, ComponentOrdering, ComponentRange, SpliceReport};
 pub use exec::{build_ordering_graph, ReorderExec};
 pub use gp::Gp;

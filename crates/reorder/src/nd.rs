@@ -6,7 +6,8 @@
 //! hybrid METIS's `METIS_NodeND` uses. Small separators at every level
 //! keep Cholesky fill low (§2.1.2).
 
-use crate::amd::amd_order;
+use crate::amd::amd_order_on;
+use crate::exec::ReorderExec;
 use crate::traits::{ReorderAlgorithm, ReorderResult};
 use partition::vertex_separator;
 use sparsegraph::Graph;
@@ -35,20 +36,37 @@ impl Default for Nd {
 }
 
 impl Nd {
-    /// Compute the nested dissection order of a graph.
+    /// Compute the nested dissection order of a graph (inline leaf
+    /// orderings).
     pub fn dissection_order(&self, g: &Graph) -> Vec<u32> {
+        self.dissection_order_on(g, &ReorderExec::sequential())
+    }
+
+    /// Compute the nested dissection order with leaf AMD orderings on
+    /// the given execution context. The dissection itself is
+    /// sequential; the leaves' round-based quotient-graph updates run
+    /// on `rx`'s executor. The order is byte-identical for every
+    /// executor (see [`amd_order_on`]).
+    pub fn dissection_order_on(&self, g: &Graph, rx: &ReorderExec<'_>) -> Vec<u32> {
         let n = g.num_vertices();
         let vertices: Vec<u32> = (0..n as u32).collect();
         let mut order = Vec::with_capacity(n);
-        self.recurse(g, &vertices, self.seed, &mut order);
+        self.recurse(g, &vertices, self.seed, &mut order, rx);
         debug_assert_eq!(order.len(), n);
         order
     }
 
-    fn recurse(&self, g_full: &Graph, vertices: &[u32], seed: u64, order: &mut Vec<u32>) {
+    fn recurse(
+        &self,
+        g_full: &Graph,
+        vertices: &[u32],
+        seed: u64,
+        order: &mut Vec<u32>,
+        rx: &ReorderExec<'_>,
+    ) {
         if vertices.len() <= self.leaf_size {
             let (sub, map) = subgraph_of(g_full, vertices);
-            let local = amd_order(&sub, true);
+            let local = amd_order_on(&sub, true, 0, rx).0;
             order.extend(local.iter().map(|&l| map[l as usize]));
             return;
         }
@@ -57,7 +75,7 @@ impl Nd {
         // Degenerate separator (e.g. a clique where one side is empty):
         // stop dissecting and fall back to minimum degree.
         if sep.left.is_empty() || sep.right.is_empty() {
-            let local = amd_order(&sub, true);
+            let local = amd_order_on(&sub, true, 0, rx).0;
             order.extend(local.iter().map(|&l| map[l as usize]));
             return;
         }
@@ -71,12 +89,14 @@ impl Nd {
             &left,
             seed.wrapping_mul(0x9E37).wrapping_add(11),
             order,
+            rx,
         );
         self.recurse(
             g_full,
             &right,
             seed.wrapping_mul(0x9E37).wrapping_add(12),
             order,
+            rx,
         );
         // Separator vertices are numbered last at this level.
         order.extend_from_slice(&separator);
@@ -97,8 +117,16 @@ impl ReorderAlgorithm for Nd {
     }
 
     fn compute(&self, a: &CsrMatrix) -> Result<ReorderResult, SparseError> {
+        self.compute_on(a, &ReorderExec::sequential())
+    }
+
+    fn compute_on(
+        &self,
+        a: &CsrMatrix,
+        rx: &ReorderExec<'_>,
+    ) -> Result<ReorderResult, SparseError> {
         let g = Graph::from_matrix(a)?;
-        let order = self.dissection_order(&g);
+        let order = self.dissection_order_on(&g, rx);
         Ok(ReorderResult {
             perm: Permutation::from_new_to_old(order)?,
             symmetric: true,

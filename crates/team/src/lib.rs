@@ -535,6 +535,26 @@ impl<'a, T> SliceWriter<'a, T> {
         debug_assert!(range.start <= range.end && range.end <= self.len);
         std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
     }
+
+    /// A shared reference to element `i`.
+    ///
+    /// Disjoint-commit phases often need read access to state *other*
+    /// lanes own (a degree, a supervariable weight) alongside mutable
+    /// access to their own elements. Going through
+    /// [`SliceWriter::slice_mut`] for a read would assert uniqueness
+    /// the caller cannot guarantee; this accessor asserts only
+    /// immutability.
+    ///
+    /// # Safety
+    ///
+    /// For the lifetime of the returned reference, no
+    /// [`SliceWriter::slice_mut`] window covering `i` may be live on
+    /// any thread: element `i` must be read-only across the whole
+    /// parallel region (or written exclusively by the calling lane).
+    pub unsafe fn get_ref(&self, i: usize) -> &T {
+        debug_assert!(i < self.len);
+        &*self.ptr.add(i)
+    }
 }
 
 /// Detaches a team's trace context on drop (see

@@ -8,7 +8,7 @@
 //! (band, FEM mesh, R-MAT, road) plus the structural edge cases
 //! (disconnected blocks, empty rows) at team sizes 1, 2, 4 and 8.
 
-use reorder::{splice_ordering_on, Amd, Gps, Rcm, ReorderAlgorithm, ReorderExec};
+use reorder::{splice_ordering_on, Amd, Gps, Nd, Rcm, ReorderAlgorithm, ReorderExec};
 use sparsemat::{symmetrize_pattern, symmetrize_pattern_on, CooMatrix, CsrMatrix, Permutation};
 use team::{Exec, ThreadTeam};
 
@@ -107,6 +107,54 @@ fn gps_is_byte_identical_across_team_sizes() {
                 );
             });
         }
+    }
+}
+
+/// AMD's round-based multiple elimination updates the quotient graph
+/// in parallel over the round's pivots; the batch selection and the
+/// per-pivot update are pure functions of the component, so the
+/// ordering must not depend on the executor. `amd_round_min: 0`
+/// forces even tiny rounds through the parallel path — with the
+/// default cutover most of these test-sized rounds would quietly fall
+/// back to the inline path and the test would prove nothing.
+#[test]
+fn amd_is_byte_identical_across_team_sizes() {
+    for (name, a) in family_matrices() {
+        for algo in [
+            Amd::default(),
+            Amd {
+                round_slack: 2,
+                ..Amd::default()
+            },
+        ] {
+            let seq = algo.compute(&a).expect(name).perm;
+            for_each_team(|team| {
+                let rx = ReorderExec::on_team(team).with_amd_round_min(0);
+                let par = algo.compute_on(&a, &rx).expect(name).perm;
+                assert_eq!(
+                    seq,
+                    par,
+                    "AMD(slack={}) diverged on {name} at {} lanes",
+                    algo.round_slack,
+                    team.size()
+                );
+            });
+        }
+    }
+}
+
+/// ND consumes AMD for every leaf (and for degenerate separators), so
+/// its orderings inherit AMD's executor-independence.
+#[test]
+fn nd_is_byte_identical_across_team_sizes() {
+    for (name, a) in family_matrices() {
+        let algo = Nd::default();
+        let seq = algo.compute(&a).expect(name).perm;
+        for_each_team(|team| {
+            let rx = ReorderExec::on_team(team).with_amd_round_min(0);
+            let par = algo.compute_on(&a, &rx).expect(name).perm;
+            assert_eq!(seq, par, "ND diverged on {name} at {} lanes", team.size());
+        });
     }
 }
 
